@@ -1,0 +1,532 @@
+//! The machine driver: one object bundling the simulated system, the DAX
+//! file system, and the chosen redundancy design — the top-level API used by
+//! examples, tests, and the benchmark harness.
+
+use memsim::addr::{PageNum, PhysAddr};
+use memsim::config::SystemConfig;
+use memsim::engine::{CorruptionDetected, NullHooks, System};
+use memsim::stats::Stats;
+use pmemfs::fs::{DaxFs, FileHandle, FsError, RecoveryError};
+use pmemfs::tx::{SwScheme, TxManager};
+use tvarak::controller::{TvarakConfig, TvarakController};
+use tvarak::layout::NvmLayout;
+use std::error::Error;
+use std::fmt;
+
+/// The four designs the paper evaluates (§IV), plus ablated TVARAK variants
+/// for Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Design {
+    /// No redundancy (the paper's Baseline).
+    Baseline,
+    /// The full TVARAK hardware controller.
+    Tvarak,
+    /// TVARAK with specific design elements disabled (Fig. 9 ablations).
+    TvarakAblated(TvarakConfig),
+    /// Pangolin-like software scheme: object-granular checksums at
+    /// transaction boundaries (TxB-Object-Csums).
+    TxbObject,
+    /// Mojim/HotPot-like software scheme: page-granular checksums at
+    /// transaction boundaries (TxB-Page-Csums).
+    TxbPage,
+    /// Vilamb-like asynchronous software redundancy (Table I): page-granular
+    /// checksums refreshed every `epoch_txs` transactions, trading a
+    /// vulnerability window for configurable overhead.
+    Vilamb {
+        /// Transactions per redundancy-refresh epoch.
+        epoch_txs: u32,
+    },
+}
+
+impl Design {
+    /// The four Fig. 8 designs in the paper's presentation order.
+    pub fn fig8() -> [Design; 4] {
+        [
+            Design::Baseline,
+            Design::Tvarak,
+            Design::TxbObject,
+            Design::TxbPage,
+        ]
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Design::Baseline => "Baseline",
+            Design::Tvarak => "Tvarak",
+            Design::TvarakAblated(_) => "Tvarak(ablated)",
+            Design::TxbObject => "TxB-Object-Csums",
+            Design::TxbPage => "TxB-Page-Csums",
+            Design::Vilamb { .. } => "Vilamb",
+        }
+    }
+
+    /// The software redundancy scheme this design runs at commit.
+    pub fn sw_scheme(&self) -> SwScheme {
+        match self {
+            Design::TxbObject => SwScheme::TxbObject,
+            Design::TxbPage => SwScheme::TxbPage,
+            Design::Vilamb { epoch_txs } => SwScheme::Vilamb {
+                epoch_txs: *epoch_txs,
+            },
+            _ => SwScheme::None,
+        }
+    }
+
+    /// Whether this design instantiates the hardware controller.
+    pub fn has_controller(&self) -> bool {
+        matches!(self, Design::Tvarak | Design::TvarakAblated(_))
+    }
+}
+
+impl fmt::Display for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Errors surfaced by workloads.
+#[derive(Debug)]
+pub enum AppError {
+    /// File-system allocation failure.
+    Fs(FsError),
+    /// A verified read detected corruption.
+    Corruption(CorruptionDetected),
+    /// Transaction failure.
+    Tx(pmemfs::tx::TxError),
+    /// Persistent heap exhausted.
+    Oom(crate::alloc::OutOfMemory),
+    /// Recovery failed.
+    Recovery(RecoveryError),
+}
+
+impl fmt::Display for AppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppError::Fs(e) => write!(f, "{e}"),
+            AppError::Corruption(e) => write!(f, "{e}"),
+            AppError::Tx(e) => write!(f, "{e}"),
+            AppError::Oom(e) => write!(f, "{e}"),
+            AppError::Recovery(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for AppError {}
+
+impl From<FsError> for AppError {
+    fn from(e: FsError) -> Self {
+        AppError::Fs(e)
+    }
+}
+
+impl From<CorruptionDetected> for AppError {
+    fn from(e: CorruptionDetected) -> Self {
+        AppError::Corruption(e)
+    }
+}
+
+impl From<pmemfs::tx::TxError> for AppError {
+    fn from(e: pmemfs::tx::TxError) -> Self {
+        AppError::Tx(e)
+    }
+}
+
+impl From<crate::alloc::OutOfMemory> for AppError {
+    fn from(e: crate::alloc::OutOfMemory) -> Self {
+        AppError::Oom(e)
+    }
+}
+
+impl From<RecoveryError> for AppError {
+    fn from(e: RecoveryError) -> Self {
+        AppError::Recovery(e)
+    }
+}
+
+/// Builder for a [`Machine`].
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    cfg: SystemConfig,
+    design: Design,
+    data_pages: u64,
+}
+
+impl Default for MachineBuilder {
+    fn default() -> Self {
+        MachineBuilder {
+            cfg: SystemConfig::default(),
+            design: Design::Baseline,
+            data_pages: 4096, // 16 MB of data pages
+        }
+    }
+}
+
+impl MachineBuilder {
+    /// Use a full custom [`SystemConfig`] (Table III knobs).
+    pub fn system_config(mut self, cfg: SystemConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Use the small test configuration instead of the paper's Table III.
+    pub fn small(mut self) -> Self {
+        self.cfg = SystemConfig::small();
+        self
+    }
+
+    /// Number of cores.
+    pub fn cores(mut self, n: usize) -> Self {
+        self.cfg.cores = n;
+        self
+    }
+
+    /// Number of NVM DIMMs (≥ 2; one page per stripe is parity).
+    pub fn nvm_dimms(mut self, n: usize) -> Self {
+        self.cfg.nvm.dimms = n;
+        self
+    }
+
+    /// The redundancy design to run.
+    pub fn design(mut self, d: Design) -> Self {
+        self.design = d;
+        self
+    }
+
+    /// Usable NVM data pages in the pool.
+    pub fn data_pages(mut self, pages: u64) -> Self {
+        self.data_pages = pages;
+        self
+    }
+
+    /// LLC ways reserved for redundancy caching and data diffs (Fig. 10
+    /// sensitivity knobs). Only meaningful for TVARAK designs.
+    pub fn llc_partition(mut self, redundancy_ways: usize, diff_ways: usize) -> Self {
+        self.cfg.controller.redundancy_ways = redundancy_ways;
+        self.cfg.controller.diff_ways = diff_ways;
+        self
+    }
+
+    /// Build the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inconsistent configuration (see `SystemConfig::validate`).
+    pub fn build(self) -> Machine {
+        let mut cfg = self.cfg;
+        let tvarak_cfg = match self.design {
+            Design::Tvarak => Some(TvarakConfig::default()),
+            Design::TvarakAblated(tc) => Some(tc),
+            _ => None,
+        };
+        match tvarak_cfg {
+            Some(tc) => {
+                // Partitions only exist for the features that use them.
+                if !tc.redundancy_caching {
+                    cfg.controller.redundancy_ways = 0;
+                }
+                if !tc.data_diffs {
+                    cfg.controller.diff_ways = 0;
+                }
+            }
+            None => {
+                cfg.controller.redundancy_ways = 0;
+                cfg.controller.diff_ways = 0;
+            }
+        }
+        let layout = NvmLayout::new(cfg.nvm.dimms, self.data_pages);
+        let hooks: Box<dyn memsim::engine::RedundancyHooks> = match tvarak_cfg {
+            Some(tc) => Box::new(TvarakController::new(
+                tc,
+                layout,
+                cfg.llc_banks,
+                cfg.controller.cache_bytes,
+                cfg.controller.cache_ways,
+            )),
+            None => Box::new(NullHooks),
+        };
+        let mut sys = System::new(cfg, hooks);
+        let fs = DaxFs::new(layout, &mut sys);
+        Machine {
+            sys,
+            fs,
+            design: self.design,
+        }
+    }
+}
+
+/// A simulated machine with a DAX file system and a redundancy design.
+#[derive(Debug)]
+pub struct Machine {
+    /// The simulated system (cores, caches, memory, controller).
+    pub sys: System,
+    /// The DAX file system.
+    pub fs: DaxFs,
+    design: Design,
+}
+
+impl Machine {
+    /// Start building a machine.
+    pub fn builder() -> MachineBuilder {
+        MachineBuilder::default()
+    }
+
+    /// The active design.
+    pub fn design(&self) -> Design {
+        self.design
+    }
+
+    /// Create a file of at least `bytes` bytes and DAX-map it. The `name` is
+    /// documentation only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] when the pool is out of space.
+    pub fn create_dax_file(&mut self, name: &str, bytes: u64) -> Result<FileHandle, FsError> {
+        let _ = name;
+        let f = self.fs.create(&mut self.sys, bytes)?;
+        self.fs.dax_map(&mut self.sys, &f);
+        Ok(f)
+    }
+
+    /// Create a transaction manager matching this machine's design (its
+    /// software scheme runs at commit under TxB designs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] when the pool cannot hold the metadata.
+    pub fn tx_manager(&mut self, log_bytes_per_core: u64) -> Result<TxManager, FsError> {
+        let cores = self.sys.num_cores();
+        TxManager::new(
+            &mut self.fs,
+            &mut self.sys,
+            cores,
+            self.design.sw_scheme(),
+            log_bytes_per_core,
+        )
+    }
+
+    /// Write through the hierarchy as `core`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CorruptionDetected`].
+    pub fn write(
+        &mut self,
+        core: usize,
+        addr: PhysAddr,
+        data: &[u8],
+    ) -> Result<(), CorruptionDetected> {
+        self.sys.write(core, addr, data)
+    }
+
+    /// Read through the hierarchy as `core`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CorruptionDetected`].
+    pub fn read(
+        &mut self,
+        core: usize,
+        addr: PhysAddr,
+        buf: &mut [u8],
+    ) -> Result<(), CorruptionDetected> {
+        self.sys.read(core, addr, buf)
+    }
+
+    /// Flush the entire hierarchy (see `System::flush`).
+    pub fn flush(&mut self) {
+        self.sys.flush();
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> Stats {
+        self.sys.stats()
+    }
+
+    /// Reset statistics after setup/warmup.
+    pub fn reset_stats(&mut self) {
+        self.sys.reset_stats();
+    }
+
+    /// Verify `file`'s media-level redundancy invariants for whatever the
+    /// active design maintains (checksums + parity). Baseline maintains
+    /// nothing and trivially passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the indices of inconsistent file pages.
+    pub fn verify_all(&self, file: &FileHandle) -> Result<(), Vec<u64>> {
+        let mut bad = match self.design {
+            Design::Baseline => Vec::new(),
+            Design::Tvarak | Design::TxbObject => self.fs.scrub_cl(&self.sys, file),
+            Design::TvarakAblated(tc) => {
+                if tc.cl_granular_csums {
+                    self.fs.scrub_cl(&self.sys, file)
+                } else {
+                    self.fs.scrub_pages(&self.sys, file)
+                }
+            }
+            Design::TxbPage | Design::Vilamb { .. } => self.fs.scrub_pages(&self.sys, file),
+        };
+        if self.design != Design::Baseline {
+            bad.extend(self.fs.scrub_parity(&self.sys, file));
+        }
+        bad.sort_unstable();
+        bad.dedup();
+        if bad.is_empty() {
+            Ok(())
+        } else {
+            Err(bad)
+        }
+    }
+
+    /// OS recovery path after [`CorruptionDetected`].
+    ///
+    /// # Errors
+    ///
+    /// See [`DaxFs::recover_page`].
+    pub fn recover(&mut self, page: PageNum) -> Result<(), RecoveryError> {
+        self.fs.recover_page(&mut self.sys, page)
+    }
+
+    /// Rebuild `file`'s redundancy (checksums + parity) from current media
+    /// content, bypassing the measured path. Workload *setup* phases use
+    /// this after bulk raw initialization so that unmeasured initialization
+    /// does not depend on the design's update mechanism.
+    pub fn reinit_redundancy(&mut self, file: &FileHandle) {
+        let layout = *self.fs.layout();
+        tvarak::init::initialize_region(
+            &layout,
+            self.sys.memory_mut(),
+            file.first_data_index()..file.first_data_index() + file.pages(),
+        );
+    }
+}
+
+/// Run `instances` workload instances for `ops` operations each,
+/// round-robin interleaved (instance `i` runs on core `i % cores`), then
+/// flush. Returns the statistics of the measured phase (call
+/// `Machine::reset_stats` before if setup preceded).
+///
+/// # Errors
+///
+/// Propagates the first workload error.
+pub fn run_interleaved<F>(
+    m: &mut Machine,
+    instances: usize,
+    ops: u64,
+    mut f: F,
+) -> Result<Stats, AppError>
+where
+    F: FnMut(&mut Machine, usize, u64) -> Result<(), AppError>,
+{
+    for op in 0..ops {
+        for inst in 0..instances {
+            f(m, inst, op)?;
+        }
+    }
+    m.flush();
+    Ok(m.stats())
+}
+
+/// Run `instances` workload instances for `ops` operations each,
+/// *clock-driven*: the instance whose core has the smallest simulated clock
+/// runs next. This is how concurrent threads actually interleave — an
+/// instance delayed by a busy NVM DIMM falls behind and the others advance,
+/// so threads drift apart naturally instead of staying in the artificial
+/// lockstep a fixed round-robin would impose. Does **not** flush; the caller
+/// decides what the measured phase includes.
+///
+/// # Errors
+///
+/// Propagates the first workload error.
+pub fn run_clocked<F>(m: &mut Machine, instances: usize, ops: u64, mut f: F) -> Result<(), AppError>
+where
+    F: FnMut(&mut Machine, usize, u64) -> Result<(), AppError>,
+{
+    let cores = m.sys.num_cores();
+    let mut done = vec![0u64; instances];
+    loop {
+        let mut next: Option<(usize, u64)> = None;
+        for (inst, &d) in done.iter().enumerate() {
+            if d < ops {
+                let clock = m.sys.clock(inst % cores);
+                if next.is_none_or(|(_, c)| clock < c) {
+                    next = Some((inst, clock));
+                }
+            }
+        }
+        let Some((inst, _)) = next else { break };
+        f(m, inst, done[inst])?;
+        done[inst] += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_reserves_partitions_only_for_tvarak() {
+        let m = Machine::builder().small().design(Design::Baseline).build();
+        assert_eq!(m.sys.config().llc_data_ways(), 16);
+        let m = Machine::builder().small().design(Design::Tvarak).build();
+        assert_eq!(m.sys.config().llc_data_ways(), 13);
+        let m = Machine::builder().small().design(Design::TxbPage).build();
+        assert_eq!(m.sys.config().llc_data_ways(), 16);
+    }
+
+    #[test]
+    fn ablated_naive_gets_no_partitions() {
+        let m = Machine::builder()
+            .small()
+            .design(Design::TvarakAblated(TvarakConfig::naive()))
+            .build();
+        assert_eq!(m.sys.config().llc_data_ways(), 16);
+        assert!(m.design().has_controller());
+    }
+
+    #[test]
+    fn quickstart_flow() {
+        let mut m = Machine::builder()
+            .small()
+            .design(Design::Tvarak)
+            .data_pages(64)
+            .build();
+        let f = m.create_dax_file("t", 8192).unwrap();
+        f.write(&mut m.sys, 0, 0, b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        f.read(&mut m.sys, 0, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        m.flush();
+        m.verify_all(&f).unwrap();
+    }
+
+    #[test]
+    fn run_interleaved_advances_all_instances() {
+        let mut m = Machine::builder()
+            .small()
+            .design(Design::Baseline)
+            .data_pages(64)
+            .build();
+        let f = m.create_dax_file("t", 16 * 1024).unwrap();
+        let mut count = [0u64; 2];
+        run_interleaved(&mut m, 2, 5, |m, inst, op| {
+            count[inst] += 1;
+            f.write_u64(&mut m.sys, inst, (inst as u64 * 8192) + op * 8, op)?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(count, [5, 5]);
+    }
+
+    #[test]
+    fn designs_report_labels_and_schemes() {
+        assert_eq!(Design::Baseline.label(), "Baseline");
+        assert_eq!(Design::TxbObject.sw_scheme(), SwScheme::TxbObject);
+        assert_eq!(Design::Tvarak.sw_scheme(), SwScheme::None);
+        assert_eq!(Design::fig8().len(), 4);
+    }
+}

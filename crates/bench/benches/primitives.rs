@@ -1,0 +1,100 @@
+//! Criterion microbenchmarks of the redundancy primitives: CRC32C
+//! checksums, parity XOR/delta, and the layout arithmetic TVARAK's
+//! comparators + adders implement in hardware.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use tvarak::checksum::{crc32c, fletcher32, line_checksum, page_checksum, xor_fold};
+use tvarak::layout::NvmLayout;
+use tvarak::parity::{parity_delta, xor_into, StripeGeometry};
+
+fn bench_checksums(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checksum");
+    let line = [0xa5u8; 64];
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("crc32c/line-64B", |b| {
+        b.iter(|| line_checksum(black_box(&line)))
+    });
+    let page = vec![0x5au8; 4096];
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("crc32c/page-4KB", |b| {
+        b.iter(|| page_checksum(black_box(&page)))
+    });
+    let large = vec![0x3cu8; 1 << 20];
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("crc32c/1MB", |b| b.iter(|| crc32c(black_box(&large))));
+    // Alternative checksum functions (engineering-choice comparison).
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("fletcher32/line-64B", |b| {
+        b.iter(|| fletcher32(black_box(&line)))
+    });
+    g.bench_function("xor_fold/line-64B", |b| {
+        b.iter(|| xor_fold(black_box(&line)))
+    });
+    g.finish();
+}
+
+fn bench_parity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parity");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("xor_into/line", |b| {
+        b.iter_batched(
+            || ([1u8; 64], [2u8; 64]),
+            |(mut a, bb)| {
+                xor_into(&mut a, &bb);
+                a
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("parity_delta/line", |b| {
+        b.iter_batched(
+            || ([1u8; 64], [2u8; 64], [3u8; 64]),
+            |(mut p, old, new)| {
+                parity_delta(&mut p, &old, &new);
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_raid6(c: &mut Criterion) {
+    use tvarak::raid6;
+    let stripe: Vec<[u8; 64]> = (0..3u8).map(|i| [i.wrapping_mul(37); 64]).collect();
+    let (p, q) = raid6::encode(&stripe);
+    let mut g = c.benchmark_group("raid6");
+    g.throughput(Throughput::Bytes(3 * 64));
+    g.bench_function("encode/3-member-stripe", |b| {
+        b.iter(|| raid6::encode(black_box(&stripe)))
+    });
+    let holes: Vec<Option<[u8; 64]>> = vec![None, Some(stripe[1]), None];
+    g.bench_function("recover_two/3-member-stripe", |b| {
+        b.iter(|| raid6::recover_two(black_box(&holes), &p, &q, 0, 2))
+    });
+    g.finish();
+}
+
+fn bench_layout(c: &mut Criterion) {
+    let layout = NvmLayout::new(4, 100_000);
+    let geom = StripeGeometry::new(4);
+    let line = layout.nth_data_page(54_321).line(17);
+    let mut g = c.benchmark_group("layout");
+    g.bench_function("cl_csum_loc", |b| {
+        b.iter(|| layout.cl_csum_loc(black_box(line)))
+    });
+    g.bench_function("parity_line_of", |b| {
+        b.iter(|| layout.parity_line_of(black_box(line)))
+    });
+    g.bench_function("nth_data_page", |b| {
+        b.iter(|| layout.nth_data_page(black_box(54_321)))
+    });
+    g.bench_function("is_parity_page", |b| {
+        b.iter(|| geom.is_parity_page(black_box(72_431)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_checksums, bench_parity, bench_raid6, bench_layout);
+criterion_main!(benches);

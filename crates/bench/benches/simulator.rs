@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the simulator itself (host-time cost per
+//! simulated access), with and without the TVARAK controller — useful for
+//! estimating figure-regeneration wall time.
+
+use apps::driver::{Design, Machine};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn machine(design: Design) -> (Machine, pmemfs::FileHandle) {
+    let mut m = Machine::builder()
+        .small()
+        .design(design)
+        .data_pages(2048)
+        .build();
+    let f = m.create_dax_file("bench", 4 * 1024 * 1024).unwrap();
+    (m, f)
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(1));
+
+    // L1-hit loads.
+    let (mut m, f) = machine(Design::Baseline);
+    f.write_u64(&mut m.sys, 0, 0, 1).unwrap();
+    g.bench_function("load/l1-hit", |b| {
+        b.iter(|| f.read_u64(&mut m.sys, 0, black_box(0)).unwrap())
+    });
+
+    // Streaming cold NVM loads (baseline vs tvarak): each iteration touches
+    // a fresh line; wraps over a 4 MB file that outsizes the small LLC.
+    for design in [Design::Baseline, Design::Tvarak] {
+        let (mut m, f) = machine(design);
+        let lines = f.len() / 64;
+        let mut i = 0u64;
+        g.bench_function(format!("load/nvm-stream/{}", design.label()), |b| {
+            b.iter(|| {
+                let off = (i % lines) * 64;
+                i = i.wrapping_add(97); // stride to defeat reuse
+                f.read_u64(&mut m.sys, 0, off).unwrap()
+            })
+        });
+    }
+
+    // Streaming stores with writeback pressure.
+    for design in [Design::Baseline, Design::Tvarak] {
+        let (mut m, f) = machine(design);
+        let lines = f.len() / 64;
+        let mut i = 0u64;
+        g.bench_function(format!("store/nvm-stream/{}", design.label()), |b| {
+            b.iter(|| {
+                let off = (i % lines) * 64;
+                i = i.wrapping_add(97);
+                f.write_u64(&mut m.sys, 0, off, i).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);

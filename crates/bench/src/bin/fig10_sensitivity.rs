@@ -1,0 +1,73 @@
+//! Fig. 10: sensitivity of TVARAK to the LLC way-partition sizes.
+//!
+//! (a) sweep the redundancy-caching ways over {1, 2, 4, 6, 8} with 1 diff
+//! way; (b) sweep the data-diff ways over {1, 2, 4, 6, 8} with 2 redundancy
+//! ways — for the same five workloads as Fig. 9. Pass `redundancy`, `diffs`,
+//! or nothing (both) as an argument.
+
+use apps::driver::Design;
+use apps::fio::Pattern;
+use apps::stream::Kernel;
+use bench::workloads::{
+    run_fio, run_kv, run_nstore, run_redis, run_stream, KvKind, KvWorkload, NstoreWorkload,
+    RedisWorkload, Scale, Variant,
+};
+use bench::{Report, Row};
+
+const WAYS: [usize; 4] = [1, 2, 4, 8];
+
+fn run_all(rep: &mut Report, label: &str, v: Variant, scale: &Scale) {
+    let outs = vec![
+        (
+            "redis/set",
+            run_redis(v.clone(), RedisWorkload::SetOnly, scale).expect("redis failed"),
+        ),
+        (
+            "ctree/insert",
+            run_kv(v.clone(), KvKind::CTree, KvWorkload::InsertOnly, scale).expect("ctree failed"),
+        ),
+        (
+            "nstore/bal",
+            run_nstore(v.clone(), NstoreWorkload::Balanced, scale).expect("nstore failed"),
+        ),
+        (
+            "fio/rand-wr",
+            run_fio(v.clone(), Pattern::RandWrite, scale).expect("fio failed"),
+        ),
+        (
+            "stream/triad",
+            run_stream(v.clone(), Kernel::Triad, scale).expect("stream failed"),
+        ),
+    ];
+    for (wl, out) in outs {
+        let mut row = Row::new(wl, v.design, &out.stats, &out.cfg);
+        row.design = label.to_string();
+        rep.push(row);
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let which = std::env::args().nth(1).unwrap_or_default();
+    if which.is_empty() || which == "redundancy" {
+        let mut rep = Report::new("Fig. 10(a) — sensitivity to LLC ways for redundancy caching");
+        // Baseline rows for normalization.
+        run_all(&mut rep, "Baseline", Variant::of(Design::Baseline), &scale);
+        for ways in WAYS {
+            eprintln!("redundancy ways = {ways} ...");
+            let v = Variant::of(Design::Tvarak).redundancy_ways(ways).diff_ways(1);
+            run_all(&mut rep, &format!("Tvarak(red={ways})"), v, &scale);
+        }
+        rep.emit("fig10a_redundancy_ways");
+    }
+    if which.is_empty() || which == "diffs" {
+        let mut rep = Report::new("Fig. 10(b) — sensitivity to LLC ways for data diffs");
+        run_all(&mut rep, "Baseline", Variant::of(Design::Baseline), &scale);
+        for ways in WAYS {
+            eprintln!("diff ways = {ways} ...");
+            let v = Variant::of(Design::Tvarak).redundancy_ways(2).diff_ways(ways);
+            run_all(&mut rep, &format!("Tvarak(diff={ways})"), v, &scale);
+        }
+        rep.emit("fig10b_diff_ways");
+    }
+}

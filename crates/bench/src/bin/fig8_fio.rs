@@ -1,0 +1,19 @@
+//! Fig. 8(m–p): fio sequential/random read/write under all four designs.
+
+use apps::driver::Design;
+use apps::fio::Pattern;
+use bench::workloads::{run_fio, Scale};
+use bench::{Report, Row};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut rep = Report::new("Fig. 8(m-p) — fio (runtime, energy, NVM & cache accesses)");
+    for pattern in Pattern::all() {
+        for design in Design::fig8() {
+            eprintln!("running fio {} under {design} ...", pattern.label());
+            let out = run_fio(design, pattern, &scale).expect("workload failed");
+            rep.push(Row::new(pattern.label(), design, &out.stats, &out.cfg));
+        }
+    }
+    rep.emit("fig8_fio");
+}

@@ -1,0 +1,23 @@
+//! Fig. 8(e–h): C-Tree / B-Tree / RB-Tree insert-only and balanced
+//! workloads under all four designs.
+
+use apps::driver::Design;
+use bench::workloads::{run_kv, KvKind, KvWorkload, Scale};
+use bench::{Report, Row};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut rep =
+        Report::new("Fig. 8(e-h) — Key-value structures (runtime, energy, NVM & cache accesses)");
+    for kind in KvKind::all() {
+        for wl in [KvWorkload::InsertOnly, KvWorkload::Balanced] {
+            for design in Design::fig8() {
+                let label = format!("{}/{}", kind.label(), wl.label());
+                eprintln!("running {label} under {design} ...");
+                let out = run_kv(design, kind, wl, &scale).expect("workload failed");
+                rep.push(Row::new(&label, design, &out.stats, &out.cfg));
+            }
+        }
+    }
+    rep.emit("fig8_kv");
+}

@@ -1,0 +1,19 @@
+//! Fig. 8(i–l): N-Store YCSB read-heavy / balanced / update-heavy under all
+//! four designs.
+
+use apps::driver::Design;
+use bench::workloads::{run_nstore, NstoreWorkload, Scale};
+use bench::{Report, Row};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut rep = Report::new("Fig. 8(i-l) — N-Store (runtime, energy, NVM & cache accesses)");
+    for wl in NstoreWorkload::all() {
+        for design in Design::fig8() {
+            eprintln!("running nstore {} under {design} ...", wl.label());
+            let out = run_nstore(design, wl, &scale).expect("workload failed");
+            rep.push(Row::new(wl.label(), design, &out.stats, &out.cfg));
+        }
+    }
+    rep.emit("fig8_nstore");
+}

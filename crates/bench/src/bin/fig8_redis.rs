@@ -1,0 +1,18 @@
+//! Fig. 8(a–d): Redis set-only and get-only under all four designs.
+
+use apps::driver::Design;
+use bench::workloads::{run_redis, RedisWorkload, Scale};
+use bench::{Report, Row};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut rep = Report::new("Fig. 8(a-d) — Redis (runtime, energy, NVM & cache accesses)");
+    for wl in [RedisWorkload::SetOnly, RedisWorkload::GetOnly] {
+        for design in Design::fig8() {
+            eprintln!("running redis {} under {design} ...", wl.label());
+            let out = run_redis(design, wl, &scale).expect("workload failed");
+            rep.push(Row::new(wl.label(), design, &out.stats, &out.cfg));
+        }
+    }
+    rep.emit("fig8_redis");
+}

@@ -1,0 +1,19 @@
+//! Fig. 8(q–t): stream copy/scale/add/triad under all four designs.
+
+use apps::driver::Design;
+use apps::stream::Kernel;
+use bench::workloads::{run_stream, Scale};
+use bench::{Report, Row};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut rep = Report::new("Fig. 8(q-t) — stream (runtime, energy, NVM & cache accesses)");
+    for kernel in Kernel::all() {
+        for design in Design::fig8() {
+            eprintln!("running stream {} under {design} ...", kernel.label());
+            let out = run_stream(design, kernel, &scale).expect("workload failed");
+            rep.push(Row::new(kernel.label(), design, &out.stats, &out.cfg));
+        }
+    }
+    rep.emit("fig8_stream");
+}

@@ -1,0 +1,91 @@
+//! Fig. 9: impact of TVARAK's design choices.
+//!
+//! One workload per application class (the paper's selection): Redis
+//! set-only, C-Tree insert-only, N-Store balanced, fio random-write, stream
+//! triad — under the naive controller and then adding each design element:
+//!
+//! 1. `Naive` — page-granular checksums, no caching, no diffs (Fig. 4/5)
+//! 2. `+DAX-CL-csums` — cache-line granular checksums
+//! 3. `+Red-caching` — on-controller cache + LLC redundancy partition
+//!    (this row is also TVARAK for systems with *exclusive* LLCs, §IV-G)
+//! 4. `+Data-diffs` — the complete TVARAK design
+
+use apps::driver::Design;
+use apps::fio::Pattern;
+use apps::stream::Kernel;
+use bench::workloads::{
+    run_fio, run_kv, run_nstore, run_redis, run_stream, KvKind, KvWorkload, NstoreWorkload,
+    RedisWorkload, Scale,
+};
+use bench::{Report, Row};
+use tvarak::controller::TvarakConfig;
+
+fn variants() -> Vec<(&'static str, Design)> {
+    let naive = TvarakConfig::naive();
+    let mut cl = naive;
+    cl.cl_granular_csums = true;
+    let mut cl_cache = cl;
+    cl_cache.redundancy_caching = true;
+    vec![
+        ("Baseline", Design::Baseline),
+        ("Naive", Design::TvarakAblated(naive)),
+        ("+DAX-CL-csums", Design::TvarakAblated(cl)),
+        ("+Red-caching", Design::TvarakAblated(cl_cache)),
+        ("+Data-diffs(=Tvarak)", Design::Tvarak),
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    // Optional group filter so long sweeps fit in bounded CI slots:
+    // `a` = redis+ctree, `b` = nstore+fio+stream, default = all.
+    let group = std::env::args().nth(1).unwrap_or_default();
+    let (run_a, run_b) = match group.as_str() {
+        "a" => (true, false),
+        "b" => (false, true),
+        _ => (true, true),
+    };
+    let mut rep = Report::new("Fig. 9 — Impact of TVARAK's design choices (runtime)");
+    for (name, design) in variants().into_iter().filter(|_| run_a) {
+        eprintln!("redis/set-only under {name} ...");
+        let out = run_redis(design, RedisWorkload::SetOnly, &scale).expect("redis failed");
+        let mut row = Row::new("redis/set", design, &out.stats, &out.cfg);
+        row.design = name.to_string();
+        rep.push(row);
+    }
+    for (name, design) in variants().into_iter().filter(|_| run_a) {
+        eprintln!("ctree/insert-only under {name} ...");
+        let out =
+            run_kv(design, KvKind::CTree, KvWorkload::InsertOnly, &scale).expect("ctree failed");
+        let mut row = Row::new("ctree/insert", design, &out.stats, &out.cfg);
+        row.design = name.to_string();
+        rep.push(row);
+    }
+    for (name, design) in variants().into_iter().filter(|_| run_b) {
+        eprintln!("nstore/balanced under {name} ...");
+        let out = run_nstore(design, NstoreWorkload::Balanced, &scale).expect("nstore failed");
+        let mut row = Row::new("nstore/bal", design, &out.stats, &out.cfg);
+        row.design = name.to_string();
+        rep.push(row);
+    }
+    for (name, design) in variants().into_iter().filter(|_| run_b) {
+        eprintln!("fio/rand-write under {name} ...");
+        let out = run_fio(design, Pattern::RandWrite, &scale).expect("fio failed");
+        let mut row = Row::new("fio/rand-wr", design, &out.stats, &out.cfg);
+        row.design = name.to_string();
+        rep.push(row);
+    }
+    for (name, design) in variants().into_iter().filter(|_| run_b) {
+        eprintln!("stream/triad under {name} ...");
+        let out = run_stream(design, Kernel::Triad, &scale).expect("stream failed");
+        let mut row = Row::new("stream/triad", design, &out.stats, &out.cfg);
+        row.design = name.to_string();
+        rep.push(row);
+    }
+    let name = match group.as_str() {
+        "a" => "fig9_ablation_a",
+        "b" => "fig9_ablation_b",
+        _ => "fig9_ablation",
+    };
+    rep.emit(name);
+}

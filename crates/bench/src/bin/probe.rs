@@ -1,0 +1,91 @@
+//! Ad-hoc calibration probe: run one workload under selected designs and
+//! print the comparison row. Usage:
+//!
+//! ```sh
+//! cargo run --release -p bench --bin probe -- stream-copy baseline tvarak
+//! cargo run --release -p bench --bin probe -- redis-set all
+//! ```
+
+use apps::driver::Design;
+use apps::fio::Pattern;
+use apps::stream::Kernel;
+use bench::workloads::{
+    run_fio, run_kv, run_nstore, run_redis, run_stream, KvKind, KvWorkload, NstoreWorkload,
+    RedisWorkload, Scale,
+};
+use bench::{Report, Row};
+
+fn run(workload: &str, design: Design, s: &Scale) -> bench::Outcome {
+    match workload {
+        "redis-set" => run_redis(design, RedisWorkload::SetOnly, s),
+        "redis-get" => run_redis(design, RedisWorkload::GetOnly, s),
+        "ctree-insert" => run_kv(design, KvKind::CTree, KvWorkload::InsertOnly, s),
+        "ctree-bal" => run_kv(design, KvKind::CTree, KvWorkload::Balanced, s),
+        "btree-insert" => run_kv(design, KvKind::BTree, KvWorkload::InsertOnly, s),
+        "rbtree-insert" => run_kv(design, KvKind::RbTree, KvWorkload::InsertOnly, s),
+        "nstore-bal" => run_nstore(design, NstoreWorkload::Balanced, s),
+        "nstore-up" => run_nstore(design, NstoreWorkload::UpdateHeavy, s),
+        "fio-seq-read" => run_fio(design, Pattern::SeqRead, s),
+        "fio-seq-write" => run_fio(design, Pattern::SeqWrite, s),
+        "fio-rand-read" => run_fio(design, Pattern::RandRead, s),
+        "fio-rand-write" => run_fio(design, Pattern::RandWrite, s),
+        "stream-copy" => run_stream(design, Kernel::Copy, s),
+        "stream-triad" => run_stream(design, Kernel::Triad, s),
+        other => panic!("unknown workload {other}"),
+    }
+    .expect("workload failed")
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut args = std::env::args().skip(1);
+    let workload = args.next().expect("usage: probe <workload> <design...>");
+    let designs: Vec<Design> = args
+        .flat_map(|d| match d.as_str() {
+            "baseline" => vec![Design::Baseline],
+            "tvarak" => vec![Design::Tvarak],
+            "txb-object" => vec![Design::TxbObject],
+            "txb-page" => vec![Design::TxbPage],
+            "naive" => vec![Design::TvarakAblated(
+                tvarak::controller::TvarakConfig::naive(),
+            )],
+            "tvarak-noverify" => {
+                let mut tc = tvarak::controller::TvarakConfig::default();
+                tc.verify_reads = false;
+                vec![Design::TvarakAblated(tc)]
+            }
+            "tvarak-nodiff" => {
+                let mut tc = tvarak::controller::TvarakConfig::default();
+                tc.data_diffs = false;
+                vec![Design::TvarakAblated(tc)]
+            }
+            "tvarak-stall" => {
+                let mut tc = tvarak::controller::TvarakConfig::default();
+                tc.overlapped_verification = false;
+                vec![Design::TvarakAblated(tc)]
+            }
+            "tvarak-nocache" => {
+                let mut tc = tvarak::controller::TvarakConfig::default();
+                tc.redundancy_caching = false;
+                vec![Design::TvarakAblated(tc)]
+            }
+            "all" => Design::fig8().to_vec(),
+            other => panic!("unknown design {other}"),
+        })
+        .collect();
+    let mut rep = Report::new(&format!("probe — {workload}"));
+    for design in designs {
+        eprintln!("probe {workload} under {design} ...");
+        let out = run(&workload, design, &scale);
+        let min_clock = out.stats.core_cycles.iter().min().unwrap();
+        eprintln!(
+            "  queue-wait: {} cycles, runtime {}, clock-spread {}, verified {}",
+            out.stats.counters.demand_queue_cycles,
+            out.stats.runtime_cycles(),
+            out.stats.runtime_cycles() - min_clock,
+            out.stats.counters.reads_verified,
+        );
+        rep.push(Row::new(&workload, design, &out.stats, &out.cfg));
+    }
+    println!("{}", rep.to_table());
+}

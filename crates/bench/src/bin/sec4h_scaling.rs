@@ -1,0 +1,34 @@
+//! §IV-H: sensitivity to the number of NVM DIMMs and the NVM technology.
+//!
+//! Reruns the stream microbenchmarks (where the paper reports the effect)
+//! with 8 NVM DIMMs and with battery-backed DRAM standing in for NVM,
+//! checking that the relative ordering of designs is unchanged.
+
+use apps::driver::Design;
+use apps::stream::Kernel;
+use bench::workloads::{run_stream, Scale, Variant};
+use bench::{Report, Row};
+
+fn sweep(rep: &mut Report, tag: &str, make: impl Fn(Design) -> Variant, scale: &Scale) {
+    for design in Design::fig8() {
+        for kernel in [Kernel::Copy, Kernel::Triad] {
+            eprintln!("stream {} under {design} ({tag}) ...", kernel.label());
+            let out = run_stream(make(design), kernel, scale).expect("stream failed");
+            rep.push(Row::new(
+                &format!("{}/{}", tag, kernel.label()),
+                design,
+                &out.stats,
+                &out.cfg,
+            ));
+        }
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut rep = Report::new("§IV-H — NVM DIMM count and NVM technology scaling (stream)");
+    sweep(&mut rep, "4dimm", Variant::of, &scale);
+    sweep(&mut rep, "8dimm", |d| Variant::of(d).nvm_dimms(8), &scale);
+    sweep(&mut rep, "bbdram", |d| Variant::of(d).dram_as_nvm(), &scale);
+    rep.emit("sec4h_scaling");
+}

@@ -1,0 +1,36 @@
+//! Extension experiment (Table I / Vilamb \[33\]): asynchronous software
+//! redundancy with configurable epochs, on the Redis set-only workload.
+//!
+//! Sweeping the epoch length shows the Vilamb trade-off the paper's Table I
+//! summarizes: overhead falls toward Baseline as the epoch grows, but every
+//! transaction inside an epoch sits in a vulnerability window where silent
+//! corruption would go undetected.
+
+use apps::driver::Design;
+use bench::workloads::{run_redis, RedisWorkload, Scale};
+use bench::{Report, Row};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut rep = Report::new("Extension — Vilamb epoch sweep (Redis set-only)");
+    for design in [
+        Design::Baseline,
+        Design::Tvarak,
+        Design::Vilamb { epoch_txs: 1 },
+        Design::Vilamb { epoch_txs: 10 },
+        Design::Vilamb { epoch_txs: 100 },
+        Design::Vilamb { epoch_txs: 1000 },
+        Design::TxbPage,
+    ] {
+        let label = match design {
+            Design::Vilamb { epoch_txs } => format!("Vilamb(epoch={epoch_txs})"),
+            d => d.label().to_string(),
+        };
+        eprintln!("redis set-only under {label} ...");
+        let out = run_redis(design, RedisWorkload::SetOnly, &scale).expect("workload failed");
+        let mut row = Row::new("set-only", design, &out.stats, &out.cfg);
+        row.design = label;
+        rep.push(row);
+    }
+    rep.emit("vilamb_sweep");
+}

@@ -1,0 +1,28 @@
+//! # bench — experiment harness
+//!
+//! Regenerates every table and figure of the TVARAK paper's evaluation
+//! (§IV). Each binary corresponds to one figure; `results/*.csv` files are
+//! written alongside human-readable tables on stdout:
+//!
+//! - `show_config` — Table III (simulation parameters)
+//! - `fig8_redis`, `fig8_kv`, `fig8_nstore`, `fig8_fio`, `fig8_stream` —
+//!   Fig. 8(a–t): runtime, energy, NVM and cache accesses per design
+//! - `fig9_ablation` — Fig. 9: TVARAK design-choice breakdown
+//! - `fig10_sensitivity` — Fig. 10: LLC way-partition sensitivity
+//! - `sec4h_scaling` — §IV-H: NVM DIMM count and NVM technology scaling
+//! - `vilamb_sweep` — extension: Vilamb-style asynchronous-redundancy epochs
+//! - `coverage_campaign` — Table I's verification column, quantified by
+//!   fault injection
+//! - `probe` — ad-hoc single-workload comparisons for calibration
+//!
+//! Run with `TVARAK_SCALE=quick` (smoke sizes) or `TVARAK_SCALE=reduced`
+//! (half-sized measured phases for the many-configuration sweeps);
+//! `scripts/reproduce.sh` chains everything.
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod workloads;
+
+pub use report::{Report, Row};
+pub use workloads::{Outcome, Scale};

@@ -1,0 +1,304 @@
+//! Result tables: the quantities Fig. 8 plots per design, with
+//! normalization against the Baseline, printed as text tables and CSV.
+
+use apps::driver::Design;
+use memsim::config::SystemConfig;
+use memsim::stats::Stats;
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One measured (workload, design) cell.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload label, e.g. "set-only".
+    pub workload: String,
+    /// Design label.
+    pub design: String,
+    /// Simulated runtime in cycles.
+    pub runtime_cycles: u64,
+    /// Energy in nanojoules.
+    pub energy_nj: f64,
+    /// NVM accesses for application data.
+    pub nvm_data: u64,
+    /// NVM accesses for redundancy information.
+    pub nvm_red: u64,
+    /// L1 cache accesses (D+I).
+    pub l1: u64,
+    /// L2 cache accesses.
+    pub l2: u64,
+    /// LLC accesses (incl. controller partitions).
+    pub llc: u64,
+    /// On-controller cache accesses.
+    pub tvarak_cache: u64,
+}
+
+impl Row {
+    /// Build a row from a run's statistics.
+    pub fn new(workload: &str, design: Design, stats: &Stats, cfg: &SystemConfig) -> Self {
+        let c = &stats.counters;
+        Row {
+            workload: workload.to_string(),
+            design: design.label().to_string(),
+            runtime_cycles: stats.runtime_cycles(),
+            energy_nj: stats.energy_nj(cfg),
+            nvm_data: c.nvm_data(),
+            nvm_red: c.nvm_redundancy(),
+            l1: c.l1_accesses(),
+            l2: c.l2_accesses(),
+            llc: c.llc_accesses(),
+            tvarak_cache: c.tvarak_accesses(),
+        }
+    }
+
+    /// Total cache accesses.
+    pub fn cache_total(&self) -> u64 {
+        self.l1 + self.l2 + self.llc + self.tvarak_cache
+    }
+}
+
+/// A collection of rows forming one figure/table.
+#[derive(Debug, Default, Clone)]
+pub struct Report {
+    /// Figure/table title.
+    pub title: String,
+    /// Measured rows.
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    /// An empty report with a title.
+    pub fn new(title: &str) -> Self {
+        Report {
+            title: title.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// The baseline runtime for `workload`, if measured.
+    fn baseline_runtime(&self, workload: &str) -> Option<u64> {
+        self.rows
+            .iter()
+            .find(|r| r.workload == workload && r.design == "Baseline")
+            .map(|r| r.runtime_cycles)
+    }
+
+    /// Render the report as an aligned text table with runtimes normalized
+    /// to each workload's Baseline (the paper's presentation).
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "## {}", self.title);
+        let _ = writeln!(
+            s,
+            "{:<14} {:<18} {:>14} {:>8} {:>14} {:>12} {:>10} {:>12} {:>12} {:>12} {:>10}",
+            "workload",
+            "design",
+            "runtime(cyc)",
+            "norm",
+            "energy(nJ)",
+            "nvm-data",
+            "nvm-red",
+            "L1",
+            "L2",
+            "LLC",
+            "tvarak$"
+        );
+        for r in &self.rows {
+            let norm = self
+                .baseline_runtime(&r.workload)
+                .map(|b| r.runtime_cycles as f64 / b as f64)
+                .unwrap_or(f64::NAN);
+            let _ = writeln!(
+                s,
+                "{:<14} {:<18} {:>14} {:>8.3} {:>14.0} {:>12} {:>10} {:>12} {:>12} {:>12} {:>10}",
+                r.workload,
+                r.design,
+                r.runtime_cycles,
+                norm,
+                r.energy_nj,
+                r.nvm_data,
+                r.nvm_red,
+                r.l1,
+                r.l2,
+                r.llc,
+                r.tvarak_cache
+            );
+        }
+        s
+    }
+
+    /// Render as CSV (same columns as [`Self::to_table`]).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from(
+            "workload,design,runtime_cycles,runtime_norm,energy_nj,nvm_data,nvm_red,l1,l2,llc,tvarak_cache\n",
+        );
+        for r in &self.rows {
+            let norm = self
+                .baseline_runtime(&r.workload)
+                .map(|b| r.runtime_cycles as f64 / b as f64)
+                .unwrap_or(f64::NAN);
+            let _ = writeln!(
+                s,
+                "{},{},{},{:.4},{:.0},{},{},{},{},{},{}",
+                r.workload,
+                r.design,
+                r.runtime_cycles,
+                norm,
+                r.energy_nj,
+                r.nvm_data,
+                r.nvm_red,
+                r.l1,
+                r.l2,
+                r.llc,
+                r.tvarak_cache
+            );
+        }
+        s
+    }
+
+    /// Render a gnuplot script plotting normalized runtime as grouped bars
+    /// (one group per workload, one bar per design) from the CSV this report
+    /// saves — `gnuplot results/<name>.gp` regenerates the figure.
+    pub fn to_gnuplot(&self, name: &str) -> String {
+        let mut workloads: Vec<&str> = Vec::new();
+        let mut designs: Vec<&str> = Vec::new();
+        for r in &self.rows {
+            if !workloads.contains(&r.workload.as_str()) {
+                workloads.push(&r.workload);
+            }
+            if !designs.contains(&r.design.as_str()) {
+                designs.push(&r.design);
+            }
+        }
+        let mut s = String::new();
+        let _ = writeln!(s, "# {}", self.title);
+        let _ = writeln!(s, "set terminal pngcairo size 1000,480");
+        let _ = writeln!(s, "set output '{name}.png'");
+        let _ = writeln!(s, "set style data histogram");
+        let _ = writeln!(s, "set style histogram cluster gap 1");
+        let _ = writeln!(s, "set style fill solid 0.9 border -1");
+        let _ = writeln!(s, "set ylabel 'runtime normalized to Baseline'");
+        let _ = writeln!(s, "set xtics rotate by -30");
+        let _ = writeln!(s, "set key outside top");
+        let _ = writeln!(s, "$data << EOD");
+        let mut header = String::from("workload");
+        for d in &designs {
+            let _ = write!(header, " \"{d}\"");
+        }
+        let _ = writeln!(s, "{header}");
+        for w in &workloads {
+            let _ = write!(s, "\"{w}\"");
+            for d in &designs {
+                let norm = self
+                    .rows
+                    .iter()
+                    .find(|r| r.workload == *w && r.design == *d)
+                    .and_then(|r| {
+                        self.baseline_runtime(w)
+                            .map(|b| r.runtime_cycles as f64 / b as f64)
+                    })
+                    .unwrap_or(f64::NAN);
+                let _ = write!(s, " {norm:.4}");
+            }
+            let _ = writeln!(s);
+        }
+        let _ = writeln!(s, "EOD");
+        let cols: Vec<String> = (0..designs.len())
+            .map(|i| {
+                format!(
+                    "$data using {}:xtic(1) title columnheader({})",
+                    i + 2,
+                    i + 2
+                )
+            })
+            .collect();
+        let _ = writeln!(s, "plot {}", cols.join(", \\\n     "));
+        s
+    }
+
+    /// Print the table to stdout and save the CSV plus a gnuplot script
+    /// under `results/<name>.{csv,gp}`.
+    pub fn emit(&self, name: &str) {
+        println!("{}", self.to_table());
+        let dir = Path::new("results");
+        if fs::create_dir_all(dir).is_ok() {
+            let path = dir.join(format!("{name}.csv"));
+            if let Ok(mut f) = fs::File::create(&path) {
+                let _ = f.write_all(self.to_csv().as_bytes());
+                println!("[saved {}]", path.display());
+            }
+            let gp = dir.join(format!("{name}.gp"));
+            if let Ok(mut f) = fs::File::create(&gp) {
+                let _ = f.write_all(self.to_gnuplot(name).as_bytes());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(workload: &str, design: &str, cycles: u64) -> Row {
+        Row {
+            workload: workload.into(),
+            design: design.into(),
+            runtime_cycles: cycles,
+            energy_nj: 1.0,
+            nvm_data: 2,
+            nvm_red: 3,
+            l1: 4,
+            l2: 5,
+            llc: 6,
+            tvarak_cache: 7,
+        }
+    }
+
+    #[test]
+    fn normalization_uses_matching_workload_baseline() {
+        let mut rep = Report::new("t");
+        rep.push(row("a", "Baseline", 100));
+        rep.push(row("a", "Tvarak", 103));
+        rep.push(row("b", "Baseline", 200));
+        rep.push(row("b", "Tvarak", 300));
+        let csv = rep.to_csv();
+        assert!(csv.contains("a,Tvarak,103,1.0300"));
+        assert!(csv.contains("b,Tvarak,300,1.5000"));
+    }
+
+    #[test]
+    fn table_contains_all_rows() {
+        let mut rep = Report::new("Fig X");
+        rep.push(row("w", "Baseline", 10));
+        rep.push(row("w", "TxB-Page-Csums", 50));
+        let t = rep.to_table();
+        assert!(t.contains("Fig X"));
+        assert!(t.contains("TxB-Page-Csums"));
+        assert!(t.contains("5.000"));
+    }
+
+    #[test]
+    fn cache_total_sums() {
+        assert_eq!(row("w", "d", 1).cache_total(), 4 + 5 + 6 + 7);
+    }
+
+    #[test]
+    fn gnuplot_script_contains_all_series() {
+        let mut rep = Report::new("t");
+        rep.push(row("w1", "Baseline", 100));
+        rep.push(row("w1", "Tvarak", 120));
+        rep.push(row("w2", "Baseline", 10));
+        rep.push(row("w2", "Tvarak", 30));
+        let gp = rep.to_gnuplot("fig");
+        assert!(gp.contains("\"Baseline\" \"Tvarak\""));
+        assert!(gp.contains("\"w1\" 1.0000 1.2000"));
+        assert!(gp.contains("\"w2\" 1.0000 3.0000"));
+        assert!(gp.contains("set output 'fig.png'"));
+    }
+}

@@ -1,0 +1,572 @@
+//! The paper's workloads (Table II), runnable under any design at a
+//! configurable scale. Every Fig. 8/9/10 binary builds on these functions so
+//! that all experiments share one implementation per workload.
+//!
+//! The paper's absolute dataset sizes (512 MB fio regions, 1 M requests) are
+//! scaled down so runs finish in minutes while preserving the property that
+//! matters: working sets exceed the 24 MB LLC, so steady-state NVM traffic
+//! occurs. `Scale::quick` shrinks further for smoke tests
+//! (`TVARAK_SCALE=quick`).
+
+use apps::btree::BTree;
+use apps::ctree::CTree;
+use apps::rbtree::RbTree;
+use apps::driver::{AppError, Design, Machine};
+use apps::fio::{Fio, Pattern};
+use apps::kv::PersistentKv;
+use apps::nstore::NStore;
+use apps::redis::Redis;
+use apps::rng::Rng;
+use apps::stream::{Kernel, Stream};
+use apps::ycsb::{Op, YcsbMix};
+use memsim::config::SystemConfig;
+use memsim::stats::Stats;
+use memsim::PAGE;
+
+/// Workload sizing knobs.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Redis: parallel instances (paper: 1–6; results shown for 6).
+    pub redis_instances: usize,
+    /// Redis: keyspace per instance.
+    pub redis_keys: u64,
+    /// Redis: measured requests per instance.
+    pub redis_ops: u64,
+    /// Redis: value size in bytes.
+    pub redis_val: usize,
+    /// KV structures: parallel instances (paper: 12).
+    pub kv_instances: usize,
+    /// KV structures: keys preloaded / inserted per instance.
+    pub kv_keys: u64,
+    /// KV structures: measured ops per instance (balanced workloads).
+    pub kv_ops: u64,
+    /// N-Store: client threads (paper: 4).
+    pub nstore_clients: usize,
+    /// N-Store: tuples in the table.
+    pub nstore_tuples: u64,
+    /// N-Store: total transactions.
+    pub nstore_txs: u64,
+    /// fio: threads (paper: 12).
+    pub fio_threads: usize,
+    /// fio: bytes per thread region.
+    pub fio_region_bytes: u64,
+    /// fio: 64 B ops per thread.
+    pub fio_ops_per_thread: u64,
+    /// stream: threads (paper: 12).
+    pub stream_threads: usize,
+    /// stream: bytes per array.
+    pub stream_array_bytes: u64,
+}
+
+impl Scale {
+    /// The default evaluation scale (working sets exceed the 24 MB LLC).
+    pub fn full() -> Self {
+        Scale {
+            redis_instances: 6,
+            redis_keys: 30_000,
+            redis_ops: 10_000,
+            redis_val: 64,
+            kv_instances: 12,
+            kv_keys: 25_000,
+            kv_ops: 8_000,
+            nstore_clients: 4,
+            nstore_tuples: 400_000,
+            nstore_txs: 40_000,
+            fio_threads: 12,
+            fio_region_bytes: 8 * 1024 * 1024,
+            fio_ops_per_thread: 65_536,
+            stream_threads: 12,
+            stream_array_bytes: 30 * 1024 * 1024,
+        }
+    }
+
+    /// A fast smoke-test scale (used by integration tests and
+    /// `TVARAK_SCALE=quick`).
+    pub fn quick() -> Self {
+        Scale {
+            redis_instances: 2,
+            redis_keys: 2_000,
+            redis_ops: 2_000,
+            redis_val: 64,
+            kv_instances: 2,
+            kv_keys: 2_000,
+            kv_ops: 2_000,
+            nstore_clients: 2,
+            nstore_tuples: 20_000,
+            nstore_txs: 4_000,
+            fio_threads: 2,
+            fio_region_bytes: 512 * 1024,
+            fio_ops_per_thread: 4_096,
+            stream_threads: 2,
+            stream_array_bytes: 1024 * 1024,
+        }
+    }
+
+    /// Half-sized measured phases for the many-configuration sweeps
+    /// (Fig. 9/10): working sets still exceed the LLC, op counts halve.
+    pub fn reduced() -> Self {
+        let mut s = Scale::full();
+        s.redis_ops = 5_000;
+        s.kv_ops = 4_000;
+        s.nstore_txs = 20_000;
+        s.fio_ops_per_thread = 32_768;
+        s.stream_array_bytes = 12 * 1024 * 1024;
+        s
+    }
+
+    /// `full()` unless the environment sets `TVARAK_SCALE=quick` or
+    /// `TVARAK_SCALE=reduced`.
+    pub fn from_env() -> Self {
+        match std::env::var("TVARAK_SCALE").as_deref() {
+            Ok("quick") => Scale::quick(),
+            Ok("reduced") => Scale::reduced(),
+            _ => Scale::full(),
+        }
+    }
+}
+
+/// One measured run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The design that ran.
+    pub design: Design,
+    /// Measured statistics.
+    pub stats: Stats,
+    /// The machine configuration (for energy pricing).
+    pub cfg: SystemConfig,
+}
+
+/// A design plus machine-parameter overrides: the Fig. 10 way-partition
+/// sweeps and the §IV-H DIMM-count / NVM-technology studies vary these while
+/// reusing the same workload code.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// The redundancy design.
+    pub design: Design,
+    /// Override: LLC ways for redundancy caching (Fig. 10(a)).
+    pub redundancy_ways: Option<usize>,
+    /// Override: LLC ways for data diffs (Fig. 10(b)).
+    pub diff_ways: Option<usize>,
+    /// Override: NVM DIMM count (§IV-H).
+    pub nvm_dimms: Option<usize>,
+    /// Override: NVM read/write latency in ns (§IV-H, e.g. battery-backed
+    /// DRAM as NVM = DRAM timing).
+    pub nvm_latency_ns: Option<(f64, f64)>,
+    /// Override: NVM read/write DIMM occupancy in ns (scaled with latency).
+    pub nvm_occupancy_ns: Option<(f64, f64)>,
+}
+
+impl Variant {
+    /// A plain design with the paper's default machine.
+    pub fn of(design: Design) -> Self {
+        Variant {
+            design,
+            redundancy_ways: None,
+            diff_ways: None,
+            nvm_dimms: None,
+            nvm_latency_ns: None,
+            nvm_occupancy_ns: None,
+        }
+    }
+
+    /// Set the LLC redundancy-caching way count.
+    pub fn redundancy_ways(mut self, w: usize) -> Self {
+        self.redundancy_ways = Some(w);
+        self
+    }
+
+    /// Set the LLC data-diff way count.
+    pub fn diff_ways(mut self, w: usize) -> Self {
+        self.diff_ways = Some(w);
+        self
+    }
+
+    /// Set the NVM DIMM count.
+    pub fn nvm_dimms(mut self, d: usize) -> Self {
+        self.nvm_dimms = Some(d);
+        self
+    }
+
+    /// Use battery-backed DRAM timing for the "NVM" devices (§IV-H).
+    pub fn dram_as_nvm(mut self) -> Self {
+        self.nvm_latency_ns = Some((15.0, 15.0));
+        self.nvm_occupancy_ns = Some((7.5, 7.5));
+        self
+    }
+}
+
+impl From<Design> for Variant {
+    fn from(d: Design) -> Self {
+        Variant::of(d)
+    }
+}
+
+/// Build the paper's Table III machine with `data_pages` pool pages, under
+/// a variant's overrides.
+pub fn machine(v: impl Into<Variant>, data_pages: u64) -> Machine {
+    let v = v.into();
+    let mut cfg = SystemConfig::default();
+    if let Some(w) = v.redundancy_ways {
+        cfg.controller.redundancy_ways = w;
+    }
+    if let Some(w) = v.diff_ways {
+        cfg.controller.diff_ways = w;
+    }
+    if let Some(d) = v.nvm_dimms {
+        cfg.nvm.dimms = d;
+    }
+    if let Some((r, w)) = v.nvm_latency_ns {
+        cfg.nvm.read_ns = r;
+        cfg.nvm.write_ns = w;
+    }
+    if let Some((r, w)) = v.nvm_occupancy_ns {
+        cfg.nvm.read_occupancy_ns = r;
+        cfg.nvm.write_occupancy_ns = w;
+    }
+    Machine::builder()
+        .system_config(cfg)
+        .design(v.design)
+        .data_pages(data_pages)
+        .build()
+}
+
+fn finish(m: &Machine) -> Outcome {
+    if std::env::var("TVARAK_DIMM_DEBUG").is_ok() {
+        eprintln!("  dimm (demand, posted): {:?}", m.sys.dimm_access_counts());
+    }
+    Outcome {
+        design: m.design(),
+        stats: m.stats(),
+        cfg: m.sys.config().clone(),
+    }
+}
+
+/// Redis workloads (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedisWorkload {
+    /// 100% SET requests.
+    SetOnly,
+    /// 100% GET requests over a preloaded keyspace.
+    GetOnly,
+}
+
+impl RedisWorkload {
+    /// Label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RedisWorkload::SetOnly => "set-only",
+            RedisWorkload::GetOnly => "get-only",
+        }
+    }
+}
+
+/// Run a Redis workload (Fig. 8(a–d) cells).
+///
+/// # Errors
+///
+/// Propagates [`AppError`] from the workload.
+pub fn run_redis(v: impl Into<Variant>, wl: RedisWorkload, s: &Scale) -> Result<Outcome, AppError> {
+    let v = v.into();
+    // Entry ≈ 24 B header + value; tables grow to ~2×keys slots.
+    let heap_bytes =
+        (s.redis_keys * (24 + s.redis_val as u64 + 16) * 2 + s.redis_keys * 64).max(1 << 20);
+    let data_pages = (heap_bytes / PAGE as u64 + 81) * s.redis_instances as u64 + 1500;
+    let mut m = machine(v.clone(), data_pages);
+    let mut txm = m.tx_manager(256 * 1024)?;
+    // Preload the keyspace (setup, unmeasured): run with the software scheme
+    // disabled for speed, then rebuild redundancy functionally.
+    let measured_scheme = v.design.sw_scheme();
+    txm.set_scheme(pmemfs::tx::SwScheme::None);
+    let mut instances = Vec::new();
+    for i in 0..s.redis_instances {
+        instances.push(Redis::create(&mut m, i, heap_bytes, 1024)?);
+    }
+    let val = vec![0xabu8; s.redis_val];
+    for k in 0..s.redis_keys {
+        for (i, r) in instances.iter_mut().enumerate() {
+            r.set(&mut m, &mut txm, k.wrapping_mul(0x9e37) ^ i as u64, &val)?;
+        }
+    }
+    m.flush();
+    for r in &instances {
+        let f = *r.file();
+        m.reinit_redundancy(&f);
+    }
+    let meta = *txm.meta_file();
+    m.reinit_redundancy(&meta);
+    txm.set_scheme(measured_scheme);
+    m.reset_stats();
+    let mut rngs: Vec<Rng> = (0..s.redis_instances)
+        .map(|i| Rng::new(0xbeef + i as u64))
+        .collect();
+    apps::driver::run_clocked(&mut m, s.redis_instances, s.redis_ops, |m, i, _op| {
+        let key = rngs[i].below(s.redis_keys).wrapping_mul(0x9e37) ^ i as u64;
+        match wl {
+            RedisWorkload::SetOnly => instances[i].set(m, &mut txm, key, &val)?,
+            RedisWorkload::GetOnly => {
+                let mut out = Vec::new();
+                instances[i].get(m, &mut txm, key, &mut out)?;
+            }
+        }
+        Ok(())
+    })?;
+    m.flush();
+    Ok(finish(&m))
+}
+
+/// Which key-value structure (§IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvKind {
+    /// PMDK-style crit-bit tree.
+    CTree,
+    /// PMDK-style B+tree.
+    BTree,
+    /// PMDK-style red-black tree.
+    RbTree,
+}
+
+impl KvKind {
+    /// All three structures.
+    pub fn all() -> [KvKind; 3] {
+        [KvKind::CTree, KvKind::BTree, KvKind::RbTree]
+    }
+
+    /// Label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KvKind::CTree => "ctree",
+            KvKind::BTree => "btree",
+            KvKind::RbTree => "rbtree",
+        }
+    }
+
+    fn build(&self, m: &mut Machine, core: usize, heap: u64) -> Result<Box<dyn PersistentKv>, AppError> {
+        Ok(match self {
+            KvKind::CTree => Box::new(CTree::create(m, core, heap)?),
+            KvKind::BTree => Box::new(BTree::create(m, core, heap)?),
+            KvKind::RbTree => Box::new(RbTree::create(m, core, heap)?),
+        })
+    }
+}
+
+/// KV-structure workloads (pmembench mixes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvWorkload {
+    /// Fresh keys inserted throughout.
+    InsertOnly,
+    /// 100:0 updates:reads over preloaded keys.
+    UpdateOnly,
+    /// 50:50 updates:reads over preloaded keys.
+    Balanced,
+    /// 0:100 updates:reads over preloaded keys.
+    ReadOnly,
+}
+
+impl KvWorkload {
+    /// Label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KvWorkload::InsertOnly => "insert-only",
+            KvWorkload::UpdateOnly => "update-only",
+            KvWorkload::Balanced => "balanced",
+            KvWorkload::ReadOnly => "read-only",
+        }
+    }
+
+    fn update_fraction(&self) -> f64 {
+        match self {
+            KvWorkload::InsertOnly | KvWorkload::UpdateOnly => 1.0,
+            KvWorkload::Balanced => 0.5,
+            KvWorkload::ReadOnly => 0.0,
+        }
+    }
+}
+
+/// Run a KV-structure workload (Fig. 8(e–h) cells).
+///
+/// # Errors
+///
+/// Propagates [`AppError`] from the workload.
+pub fn run_kv(
+    v: impl Into<Variant>,
+    kind: KvKind,
+    wl: KvWorkload,
+    s: &Scale,
+) -> Result<Outcome, AppError> {
+    let v = v.into();
+    // Upper bound across structures: rbtree nodes are 48 B, btree amortizes
+    // ~20 B/key, ctree ~40 B/key (leaf+internal).
+    let heap_bytes = (s.kv_keys * 96 + s.kv_ops * 96).max(1 << 20);
+    let data_pages = (heap_bytes / PAGE as u64 + 81) * s.kv_instances as u64 + 1500;
+    let mut m = machine(v.clone(), data_pages);
+    let mut txm = m.tx_manager(256 * 1024)?;
+    let measured_scheme = v.design.sw_scheme();
+    txm.set_scheme(pmemfs::tx::SwScheme::None);
+    let cores = m.sys.num_cores();
+    let mut instances = Vec::new();
+    for i in 0..s.kv_instances {
+        instances.push(kind.build(&mut m, i % cores, heap_bytes)?);
+    }
+    // Preload (setup, unmeasured) so the measured phase runs against a
+    // populated structure under every workload.
+    for k in 0..s.kv_keys {
+        for inst in instances.iter_mut() {
+            inst.insert(&mut m, &mut txm, k.wrapping_mul(0x9e37), k)?;
+        }
+    }
+    m.flush();
+    for inst in &instances {
+        let f = *inst.file();
+        m.reinit_redundancy(&f);
+    }
+    let meta = *txm.meta_file();
+    m.reinit_redundancy(&meta);
+    txm.set_scheme(measured_scheme);
+    m.reset_stats();
+    let mut rngs: Vec<Rng> = (0..s.kv_instances)
+        .map(|i| Rng::new(0xfeed + i as u64))
+        .collect();
+    apps::driver::run_clocked(&mut m, s.kv_instances, s.kv_ops, |m, i, op| {
+        match wl {
+            KvWorkload::InsertOnly => {
+                // Fresh keys beyond the preloaded range.
+                let key = (s.kv_keys + op).wrapping_mul(0x9e37_79b9) ^ i as u64;
+                instances[i].insert(m, &mut txm, key, op)?;
+            }
+            _ => {
+                let key = rngs[i].below(s.kv_keys).wrapping_mul(0x9e37);
+                if rngs[i].unit_f64() < wl.update_fraction() {
+                    instances[i].insert(m, &mut txm, key, op)?;
+                } else {
+                    instances[i].get(m, key)?;
+                }
+            }
+        }
+        Ok(())
+    })?;
+    m.flush();
+    Ok(finish(&m))
+}
+
+/// N-Store YCSB mixes (§IV-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NstoreWorkload {
+    /// 10:90 updates:reads.
+    ReadHeavy,
+    /// 50:50 updates:reads.
+    Balanced,
+    /// 90:10 updates:reads.
+    UpdateHeavy,
+}
+
+impl NstoreWorkload {
+    /// All three mixes.
+    pub fn all() -> [NstoreWorkload; 3] {
+        [
+            NstoreWorkload::ReadHeavy,
+            NstoreWorkload::Balanced,
+            NstoreWorkload::UpdateHeavy,
+        ]
+    }
+
+    /// Label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NstoreWorkload::ReadHeavy => "read-heavy",
+            NstoreWorkload::Balanced => "balanced",
+            NstoreWorkload::UpdateHeavy => "update-heavy",
+        }
+    }
+
+    fn update_fraction(&self) -> f64 {
+        match self {
+            NstoreWorkload::ReadHeavy => 0.1,
+            NstoreWorkload::Balanced => 0.5,
+            NstoreWorkload::UpdateHeavy => 0.9,
+        }
+    }
+}
+
+/// Run an N-Store workload (Fig. 8(i–l) cells).
+///
+/// # Errors
+///
+/// Propagates [`AppError`] from the workload.
+pub fn run_nstore(v: impl Into<Variant>, wl: NstoreWorkload, s: &Scale) -> Result<Outcome, AppError> {
+    let v = v.into();
+    let wal_bytes = s.nstore_txs * 160 + (1 << 20);
+    let data_pages =
+        s.nstore_tuples * 64 / PAGE as u64 + wal_bytes / PAGE as u64 + 1500;
+    let mut m = machine(v.clone(), data_pages);
+    let mut txm = m.tx_manager(256 * 1024)?;
+    let mut store = NStore::create(&mut m, s.nstore_tuples, wal_bytes)?;
+    m.reset_stats();
+    let mut mixes: Vec<YcsbMix> = (0..s.nstore_clients)
+        .map(|i| YcsbMix::new(s.nstore_tuples, wl.update_fraction(), 0xace + i as u64))
+        .collect();
+    let per_client = s.nstore_txs / s.nstore_clients as u64;
+    apps::driver::run_clocked(&mut m, s.nstore_clients, per_client, |m, c, op| {
+        match mixes[c].next_op() {
+            Op::Update(k) => {
+                let payload = [(op ^ k) as u8; 64];
+                store.update(m, &mut txm, c, k, &payload)?;
+            }
+            Op::Read(k) => {
+                store.read(m, c, k)?;
+            }
+            // YcsbMix emits only reads and updates.
+            _ => unreachable!("unexpected YCSB op"),
+        }
+        Ok(())
+    })?;
+    m.flush();
+    Ok(finish(&m))
+}
+
+/// Run an fio workload (Fig. 8(m–p) cells).
+///
+/// # Errors
+///
+/// Propagates [`AppError`] from the workload.
+pub fn run_fio(v: impl Into<Variant>, pattern: Pattern, s: &Scale) -> Result<Outcome, AppError> {
+    let v = v.into();
+    let data_pages = s.fio_region_bytes / PAGE as u64 * s.fio_threads as u64 + 1024;
+    let mut m = machine(v.clone(), data_pages);
+    let mut fio = Fio::create(&mut m, s.fio_threads, s.fio_region_bytes)?;
+    // Software schemes need the library's transactional interface.
+    let mut txm = match v.design.sw_scheme() {
+        pmemfs::tx::SwScheme::None => None,
+        _ => Some(m.tx_manager(64 * 1024)?),
+    };
+    m.reset_stats();
+    apps::driver::run_clocked(&mut m, s.fio_threads, s.fio_ops_per_thread, |m, t, i| {
+        fio.op(m, txm.as_mut(), t, pattern, i)
+    })?;
+    m.flush();
+    Ok(finish(&m))
+}
+
+/// Run one stream kernel (Fig. 8(q–t) cells).
+///
+/// # Errors
+///
+/// Propagates [`AppError`] from the workload.
+pub fn run_stream(v: impl Into<Variant>, kernel: Kernel, s: &Scale) -> Result<Outcome, AppError> {
+    let v = v.into();
+    let data_pages = 3 * s.stream_array_bytes / PAGE as u64 + 1024;
+    let mut m = machine(v.clone(), data_pages);
+    let mut st = Stream::create(&mut m, s.stream_threads, s.stream_array_bytes)?;
+    let mut txm = match v.design.sw_scheme() {
+        pmemfs::tx::SwScheme::None => None,
+        _ => Some(m.tx_manager(64 * 1024)?),
+    };
+    st.init(&mut m)?;
+    m.flush();
+    m.reset_stats();
+    let lines = st.lines_per_thread();
+    apps::driver::run_clocked(&mut m, s.stream_threads, lines, |m, t, i| {
+        st.op(m, txm.as_mut(), t, kernel, i)
+    })?;
+    m.flush();
+    Ok(finish(&m))
+}

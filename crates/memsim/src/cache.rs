@@ -1,0 +1,390 @@
+//! Set-associative cache arrays with LRU replacement and way-partitioning.
+//!
+//! One [`CacheArray`] models a single cache (an L1, an L2, one LLC bank, or
+//! TVARAK's on-controller cache). Lines carry their 64 B of data — the
+//! simulator is execution-driven over real bytes, so checksums and parity are
+//! computed over genuine content.
+//!
+//! Way-partitioning (used by the LLC to reserve ways for redundancy lines and
+//! data diffs, §III-D/E of the paper) is expressed by giving every operation a
+//! way *range*: lookups, inserts, and victim selection stay inside the range,
+//! which makes partitions fully decoupled, exactly as the paper requires
+//! ("the LLC bank controllers do not lookup application data in redundancy
+//! and data diff partitions").
+
+use crate::addr::{LineAddr, CACHE_LINE};
+use std::ops::Range;
+
+/// Sentinel for "no owner" in the directory owner field.
+pub const NO_OWNER: u8 = u8::MAX;
+
+/// One cache line's worth of state.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Full line address (tag + index); `valid` gates interpretation.
+    pub line: LineAddr,
+    /// Whether this entry holds a line.
+    pub valid: bool,
+    /// Whether the held line is modified relative to the level below.
+    pub dirty: bool,
+    /// LRU timestamp (larger = more recently used).
+    pub lru: u64,
+    /// The line's data.
+    pub data: [u8; CACHE_LINE],
+    /// Directory: bitmask of cores caching this line privately (LLC only).
+    pub sharers: u64,
+    /// Directory: core holding the line exclusively/modified, or [`NO_OWNER`].
+    pub owner: u8,
+    /// MESI write permission (private caches only): true when the line is
+    /// held Exclusive/Modified and may be written without an upgrade.
+    pub excl: bool,
+}
+
+impl Entry {
+    fn empty() -> Self {
+        Entry {
+            line: LineAddr(0),
+            valid: false,
+            dirty: false,
+            lru: 0,
+            data: [0; CACHE_LINE],
+            sharers: 0,
+            owner: NO_OWNER,
+            excl: false,
+        }
+    }
+}
+
+/// A line evicted from a [`CacheArray`].
+#[derive(Debug, Clone)]
+pub struct Evicted {
+    /// The evicted line's address.
+    pub line: LineAddr,
+    /// Whether it must be written back below.
+    pub dirty: bool,
+    /// Its data.
+    pub data: [u8; CACHE_LINE],
+    /// Directory sharers at eviction time (LLC only; needed for
+    /// back-invalidation under inclusion).
+    pub sharers: u64,
+    /// Directory owner at eviction time.
+    pub owner: u8,
+}
+
+/// A set-associative, write-back, LRU cache array holding line data.
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    sets: usize,
+    ways: usize,
+    set_div: u64,
+    tick: u64,
+    entries: Vec<Entry>,
+}
+
+impl CacheArray {
+    /// Create an array with `sets` sets of `ways` ways.
+    ///
+    /// `set_div` selects which bits of the line address index the set:
+    /// `set = (line / set_div) % sets`. Private caches use 1; LLC banks use
+    /// the bank count (lines are bank-interleaved by `line % banks`, so
+    /// dividing by the bank count makes a bank's resident lines map densely
+    /// over its sets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two, or `ways == 0`, or
+    /// `set_div == 0`.
+    pub fn new(sets: usize, ways: usize, set_div: u64) -> Self {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "need at least one way");
+        assert!(set_div > 0, "set divisor must be nonzero");
+        CacheArray {
+            sets,
+            ways,
+            set_div,
+            tick: 0,
+            entries: vec![Entry::empty(); sets * ways],
+        }
+    }
+
+    /// Number of ways.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// The full way range (an unpartitioned cache).
+    pub fn all_ways(&self) -> Range<usize> {
+        0..self.ways
+    }
+
+    #[inline]
+    fn set_of(&self, line: LineAddr) -> usize {
+        ((line.0 / self.set_div) as usize) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Look up `line` within `ways`, updating LRU on hit.
+    pub fn lookup(&mut self, line: LineAddr, ways: Range<usize>) -> Option<&mut Entry> {
+        let set = self.set_of(line);
+        let tick = self.next_tick();
+        for way in ways {
+            let idx = self.slot(set, way);
+            if self.entries[idx].valid && self.entries[idx].line == line {
+                let e = &mut self.entries[idx];
+                e.lru = tick;
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// Check for `line` within `ways` without touching LRU state.
+    pub fn probe(&self, line: LineAddr, ways: Range<usize>) -> Option<&Entry> {
+        let set = self.set_of(line);
+        ways.map(|w| &self.entries[self.slot(set, w)])
+            .find(|e| e.valid && e.line == line)
+    }
+
+    /// Insert `line` into `ways`, evicting the LRU valid line in the range if
+    /// it is full. Returns the evicted line, if any.
+    ///
+    /// If `line` is already present in the range its data/dirty state is
+    /// replaced in place (dirty is OR-ed) and no eviction occurs.
+    pub fn insert(
+        &mut self,
+        line: LineAddr,
+        data: &[u8; CACHE_LINE],
+        dirty: bool,
+        ways: Range<usize>,
+    ) -> Option<Evicted> {
+        let set = self.set_of(line);
+        let tick = self.next_tick();
+        // Hit: update in place.
+        for way in ways.clone() {
+            let idx = self.slot(set, way);
+            if self.entries[idx].valid && self.entries[idx].line == line {
+                let e = &mut self.entries[idx];
+                e.data = *data;
+                e.dirty |= dirty;
+                e.lru = tick;
+                return None;
+            }
+        }
+        // Choose victim: first invalid way, else LRU.
+        let mut victim_way = None;
+        let mut victim_lru = u64::MAX;
+        for way in ways {
+            let idx = self.slot(set, way);
+            let e = &self.entries[idx];
+            if !e.valid {
+                victim_way = Some(way);
+                break;
+            }
+            if e.lru < victim_lru {
+                victim_lru = e.lru;
+                victim_way = Some(way);
+            }
+        }
+        let way = victim_way.expect("insert called with empty way range");
+        let idx = self.slot(set, way);
+        let old = &self.entries[idx];
+        let evicted = if old.valid {
+            Some(Evicted {
+                line: old.line,
+                dirty: old.dirty,
+                data: old.data,
+                sharers: old.sharers,
+                owner: old.owner,
+            })
+        } else {
+            None
+        };
+        self.entries[idx] = Entry {
+            line,
+            valid: true,
+            dirty,
+            lru: tick,
+            data: *data,
+            sharers: 0,
+            owner: NO_OWNER,
+            excl: false,
+        };
+        evicted
+    }
+
+    /// Remove `line` from `ways`, returning its final state if present.
+    pub fn invalidate(&mut self, line: LineAddr, ways: Range<usize>) -> Option<Evicted> {
+        let set = self.set_of(line);
+        for way in ways {
+            let idx = self.slot(set, way);
+            if self.entries[idx].valid && self.entries[idx].line == line {
+                let e = &mut self.entries[idx];
+                e.valid = false;
+                return Some(Evicted {
+                    line: e.line,
+                    dirty: e.dirty,
+                    data: e.data,
+                    sharers: e.sharers,
+                    owner: e.owner,
+                });
+            }
+        }
+        None
+    }
+
+    /// Drain every valid line in `ways`, invalidating them. Used for
+    /// end-of-run flushes.
+    pub fn drain(&mut self, ways: Range<usize>) -> Vec<Evicted> {
+        let mut out = Vec::new();
+        for set in 0..self.sets {
+            for way in ways.clone() {
+                let idx = self.slot(set, way);
+                let e = &mut self.entries[idx];
+                if e.valid {
+                    e.valid = false;
+                    out.push(Evicted {
+                        line: e.line,
+                        dirty: e.dirty,
+                        data: e.data,
+                        sharers: e.sharers,
+                        owner: e.owner,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Count valid lines in `ways`.
+    pub fn occupancy(&self, ways: Range<usize>) -> usize {
+        let mut n = 0;
+        for set in 0..self.sets {
+            for way in ways.clone() {
+                if self.entries[self.slot(set, way)].valid {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr(n)
+    }
+
+    fn data(b: u8) -> [u8; CACHE_LINE] {
+        [b; CACHE_LINE]
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = CacheArray::new(4, 2, 1);
+        assert!(c.insert(line(8), &data(1), false, 0..2).is_none());
+        let e = c.lookup(line(8), 0..2).expect("hit");
+        assert_eq!(e.data[0], 1);
+        assert!(!e.dirty);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = CacheArray::new(1, 2, 1);
+        c.insert(line(1), &data(1), false, 0..2);
+        c.insert(line(2), &data(2), false, 0..2);
+        // Touch line 1 so line 2 is LRU.
+        c.lookup(line(1), 0..2);
+        let ev = c.insert(line(3), &data(3), false, 0..2).expect("evict");
+        assert_eq!(ev.line, line(2));
+        assert!(c.probe(line(1), 0..2).is_some());
+        assert!(c.probe(line(3), 0..2).is_some());
+    }
+
+    #[test]
+    fn dirty_eviction_carries_data() {
+        let mut c = CacheArray::new(1, 1, 1);
+        c.insert(line(1), &data(7), true, 0..1);
+        let ev = c.insert(line(2), &data(8), false, 0..1).expect("evict");
+        assert!(ev.dirty);
+        assert_eq!(ev.data[0], 7);
+    }
+
+    #[test]
+    fn insert_existing_line_merges_dirty() {
+        let mut c = CacheArray::new(2, 2, 1);
+        c.insert(line(4), &data(1), true, 0..2);
+        assert!(c.insert(line(4), &data(2), false, 0..2).is_none());
+        let e = c.probe(line(4), 0..2).unwrap();
+        assert!(e.dirty, "dirty must be sticky");
+        assert_eq!(e.data[0], 2);
+        assert_eq!(c.occupancy(0..2), 1);
+    }
+
+    #[test]
+    fn partitions_are_disjoint() {
+        let mut c = CacheArray::new(1, 4, 1);
+        c.insert(line(1), &data(1), false, 0..2);
+        // Same line inserted into the other partition is an independent copy.
+        assert!(c.lookup(line(1), 2..4).is_none());
+        c.insert(line(9), &data(9), false, 2..4);
+        c.insert(line(17), &data(17), false, 2..4);
+        // Partition 2..4 is full; inserting evicts within it only.
+        let ev = c.insert(line(25), &data(25), false, 2..4).expect("evict");
+        assert!(ev.line == line(9) || ev.line == line(17));
+        // Partition 0..2 untouched.
+        assert!(c.probe(line(1), 0..2).is_some());
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = CacheArray::new(2, 2, 1);
+        c.insert(line(2), &data(3), true, 0..2);
+        let ev = c.invalidate(line(2), 0..2).expect("present");
+        assert!(ev.dirty);
+        assert!(c.probe(line(2), 0..2).is_none());
+        assert!(c.invalidate(line(2), 0..2).is_none());
+    }
+
+    #[test]
+    fn drain_returns_all_valid() {
+        let mut c = CacheArray::new(2, 2, 1);
+        c.insert(line(0), &data(0), false, 0..2);
+        c.insert(line(1), &data(1), true, 0..2);
+        c.insert(line(2), &data(2), true, 0..2);
+        let drained = c.drain(0..2);
+        assert_eq!(drained.len(), 3);
+        assert_eq!(c.occupancy(0..2), 0);
+        assert_eq!(drained.iter().filter(|e| e.dirty).count(), 2);
+    }
+
+    #[test]
+    fn set_div_spreads_lines() {
+        // With set_div=2, lines 0 and 1 share a set; lines 0 and 2 differ.
+        let c = CacheArray::new(2, 1, 2);
+        assert_eq!(c.set_of(line(0)), c.set_of(line(1)));
+        assert_ne!(c.set_of(line(0)), c.set_of(line(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_panics() {
+        CacheArray::new(3, 1, 1);
+    }
+}

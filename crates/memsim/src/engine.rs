@@ -1,0 +1,1594 @@
+//! The simulation engine: ties cores, the cache hierarchy, memory devices,
+//! and the redundancy controller hooks together.
+//!
+//! # Hierarchy walk
+//!
+//! Every application load/store walks L1D → L2 → LLC bank → memory, paying
+//! the Table III latency at each level and maintaining inclusion
+//! (L1 ⊆ L2 ⊆ LLC). A directory in the LLC keeps private caches coherent
+//! (MESI states collapse to: shared copies, or a single exclusive owner).
+//!
+//! # Redundancy hooks
+//!
+//! The TVARAK controller (or nothing, for the baseline) observes exactly the
+//! events the paper gives it (§III):
+//!
+//! - [`RedundancyHooks::on_nvm_fill`] — every NVM → LLC cache-line read
+//!   (checksum verification happens here),
+//! - [`RedundancyHooks::on_nvm_writeback`] — every dirty LLC → NVM cache-line
+//!   writeback (checksum + parity updates happen here),
+//! - [`RedundancyHooks::on_llc_clean_to_dirty`] — an LLC data line turns
+//!   dirty and its pre-modification content is available (data-diff capture).
+//!
+//! # Timing model
+//!
+//! Per-core cycle counters advance with each access; demand fills stall the
+//! requesting core for the full memory latency, while writebacks are posted
+//! (they occupy NVM DIMM bandwidth but do not stall). Each NVM DIMM has a
+//! `free-at` horizon: a demand read to a busy DIMM queues behind it. This
+//! simple deterministic bandwidth model is what lets the bandwidth-saturating
+//! `stream` workloads scale with total NVM traffic (§IV-F) while the
+//! latency-bound applications stay latency-limited.
+
+use crate::addr::{LineAddr, PageNum, PhysAddr, CACHE_LINE, LINES_PER_PAGE};
+use crate::cache::{CacheArray, Evicted, NO_OWNER};
+use crate::config::SystemConfig;
+use crate::mem::{Device, Memory};
+use crate::stats::{Counters, Stats};
+use std::any::Any;
+use std::error::Error;
+use std::fmt;
+use std::ops::Range;
+
+/// A checksum mismatch detected by the redundancy controller on an NVM read.
+///
+/// The paper's controller raises an interrupt that traps to the OS; here the
+/// error propagates out of [`System::read`]/[`System::write`] so the file
+/// system layer can run parity recovery and retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptionDetected {
+    /// The NVM line whose content did not match its system-checksum.
+    pub line: LineAddr,
+}
+
+impl fmt::Display for CorruptionDetected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "checksum mismatch on NVM read of {:?}", self.line)
+    }
+}
+
+impl Error for CorruptionDetected {}
+
+/// Environment handed to redundancy hooks: everything the controller hardware
+/// can reach (memory, the LLC partitions, clocks, counters) without the
+/// private caches (which it cannot see).
+#[allow(missing_debug_implementations)]
+pub struct HookEnv<'a> {
+    /// System configuration.
+    pub cfg: &'a SystemConfig,
+    mem: &'a mut Memory,
+    llc: &'a mut [CacheArray],
+    clocks: &'a mut [u64],
+    dimms: &'a mut [DimmState],
+    counters: &'a mut Counters,
+}
+
+impl<'a> HookEnv<'a> {
+    /// The LLC bank holding `line` (lines are bank-interleaved).
+    #[inline]
+    pub fn bank_of(&self, line: LineAddr) -> usize {
+        (line.0 % self.llc.len() as u64) as usize
+    }
+
+    /// LLC way range reserved for application data.
+    pub fn data_ways(&self) -> Range<usize> {
+        0..self.cfg.llc_data_ways()
+    }
+
+    /// LLC way range reserved for caching redundancy lines.
+    pub fn red_ways(&self) -> Range<usize> {
+        let d = self.cfg.llc_data_ways();
+        d..d + self.cfg.controller.redundancy_ways
+    }
+
+    /// LLC way range reserved for data diffs.
+    pub fn diff_ways(&self) -> Range<usize> {
+        let d = self.cfg.llc_data_ways() + self.cfg.controller.redundancy_ways;
+        d..d + self.cfg.controller.diff_ways
+    }
+
+    /// Advance `core`'s clock by `cycles`.
+    #[inline]
+    pub fn charge(&mut self, core: usize, cycles: u64) {
+        self.clocks[core] += cycles;
+    }
+
+    /// Mutable access to the counters.
+    #[inline]
+    pub fn counters(&mut self) -> &mut Counters {
+        self.counters
+    }
+
+    /// Read a redundancy line from NVM.
+    ///
+    /// `demand` reads stall the core (verification path); non-demand reads
+    /// (writeback path) only occupy DIMM bandwidth. Counted as a redundancy
+    /// NVM read.
+    pub fn nvm_read_red(&mut self, core: usize, line: LineAddr, demand: bool) -> [u8; CACHE_LINE] {
+        self.counters.nvm_red_reads += 1;
+        self.nvm_timing(core, line, false, demand);
+        self.mem.read_line(line)
+    }
+
+    /// Write a redundancy line to NVM (posted; occupies DIMM bandwidth only).
+    /// Counted as a redundancy NVM write.
+    pub fn nvm_write_red(&mut self, core: usize, line: LineAddr, data: &[u8; CACHE_LINE]) {
+        self.counters.nvm_red_writes += 1;
+        self.nvm_timing(core, line, true, false);
+        self.mem.write_line(line, data);
+    }
+
+    /// Read a redundancy line from NVM, overlapped with an in-flight demand
+    /// data fill: the controller computes the checksum address from the
+    /// request address and issues both reads concurrently, so only DIMM
+    /// occupancy is consumed — the core does not stall further. Counted as a
+    /// redundancy NVM read.
+    pub fn nvm_read_red_overlapped(&mut self, core: usize, line: LineAddr) -> [u8; CACHE_LINE] {
+        self.counters.nvm_red_reads += 1;
+        self.nvm_timing(core, line, false, false);
+        self.mem.read_line(line)
+    }
+
+    /// Read a data line's *current media content* via the firmware (used by
+    /// the naive controller to fetch old data on the writeback path).
+    /// Counted as a redundancy NVM read (it exists only to serve redundancy).
+    pub fn nvm_read_old_data(&mut self, core: usize, line: LineAddr) -> [u8; CACHE_LINE] {
+        self.nvm_read_red(core, line, false)
+    }
+
+    fn nvm_timing(&mut self, core: usize, line: LineAddr, write: bool, demand: bool) {
+        let dimm = match self.mem.device_of(line) {
+            Device::Nvm { dimm } => dimm,
+            Device::Dram => {
+                // Redundancy for DRAM lines should never arise; treat as DRAM access.
+                self.counters.dram_accesses += 1;
+                if demand {
+                    let lat = self.cfg.ns_to_cycles(self.cfg.dram.read_ns);
+                    self.clocks[core] += lat;
+                }
+                return;
+            }
+        };
+        let now = self.clocks[core];
+        let occ = self.cfg.ns_to_cycles(if write {
+            self.cfg.nvm.write_occupancy_ns
+        } else {
+            self.cfg.nvm.read_occupancy_ns
+        });
+        if demand {
+            let lat = self.cfg.ns_to_cycles(if write {
+                self.cfg.nvm.write_ns
+            } else {
+                self.cfg.nvm.read_ns
+            });
+            let wait = self.dimms[dimm].demand(now, occ);
+            self.counters.demand_queue_cycles += wait;
+            self.clocks[core] = now + wait + lat;
+        } else {
+            self.dimms[dimm].posted(now, occ);
+        }
+    }
+
+    /// Look up a redundancy line in the LLC redundancy partition.
+    /// Charges one LLC access; stalls the core when `demand`.
+    pub fn llc_red_lookup(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        demand: bool,
+    ) -> Option<[u8; CACHE_LINE]> {
+        self.counters.llc_redundancy_accesses += 1;
+        if demand {
+            self.clocks[core] += self.cfg.llc.latency_cycles;
+        }
+        let bank = self.bank_of(line);
+        let ways = self.red_ways();
+        self.llc[bank].lookup(line, ways).map(|e| e.data)
+    }
+
+    /// Insert a redundancy line into the LLC redundancy partition; a dirty
+    /// victim is returned for the hook to write back to NVM.
+    pub fn llc_red_insert(
+        &mut self,
+        line: LineAddr,
+        data: &[u8; CACHE_LINE],
+        dirty: bool,
+    ) -> Option<Evicted> {
+        self.counters.llc_redundancy_accesses += 1;
+        let bank = self.bank_of(line);
+        let ways = self.red_ways();
+        self.llc[bank].insert(line, data, dirty, ways)
+    }
+
+    /// Update a redundancy line in place in the LLC partition if present,
+    /// marking it dirty. Returns whether it was present.
+    pub fn llc_red_update(&mut self, line: LineAddr, data: &[u8; CACHE_LINE]) -> bool {
+        self.counters.llc_redundancy_accesses += 1;
+        let bank = self.bank_of(line);
+        let ways = self.red_ways();
+        if let Some(e) = self.llc[bank].lookup(line, ways) {
+            e.data = *data;
+            e.dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidate a redundancy line from the LLC partition, returning it.
+    pub fn llc_red_invalidate(&mut self, line: LineAddr) -> Option<Evicted> {
+        let bank = self.bank_of(line);
+        let ways = self.red_ways();
+        self.llc[bank].invalidate(line, ways)
+    }
+
+    /// Drain the whole LLC redundancy partition (flush path).
+    pub fn llc_red_drain(&mut self) -> Vec<Evicted> {
+        let ways = self.red_ways();
+        let mut all = Vec::new();
+        for bank in self.llc.iter_mut() {
+            all.extend(bank.drain(ways.clone()));
+        }
+        all
+    }
+
+    /// Look up the data diff for `data_line` in the diff partition.
+    pub fn llc_diff_lookup(&mut self, data_line: LineAddr) -> Option<[u8; CACHE_LINE]> {
+        self.counters.llc_redundancy_accesses += 1;
+        let bank = self.bank_of(data_line);
+        let ways = self.diff_ways();
+        self.llc[bank].lookup(data_line, ways).map(|e| e.data)
+    }
+
+    /// Store the pre-modification content of `data_line` in the diff
+    /// partition. The evicted diff (if any) is returned so the controller can
+    /// perform the paper's early writeback of that diff's data line.
+    pub fn llc_diff_insert(
+        &mut self,
+        data_line: LineAddr,
+        old_data: &[u8; CACHE_LINE],
+    ) -> Option<Evicted> {
+        self.counters.llc_redundancy_accesses += 1;
+        let bank = self.bank_of(data_line);
+        let ways = self.diff_ways();
+        self.llc[bank].insert(data_line, old_data, false, ways)
+    }
+
+    /// Drop the diff for `data_line` (its data line was written back).
+    pub fn llc_diff_invalidate(&mut self, data_line: LineAddr) -> Option<Evicted> {
+        let bank = self.bank_of(data_line);
+        let ways = self.diff_ways();
+        self.llc[bank].invalidate(data_line, ways)
+    }
+
+    /// Drain the whole diff partition (flush path).
+    pub fn llc_diff_drain(&mut self) -> Vec<Evicted> {
+        let ways = self.diff_ways();
+        let mut all = Vec::new();
+        for bank in self.llc.iter_mut() {
+            all.extend(bank.drain(ways.clone()));
+        }
+        all
+    }
+
+    /// If `line` sits dirty in the LLC data partition, return its current
+    /// content and mark it clean (the paper's early writeback on diff
+    /// eviction: "writes back the corresponding data without evicting it").
+    pub fn llc_data_take_dirty(&mut self, line: LineAddr) -> Option<[u8; CACHE_LINE]> {
+        let bank = self.bank_of(line);
+        let ways = self.data_ways();
+        match self.llc[bank].lookup(line, ways) {
+            Some(e) if e.dirty => {
+                e.dirty = false;
+                Some(e.data)
+            }
+            _ => None,
+        }
+    }
+
+    /// Write an application data line to NVM on behalf of the controller
+    /// (early writeback path). Counted as a *data* NVM write, posted.
+    pub fn nvm_write_data(&mut self, core: usize, line: LineAddr, data: &[u8; CACHE_LINE]) {
+        self.counters.nvm_data_writes += 1;
+        self.nvm_timing(core, line, true, false);
+        self.mem.write_line(line, data);
+    }
+
+    /// Direct access to the memory devices (used by parity recovery).
+    pub fn memory(&mut self) -> &mut Memory {
+        self.mem
+    }
+}
+
+/// Observer interface for the redundancy controller hardware.
+///
+/// The engine invokes these hooks for NVM lines only; the baseline system
+/// uses [`NullHooks`]. Implementations charge their own latencies and
+/// counters through the [`HookEnv`].
+pub trait RedundancyHooks {
+    /// A line is being filled from NVM into the LLC. Verify it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorruptionDetected`] if a checksum mismatch is found; the
+    /// engine aborts the fill and propagates the error to the caller.
+    fn on_nvm_fill(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        data: &[u8; CACHE_LINE],
+        env: &mut HookEnv<'_>,
+    ) -> Result<(), CorruptionDetected>;
+
+    /// A dirty line is being written back from the LLC to NVM. Update its
+    /// redundancy. Called *before* the data write reaches the media.
+    fn on_nvm_writeback(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        new_data: &[u8; CACHE_LINE],
+        env: &mut HookEnv<'_>,
+    );
+
+    /// An LLC data line transitioned clean→dirty; `old_data` is its
+    /// pre-modification content (data-diff capture opportunity).
+    fn on_llc_clean_to_dirty(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        old_data: &[u8; CACHE_LINE],
+        env: &mut HookEnv<'_>,
+    );
+
+    /// End of run: write back all dirty redundancy state.
+    fn flush(&mut self, env: &mut HookEnv<'_>);
+
+    /// Downcast support so the file-system layer can reach
+    /// controller-specific management APIs (DAX-range registration).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Short human-readable name (for reports).
+    fn name(&self) -> &'static str;
+}
+
+/// The baseline: no redundancy maintained, no overhead.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullHooks;
+
+impl RedundancyHooks for NullHooks {
+    fn on_nvm_fill(
+        &mut self,
+        _core: usize,
+        _line: LineAddr,
+        _data: &[u8; CACHE_LINE],
+        _env: &mut HookEnv<'_>,
+    ) -> Result<(), CorruptionDetected> {
+        Ok(())
+    }
+
+    fn on_nvm_writeback(
+        &mut self,
+        _core: usize,
+        _line: LineAddr,
+        _new_data: &[u8; CACHE_LINE],
+        _env: &mut HookEnv<'_>,
+    ) {
+    }
+
+    fn on_llc_clean_to_dirty(
+        &mut self,
+        _core: usize,
+        _line: LineAddr,
+        _old_data: &[u8; CACHE_LINE],
+        _env: &mut HookEnv<'_>,
+    ) {
+    }
+
+    fn flush(&mut self, _env: &mut HookEnv<'_>) {}
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+}
+
+/// Classifies NVM lines as redundancy (checksum tables, parity pages) vs.
+/// application data for the Fig. 8 NVM-access split. Needed because
+/// *software* redundancy schemes access checksums and parity through normal
+/// loads/stores; the hardware controller's accesses are classified at the
+/// [`HookEnv`] call sites instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RedundancyRegion {
+    /// NVM region-relative page count of the striped (data+parity) area.
+    pub striped_pages: u64,
+    /// NVM DIMM count (parity rotation period).
+    pub dimms: u64,
+}
+
+impl RedundancyRegion {
+    /// Whether `line` holds redundancy information (a checksum-table line or
+    /// a parity-page line).
+    pub fn is_redundancy(&self, line: LineAddr) -> bool {
+        if !line.is_nvm() {
+            return false;
+        }
+        let idx = line.page().nvm_index();
+        if idx >= self.striped_pages {
+            return true; // checksum tables sit above the striped region
+        }
+        // Rotating parity: page `idx` is parity iff slot == stripe % dimms.
+        idx % self.dimms == (idx / self.dimms) % self.dimms
+    }
+}
+
+/// Per-DIMM bandwidth state for the utilization-based queueing model.
+///
+/// Every access (demand or posted) contributes its occupancy to the DIMM's
+/// cumulative busy time; demand reads additionally pay an M/D/1-style queue
+/// delay `occ * rho / (2 * (1 - rho))` derived from the utilization `rho`
+/// observed so far. This smooth model captures what matters at this
+/// simulator's resolution — runtime grows with total NVM traffic and
+/// saturates as utilization approaches 1 — without the artificial convoys a
+/// strict per-request horizon produces under deterministic round-robin
+/// scheduling (real OOO cores overlap misses; real threads drift).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DimmState {
+    /// Cumulative occupancy (cycles) of all accesses to this DIMM.
+    busy: u64,
+    /// Cumulative demand accesses (diagnostics).
+    demand_count: u64,
+    /// Cumulative posted accesses (diagnostics).
+    posted_count: u64,
+}
+
+impl DimmState {
+    /// Utilization bound: queue delays are computed as if utilization never
+    /// exceeds this (runtime stretching provides the real saturation
+    /// feedback).
+    const MAX_RHO: f64 = 0.96;
+
+    /// Schedule a demand access of `occ` cycles at `now`: returns the queue
+    /// delay to charge on top of the device latency.
+    #[inline]
+    pub fn demand(&mut self, now: u64, occ: u64) -> u64 {
+        let rho = self.utilization(now);
+        self.busy += occ;
+        self.demand_count += 1;
+        // M/D/1 mean queueing delay, in units of this access's service time.
+        (occ as f64 * rho / (2.0 * (1.0 - rho))).round() as u64
+    }
+
+    /// Post `occ` cycles of deferrable work (writes, background redundancy
+    /// traffic): consumes bandwidth, never stalls the poster.
+    #[inline]
+    pub fn posted(&mut self, _now: u64, occ: u64) {
+        self.busy += occ;
+        self.posted_count += 1;
+    }
+
+    /// Utilization observed so far relative to wall-clock `now`.
+    #[inline]
+    pub fn utilization(&self, now: u64) -> f64 {
+        if now == 0 {
+            return 0.0;
+        }
+        (self.busy as f64 / now as f64).min(Self::MAX_RHO)
+    }
+
+    /// Cumulative busy cycles (diagnostics).
+    pub fn backlog(&self) -> u64 {
+        self.busy
+    }
+
+    /// Cumulative (demand, posted) access counts (diagnostics).
+    pub fn access_counts(&self) -> (u64, u64) {
+        (self.demand_count, self.posted_count)
+    }
+}
+
+/// Per-core private caches.
+#[derive(Debug)]
+struct PrivCaches {
+    l1d: CacheArray,
+    l2: CacheArray,
+}
+
+/// The simulated machine.
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<PrivCaches>,
+    llc: Vec<CacheArray>,
+    mem: Memory,
+    clocks: Vec<u64>,
+    dimms: Vec<DimmState>,
+    counters: Counters,
+    hooks: Box<dyn RedundancyHooks>,
+    red_region: Option<RedundancyRegion>,
+}
+
+impl fmt::Debug for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("System")
+            .field("cores", &self.cores.len())
+            .field("llc_banks", &self.llc.len())
+            .field("hooks", &self.hooks.name())
+            .finish()
+    }
+}
+
+impl System {
+    /// Build a system from `cfg` with the given redundancy hooks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is inconsistent (see [`SystemConfig::validate`]).
+    pub fn new(cfg: SystemConfig, hooks: Box<dyn RedundancyHooks>) -> Self {
+        cfg.validate();
+        let cores = (0..cfg.cores)
+            .map(|_| PrivCaches {
+                l1d: CacheArray::new(cfg.l1d.sets(), cfg.l1d.ways, 1),
+                l2: CacheArray::new(cfg.l2.sets(), cfg.l2.ways, 1),
+            })
+            .collect();
+        let llc = (0..cfg.llc_banks)
+            .map(|_| CacheArray::new(cfg.llc.sets(), cfg.llc.ways, cfg.llc_banks as u64))
+            .collect();
+        let mem = Memory::new(cfg.nvm.dimms);
+        let clocks = vec![0; cfg.cores];
+        let dimms = vec![DimmState::default(); cfg.nvm.dimms];
+        System {
+            cfg,
+            cores,
+            llc,
+            mem,
+            clocks,
+            dimms,
+            counters: Counters::default(),
+            hooks,
+            red_region: None,
+        }
+    }
+
+    /// Install the redundancy-region classifier used to split NVM access
+    /// counters into data vs. redundancy for software schemes (hardware-
+    /// controller accesses are classified at their call sites).
+    pub fn set_redundancy_region(&mut self, region: RedundancyRegion) {
+        self.red_region = Some(region);
+    }
+
+    #[inline]
+    fn is_red_line(&self, line: LineAddr) -> bool {
+        self.red_region.is_some_and(|r| r.is_redundancy(line))
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cfg.cores
+    }
+
+    /// Direct access to the memory devices (fault injection, ground truth).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Shared access to the memory devices.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// The redundancy hooks (for controller management APIs via downcast).
+    pub fn hooks_mut(&mut self) -> &mut dyn RedundancyHooks {
+        self.hooks.as_mut()
+    }
+
+    /// Run a closure with the hooks and a [`HookEnv`] (used by the
+    /// file-system layer for DAX map/unmap conversions and recovery, which
+    /// the paper performs in FS software but which touch controller state).
+    pub fn with_hooks_env<T>(
+        &mut self,
+        f: impl FnOnce(&mut dyn RedundancyHooks, &mut HookEnv<'_>) -> T,
+    ) -> T {
+        let mut env = HookEnv {
+            cfg: &self.cfg,
+            mem: &mut self.mem,
+            llc: &mut self.llc,
+            clocks: &mut self.clocks,
+            dimms: &mut self.dimms,
+            counters: &mut self.counters,
+        };
+        f(self.hooks.as_mut(), &mut env)
+    }
+
+    /// Current cycle count of `core`.
+    pub fn clock(&self, core: usize) -> u64 {
+        self.clocks[core]
+    }
+
+    /// Charge `cycles` of compute work to `core`.
+    pub fn compute(&mut self, core: usize, cycles: u64) {
+        self.clocks[core] += cycles;
+    }
+
+    /// Charge `count` instruction-fetch accesses to `core` (1 cycle each,
+    /// counted for L1-I energy). Applications use this as a coarse per-op
+    /// instruction cost; see DESIGN.md §7.
+    pub fn instr(&mut self, core: usize, count: u64) {
+        self.counters.l1i_accesses += count;
+        self.clocks[core] += count;
+    }
+
+    /// Synchronize all core clocks to the maximum (a barrier).
+    pub fn barrier(&mut self) {
+        let m = self.clocks.iter().copied().max().unwrap_or(0);
+        for c in &mut self.clocks {
+            *c = m;
+        }
+    }
+
+    /// Reset counters, clocks, and the DIMM bandwidth horizons. Benchmarks
+    /// call this after warmup/setup so measurements cover only the timed
+    /// phase.
+    pub fn reset_stats(&mut self) {
+        self.counters = Counters::default();
+        for c in &mut self.clocks {
+            *c = 0;
+        }
+        for d in &mut self.dimms {
+            *d = DimmState::default();
+        }
+    }
+
+    /// Per-DIMM (demand, posted) access counts (diagnostics).
+    pub fn dimm_access_counts(&self) -> Vec<(u64, u64)> {
+        self.dimms.iter().map(|d| d.access_counts()).collect()
+    }
+
+    /// Snapshot statistics.
+    pub fn stats(&self) -> Stats {
+        Stats {
+            counters: self.counters,
+            core_cycles: self.clocks.clone(),
+        }
+    }
+
+    #[inline]
+    fn bank_of(&self, line: LineAddr) -> usize {
+        (line.0 % self.llc.len() as u64) as usize
+    }
+
+    fn data_ways(&self) -> Range<usize> {
+        0..self.cfg.llc_data_ways()
+    }
+
+    /// Read `buf.len()` bytes at `addr` as `core`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorruptionDetected`] if the redundancy controller detects a
+    /// checksum mismatch while filling any covered line from NVM.
+    pub fn read(
+        &mut self,
+        core: usize,
+        addr: PhysAddr,
+        buf: &mut [u8],
+    ) -> Result<(), CorruptionDetected> {
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = PhysAddr(addr.0 + off as u64);
+            let line = a.line();
+            let lo = a.line_offset();
+            let n = (CACHE_LINE - lo).min(buf.len() - off);
+            self.ensure_line(core, line, false)?;
+            let e = self.cores[core]
+                .l1d
+                .probe(line, 0..self.cfg.l1d.ways)
+                .expect("line present after ensure_line");
+            buf[off..off + n].copy_from_slice(&e.data[lo..lo + n]);
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Write `data` at `addr` as `core`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorruptionDetected`] if the write-allocate fill of any
+    /// covered line fails verification.
+    pub fn write(
+        &mut self,
+        core: usize,
+        addr: PhysAddr,
+        data: &[u8],
+    ) -> Result<(), CorruptionDetected> {
+        let mut off = 0usize;
+        while off < data.len() {
+            let a = PhysAddr(addr.0 + off as u64);
+            let line = a.line();
+            let lo = a.line_offset();
+            let n = (CACHE_LINE - lo).min(data.len() - off);
+            self.ensure_line(core, line, true)?;
+            let ways = 0..self.cfg.l1d.ways;
+            let e = self.cores[core]
+                .l1d
+                .lookup(line, ways)
+                .expect("line present after ensure_line");
+            e.data[lo..lo + n].copy_from_slice(&data[off..off + n]);
+            e.dirty = true;
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Guarantee `line` is present in `core`'s L1D with write permission if
+    /// `for_write`. This is the full hierarchy walk.
+    fn ensure_line(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        for_write: bool,
+    ) -> Result<(), CorruptionDetected> {
+        let l1_ways = 0..self.cfg.l1d.ways;
+        let l2_ways = 0..self.cfg.l2.ways;
+
+        // L1 hit?
+        if let Some(e) = self.cores[core].l1d.lookup(line, l1_ways.clone()) {
+            self.counters.l1d_hits += 1;
+            self.clocks[core] += self.cfg.l1d.latency_cycles;
+            if !for_write || e.excl {
+                return Ok(());
+            }
+            // Upgrade: fall through to the LLC for ownership, keeping data.
+            self.upgrade_for_write(core, line);
+            return Ok(());
+        }
+        self.counters.l1d_misses += 1;
+        self.clocks[core] += self.cfg.l1d.latency_cycles;
+
+        // L2 hit?
+        if let Some(e) = self.cores[core].l2.lookup(line, l2_ways.clone()) {
+            self.counters.l2_hits += 1;
+            self.clocks[core] += self.cfg.l2.latency_cycles;
+            let data = e.data;
+            let excl = e.excl;
+            if for_write && !excl {
+                self.upgrade_for_write(core, line);
+            }
+            let excl_now = excl || for_write;
+            self.fill_l1(core, line, &data, excl_now);
+            return Ok(());
+        }
+        self.counters.l2_misses += 1;
+        self.clocks[core] += self.cfg.l2.latency_cycles;
+
+        // LLC.
+        let (data, excl) = self.llc_access(core, line, for_write)?;
+        self.fill_l2(core, line, &data, excl);
+        self.fill_l1(core, line, &data, excl);
+        Ok(())
+    }
+
+    /// Write-permission upgrade for a line the core already caches shared:
+    /// probe the LLC directory, invalidate other sharers, take ownership.
+    fn upgrade_for_write(&mut self, core: usize, line: LineAddr) {
+        self.clocks[core] += self.cfg.l2.latency_cycles + self.cfg.llc.latency_cycles;
+        self.counters.llc_hits += 1;
+        let bank = self.bank_of(line);
+        let ways = self.data_ways();
+        let (sharers, _owner) = match self.llc[bank].lookup(line, ways.clone()) {
+            Some(e) => (e.sharers, e.owner),
+            // Inclusion should make this unreachable; tolerate gracefully.
+            None => (0, NO_OWNER),
+        };
+        for other in 0..self.cfg.cores {
+            if other != core && (sharers >> other) & 1 == 1 {
+                if let Some((d, dirty)) = self.priv_invalidate(other, line) {
+                    if dirty {
+                        // Other core's modified data merges into the LLC.
+                        let bank = self.bank_of(line);
+                        let dw = self.data_ways();
+                        if let Some(e) = self.llc[bank].lookup(line, dw) {
+                            e.data = d;
+                            e.dirty = true;
+                        }
+                    }
+                }
+            }
+        }
+        let bank = self.bank_of(line);
+        let dw = self.data_ways();
+        if let Some(e) = self.llc[bank].lookup(line, dw) {
+            e.sharers = 1 << core;
+            e.owner = core as u8;
+        }
+        // Grant exclusivity in this core's private copies.
+        if let Some(e) = self.cores[core].l1d.lookup(line, 0..self.cfg.l1d.ways) {
+            e.excl = true;
+        }
+        if let Some(e) = self.cores[core].l2.lookup(line, 0..self.cfg.l2.ways) {
+            e.excl = true;
+        }
+    }
+
+    /// LLC-level access: returns the line data and whether the core obtains
+    /// exclusive (writable) permission.
+    fn llc_access(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        for_write: bool,
+    ) -> Result<([u8; CACHE_LINE], bool), CorruptionDetected> {
+        self.clocks[core] += self.cfg.llc.latency_cycles;
+        let bank = self.bank_of(line);
+        let ways = self.data_ways();
+
+        let hit = self.llc[bank].lookup(line, ways.clone()).map(|e| {
+            (e.data, e.dirty, e.sharers, e.owner)
+        });
+
+        if let Some((mut data, _dirty, sharers, owner)) = hit {
+            self.counters.llc_hits += 1;
+            // Pull the newest copy from a remote owner.
+            if owner != NO_OWNER && owner as usize != core {
+                if let Some((d, dirty)) = self.priv_invalidate(owner as usize, line) {
+                    if dirty {
+                        data = d;
+                        let e = self.llc[bank].lookup(line, ways.clone()).unwrap();
+                        e.data = d;
+                        e.dirty = true;
+                    }
+                }
+                self.clocks[core] += self.cfg.l2.latency_cycles;
+            }
+            if for_write {
+                // Invalidate all other sharers.
+                for other in 0..self.cfg.cores {
+                    if other != core && (sharers >> other) & 1 == 1 && other != owner as usize {
+                        if let Some((d, dirty)) = self.priv_invalidate(other, line) {
+                            if dirty {
+                                data = d;
+                                let e = self.llc[bank].lookup(line, ways.clone()).unwrap();
+                                e.data = d;
+                                e.dirty = true;
+                            }
+                        }
+                    }
+                }
+                let e = self.llc[bank].lookup(line, ways.clone()).unwrap();
+                e.sharers = 1 << core;
+                e.owner = core as u8;
+                Ok((data, true))
+            } else {
+                let e = self.llc[bank].lookup(line, ways.clone()).unwrap();
+                e.sharers |= 1 << core;
+                e.owner = NO_OWNER;
+                let excl = e.sharers == (1 << core);
+                if excl {
+                    e.owner = core as u8;
+                }
+                Ok((data, excl))
+            }
+        } else {
+            self.counters.llc_misses += 1;
+            // Fill from memory.
+            let data = self.mem_demand_read(core, line)?;
+            let victim = {
+                let ways = self.data_ways();
+                self.llc[bank].insert(line, &data, false, ways)
+            };
+            if let Some(v) = victim {
+                self.process_llc_victim(core, v);
+            }
+            let ways = self.data_ways();
+            let e = self.llc[bank].lookup(line, ways).unwrap();
+            e.sharers = 1 << core;
+            e.owner = core as u8; // E state: sole sharer.
+            Ok((data, true))
+        }
+    }
+
+    /// Demand read of `line` from its memory device, with verification for
+    /// NVM lines.
+    fn mem_demand_read(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+    ) -> Result<[u8; CACHE_LINE], CorruptionDetected> {
+        match self.mem.device_of(line) {
+            Device::Dram => {
+                self.counters.dram_accesses += 1;
+                self.clocks[core] += self.cfg.ns_to_cycles(self.cfg.dram.read_ns);
+                Ok(self.mem.read_line(line))
+            }
+            Device::Nvm { dimm } => {
+                if self.is_red_line(line) {
+                    self.counters.nvm_red_reads += 1;
+                } else {
+                    self.counters.nvm_data_reads += 1;
+                }
+                let occ = self.cfg.ns_to_cycles(self.cfg.nvm.read_occupancy_ns);
+                let wait = self.dimms[dimm].demand(self.clocks[core], occ);
+                self.counters.demand_queue_cycles += wait;
+                self.clocks[core] += wait + self.cfg.ns_to_cycles(self.cfg.nvm.read_ns);
+                let data = self.mem.read_line(line);
+                let System {
+                    cfg,
+                    mem,
+                    llc,
+                    clocks,
+                    dimms,
+                    counters,
+                    hooks,
+                    ..
+                } = self;
+                let mut env = HookEnv {
+                    cfg,
+                    mem,
+                    llc,
+                    clocks,
+                    dimms,
+                    counters,
+                };
+                hooks.on_nvm_fill(core, line, &data, &mut env)?;
+                Ok(data)
+            }
+        }
+    }
+
+    /// Posted write of `line` to its memory device, with redundancy updates
+    /// for NVM lines.
+    fn mem_posted_write(&mut self, core: usize, line: LineAddr, data: &[u8; CACHE_LINE]) {
+        match self.mem.device_of(line) {
+            Device::Dram => {
+                self.counters.dram_accesses += 1;
+                self.mem.write_line(line, data);
+            }
+            Device::Nvm { dimm } => {
+                if self.is_red_line(line) {
+                    self.counters.nvm_red_writes += 1;
+                } else {
+                    self.counters.nvm_data_writes += 1;
+                }
+                let now = self.clocks[core];
+                let occ = self.cfg.ns_to_cycles(self.cfg.nvm.write_occupancy_ns);
+                self.dimms[dimm].posted(now, occ);
+                {
+                    let System {
+                        cfg,
+                        mem,
+                        llc,
+                        clocks,
+                        dimms,
+                        counters,
+                        hooks,
+                        ..
+                    } = self;
+                    let mut env = HookEnv {
+                        cfg,
+                        mem,
+                        llc,
+                        clocks,
+                        dimms,
+                        counters,
+                    };
+                    hooks.on_nvm_writeback(core, line, data, &mut env);
+                }
+                self.mem.write_line(line, data);
+            }
+        }
+    }
+
+    /// Handle an LLC data-partition eviction: back-invalidate private copies
+    /// (inclusion), then write back if dirty.
+    fn process_llc_victim(&mut self, core: usize, v: Evicted) {
+        let mut data = v.data;
+        let mut dirty = v.dirty;
+        for other in 0..self.cfg.cores {
+            if (v.sharers >> other) & 1 == 1 {
+                if let Some((d, pd)) = self.priv_invalidate(other, v.line) {
+                    if pd {
+                        data = d;
+                        dirty = true;
+                    }
+                }
+            }
+        }
+        if dirty {
+            self.mem_posted_write(core, v.line, &data);
+        }
+    }
+
+    /// Remove `line` from `core`'s L1 and L2, returning the newest private
+    /// data and whether it was dirty.
+    fn priv_invalidate(&mut self, core: usize, line: LineAddr) -> Option<([u8; CACHE_LINE], bool)> {
+        let l1 = self.cores[core].l1d.invalidate(line, 0..self.cfg.l1d.ways);
+        let l2 = self.cores[core].l2.invalidate(line, 0..self.cfg.l2.ways);
+        match (l1, l2) {
+            (Some(a), Some(b)) => {
+                if a.dirty {
+                    Some((a.data, true))
+                } else {
+                    Some((b.data, b.dirty))
+                }
+            }
+            (Some(a), None) => Some((a.data, a.dirty)),
+            (None, Some(b)) => Some((b.data, b.dirty)),
+            (None, None) => None,
+        }
+    }
+
+    /// Insert into L1, spilling a dirty victim into the L2.
+    fn fill_l1(&mut self, core: usize, line: LineAddr, data: &[u8; CACHE_LINE], excl: bool) {
+        let ways = 0..self.cfg.l1d.ways;
+        let victim = self.cores[core].l1d.insert(line, data, false, ways.clone());
+        if let Some(e) = self.cores[core].l1d.lookup(line, ways) {
+            e.excl = excl;
+        }
+        if let Some(v) = victim {
+            if v.dirty {
+                // L2 must hold the line (inclusion).
+                let l2_ways = 0..self.cfg.l2.ways;
+                if let Some(e) = self.cores[core].l2.lookup(v.line, l2_ways) {
+                    e.data = v.data;
+                    e.dirty = true;
+                } else {
+                    // Defensive: push straight to the LLC.
+                    self.spill_to_llc(core, v.line, &v.data, true);
+                }
+            }
+        }
+    }
+
+    /// Insert into L2, spilling the victim into the LLC.
+    fn fill_l2(&mut self, core: usize, line: LineAddr, data: &[u8; CACHE_LINE], excl: bool) {
+        let ways = 0..self.cfg.l2.ways;
+        let victim = self.cores[core].l2.insert(line, data, false, ways.clone());
+        if let Some(e) = self.cores[core].l2.lookup(line, ways) {
+            e.excl = excl;
+        }
+        if let Some(v) = victim {
+            // L1 copy must go too (L1 ⊆ L2); it may be newer.
+            let l1 = self.cores[core].l1d.invalidate(v.line, 0..self.cfg.l1d.ways);
+            let (data, dirty) = match l1 {
+                Some(a) if a.dirty => (a.data, true),
+                _ => (v.data, v.dirty),
+            };
+            self.spill_to_llc(core, v.line, &data, dirty);
+        }
+    }
+
+    /// A private-cache victim arrives at the LLC: update the (inclusive)
+    /// LLC copy, firing the clean→dirty diff-capture hook when appropriate,
+    /// and clear this core's directory presence.
+    fn spill_to_llc(&mut self, core: usize, line: LineAddr, data: &[u8; CACHE_LINE], dirty: bool) {
+        let bank = self.bank_of(line);
+        let ways = self.data_ways();
+        let info = self.llc[bank]
+            .lookup(line, ways.clone())
+            .map(|e| (e.data, e.dirty));
+        match info {
+            Some((old_data, was_dirty)) => {
+                if dirty && !was_dirty && line.is_nvm() {
+                    let System {
+                        cfg,
+                        mem,
+                        llc,
+                        clocks,
+                        dimms,
+                        counters,
+                        hooks,
+                        ..
+                    } = self;
+                    let mut env = HookEnv {
+                        cfg,
+                        mem,
+                        llc,
+                        clocks,
+                        dimms,
+                        counters,
+                    };
+                    hooks.on_llc_clean_to_dirty(core, line, &old_data, &mut env);
+                }
+                let e = self.llc[bank].lookup(line, ways).unwrap();
+                if dirty {
+                    e.data = *data;
+                    e.dirty = true;
+                }
+                // The core no longer holds the line privately.
+                e.sharers &= !(1u64 << core);
+                if e.owner as usize == core {
+                    e.owner = NO_OWNER;
+                }
+            }
+            None => {
+                // Inclusion violated (shouldn't happen): write straight back.
+                if dirty {
+                    self.mem_posted_write(core, line, data);
+                }
+            }
+        }
+    }
+
+    /// Flush the entire hierarchy: private caches into the LLC, the LLC to
+    /// memory (with redundancy updates), then the controller's own dirty
+    /// redundancy state. Counters and energy are accounted; core clocks are
+    /// not advanced (see DESIGN.md §6 "Timing model").
+    pub fn flush(&mut self) {
+        // Private caches first.
+        for core in 0..self.cfg.cores {
+            let l1 = self.cores[core].l1d.drain(0..self.cfg.l1d.ways);
+            for v in l1 {
+                if v.dirty {
+                    let ways = 0..self.cfg.l2.ways;
+                    if let Some(e) = self.cores[core].l2.lookup(v.line, ways) {
+                        e.data = v.data;
+                        e.dirty = true;
+                    } else {
+                        self.spill_to_llc(core, v.line, &v.data, true);
+                    }
+                }
+            }
+            let l2 = self.cores[core].l2.drain(0..self.cfg.l2.ways);
+            for v in l2 {
+                self.spill_to_llc(core, v.line, &v.data, v.dirty);
+            }
+        }
+        // LLC data partition.
+        let ways = self.data_ways();
+        for bank in 0..self.llc.len() {
+            let victims = self.llc[bank].drain(ways.clone());
+            for v in victims {
+                if v.dirty {
+                    self.mem_posted_write(0, v.line, &v.data);
+                }
+            }
+        }
+        // Controller state (redundancy partition + on-controller caches).
+        let System {
+            cfg,
+            mem,
+            llc,
+            clocks,
+            dimms,
+            counters,
+            hooks,
+            ..
+        } = self;
+        let mut env = HookEnv {
+            cfg,
+            mem,
+            llc,
+            clocks,
+            dimms,
+            counters,
+        };
+        hooks.flush(&mut env);
+    }
+
+    /// Drop every cached copy of `page`'s lines without writing back (used
+    /// after a detected corruption, before parity recovery repairs the
+    /// media).
+    pub fn invalidate_page(&mut self, page: PageNum) {
+        for i in 0..LINES_PER_PAGE {
+            let line = page.line(i);
+            for core in 0..self.cfg.cores {
+                self.cores[core].l1d.invalidate(line, 0..self.cfg.l1d.ways);
+                self.cores[core].l2.invalidate(line, 0..self.cfg.l2.ways);
+            }
+            let bank = self.bank_of(line);
+            let ways = self.data_ways();
+            self.llc[bank].invalidate(line, ways);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::NVM_BASE;
+
+    fn sys() -> System {
+        System::new(SystemConfig::small(), Box::new(NullHooks))
+    }
+
+    fn nvm(off: u64) -> PhysAddr {
+        PhysAddr(NVM_BASE + off)
+    }
+
+    #[test]
+    fn write_read_roundtrip_through_hierarchy() {
+        let mut s = sys();
+        s.write(0, nvm(100), b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        s.read(0, nvm(100), &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        // Data is still only in caches, not memory.
+        assert_eq!(s.memory().peek_line(nvm(100).line())[36..41], [0u8; 5]);
+        s.flush();
+        let line = s.memory().peek_line(nvm(100).line());
+        assert_eq!(&line[36..41], b"hello");
+    }
+
+    #[test]
+    fn cross_line_access() {
+        let mut s = sys();
+        let data: Vec<u8> = (0..200u32).map(|i| i as u8).collect();
+        s.write(0, nvm(30), &data).unwrap();
+        let mut buf = vec![0u8; 200];
+        s.read(0, nvm(30), &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn l1_hit_on_rereference() {
+        let mut s = sys();
+        s.write(0, nvm(0), &[1u8; 8]).unwrap();
+        let before = s.stats().counters;
+        let mut buf = [0u8; 8];
+        s.read(0, nvm(0), &mut buf).unwrap();
+        let after = s.stats().counters;
+        assert_eq!(after.l1d_hits - before.l1d_hits, 1);
+        assert_eq!(after.l1d_misses, before.l1d_misses);
+    }
+
+    #[test]
+    fn cross_core_coherence_sees_latest_data() {
+        let mut s = sys();
+        s.write(0, nvm(4096), &[7u8; 16]).unwrap();
+        // Core 1 reads the same line: must see core 0's modified data.
+        let mut buf = [0u8; 16];
+        s.read(1, nvm(4096), &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 16]);
+        // Core 1 now writes; core 0 must see it.
+        s.write(1, nvm(4096), &[9u8; 16]).unwrap();
+        let mut buf0 = [0u8; 16];
+        s.read(0, nvm(4096), &mut buf0).unwrap();
+        assert_eq!(buf0, [9u8; 16]);
+    }
+
+    #[test]
+    fn nvm_reads_counted_and_timed() {
+        let mut s = sys();
+        let mut buf = [0u8; 1];
+        let t0 = s.clock(0);
+        s.read(0, nvm(1 << 20), &mut buf).unwrap();
+        assert_eq!(s.stats().counters.nvm_data_reads, 1);
+        // Walk latency: L1 (4) + L2 (7) + LLC (27) + NVM (136) = 174.
+        assert!(s.clock(0) - t0 >= 136);
+    }
+
+    #[test]
+    fn dram_access_hits_dram_counters() {
+        let mut s = sys();
+        let mut buf = [0u8; 4];
+        s.read(0, PhysAddr(12345), &mut buf).unwrap();
+        assert_eq!(s.stats().counters.dram_accesses, 1);
+        assert_eq!(s.stats().counters.nvm_data_reads, 0);
+    }
+
+    #[test]
+    fn capacity_eviction_writes_back_to_nvm() {
+        let mut s = sys();
+        // Write far more lines than the small hierarchy holds.
+        let total_lines = 8 * 1024; // 512 KB worth of lines
+        for i in 0..total_lines {
+            s.write(0, nvm(i * 64), &[i as u8; 8]).unwrap();
+        }
+        let c = s.stats().counters;
+        assert!(c.nvm_data_writes > 0, "evictions must reach NVM");
+        s.flush();
+        // All data must be durable and correct after the flush.
+        for i in 0..total_lines {
+            let line = nvm(i * 64).line();
+            assert_eq!(s.memory().peek_line(line)[0], i as u8, "line {i}");
+        }
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let mut s = sys();
+        s.compute(0, 100);
+        s.compute(1, 5);
+        s.barrier();
+        assert_eq!(s.clock(0), s.clock(1));
+        assert_eq!(s.clock(0), 100);
+    }
+
+    #[test]
+    fn instr_counts_l1i() {
+        let mut s = sys();
+        s.instr(0, 42);
+        assert_eq!(s.stats().counters.l1i_accesses, 42);
+        assert_eq!(s.clock(0), 42);
+    }
+
+    #[test]
+    fn invalidate_page_drops_cached_copies() {
+        let mut s = sys();
+        s.write(0, nvm(0), &[5u8; 64]).unwrap();
+        s.invalidate_page(nvm(0).page());
+        // Cached dirty data was dropped; memory still has zeros.
+        let mut buf = [0u8; 8];
+        s.read(0, nvm(0), &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    /// A hook that records events, for engine-hook contract tests.
+    #[derive(Default)]
+    struct RecordingHooks {
+        fills: Vec<LineAddr>,
+        writebacks: Vec<LineAddr>,
+        dirties: Vec<LineAddr>,
+        flushed: bool,
+    }
+
+    impl RedundancyHooks for RecordingHooks {
+        fn on_nvm_fill(
+            &mut self,
+            _core: usize,
+            line: LineAddr,
+            _data: &[u8; CACHE_LINE],
+            _env: &mut HookEnv<'_>,
+        ) -> Result<(), CorruptionDetected> {
+            self.fills.push(line);
+            Ok(())
+        }
+        fn on_nvm_writeback(
+            &mut self,
+            _core: usize,
+            line: LineAddr,
+            _new: &[u8; CACHE_LINE],
+            _env: &mut HookEnv<'_>,
+        ) {
+            self.writebacks.push(line);
+        }
+        fn on_llc_clean_to_dirty(
+            &mut self,
+            _core: usize,
+            line: LineAddr,
+            _old: &[u8; CACHE_LINE],
+            _env: &mut HookEnv<'_>,
+        ) {
+            self.dirties.push(line);
+        }
+        fn flush(&mut self, _env: &mut HookEnv<'_>) {
+            self.flushed = true;
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn name(&self) -> &'static str {
+            "recording"
+        }
+    }
+
+    #[test]
+    fn hooks_fire_on_fill_and_writeback() {
+        let mut s = System::new(SystemConfig::small(), Box::new(RecordingHooks::default()));
+        let line = nvm(0).line();
+        s.write(0, nvm(0), &[1u8; 8]).unwrap();
+        s.flush();
+        let hooks = s
+            .hooks_mut()
+            .as_any_mut()
+            .downcast_mut::<RecordingHooks>()
+            .unwrap();
+        assert_eq!(hooks.fills, vec![line], "write-allocate fill verified");
+        assert_eq!(hooks.writebacks, vec![line], "flush wrote the line back");
+        assert!(hooks.flushed);
+    }
+
+    #[test]
+    fn clean_to_dirty_hook_sees_old_data() {
+        // Fill a line with a known value, flush it to NVM, re-dirty it, and
+        // force the dirty spill to the LLC; the hook must observe the event.
+        let mut s = System::new(SystemConfig::small(), Box::new(RecordingHooks::default()));
+        s.write(0, nvm(0), &[1u8; 64]).unwrap();
+        // Force the line out of the private caches by touching many others.
+        for i in 1..2048u64 {
+            s.write(0, nvm(i * 64), &[0u8; 8]).unwrap();
+        }
+        let hooks = s
+            .hooks_mut()
+            .as_any_mut()
+            .downcast_mut::<RecordingHooks>()
+            .unwrap();
+        assert!(
+            hooks.dirties.contains(&nvm(0).line()),
+            "dirty spill to the LLC must fire the diff-capture hook"
+        );
+    }
+
+    #[test]
+    fn dimm_queue_delay_grows_with_utilization() {
+        let mut d = DimmState::default();
+        // Low utilization: negligible delay.
+        d.posted(0, 100);
+        let w_low = d.demand(10_000, 34);
+        assert!(w_low <= 1, "1% utilization must not queue: {w_low}");
+        // High utilization: substantial delay.
+        let mut d = DimmState::default();
+        for _ in 0..80 {
+            d.posted(0, 100); // 8000 busy cycles by t=10000 => rho 0.8
+        }
+        let w_high = d.demand(10_000, 34);
+        assert!(
+            (50..=100).contains(&w_high),
+            "rho=0.8 M/D/1 delay ≈ 2*occ: {w_high}"
+        );
+    }
+
+    #[test]
+    fn dimm_utilization_is_clamped() {
+        let mut d = DimmState::default();
+        for _ in 0..1000 {
+            d.posted(0, 100);
+        }
+        assert!(d.utilization(10) <= 0.97);
+        // Even "overloaded", the delay stays finite.
+        let w = d.demand(10, 34);
+        assert!(w < 34 * 20);
+    }
+
+    #[test]
+    fn dimm_access_counts_track_both_kinds() {
+        let mut d = DimmState::default();
+        d.posted(0, 85);
+        d.posted(0, 85);
+        d.demand(100, 34);
+        assert_eq!(d.access_counts(), (1, 2));
+        assert_eq!(d.backlog(), 85 + 85 + 34);
+    }
+
+    #[test]
+    fn redundancy_region_classifies_parity_and_tables() {
+        let r = RedundancyRegion {
+            striped_pages: 16,
+            dimms: 4,
+        };
+        use crate::addr::nvm_page;
+        // Stripe 0: parity slot 0 => page 0 is parity; 1..3 are data.
+        assert!(r.is_redundancy(nvm_page(0).line(0)));
+        assert!(!r.is_redundancy(nvm_page(1).line(0)));
+        assert!(!r.is_redundancy(nvm_page(3).line(63)));
+        // Stripe 1: parity slot 1 => page 5.
+        assert!(r.is_redundancy(nvm_page(5).line(0)));
+        assert!(!r.is_redundancy(nvm_page(4).line(0)));
+        // Above the striped region: checksum tables.
+        assert!(r.is_redundancy(nvm_page(16).line(0)));
+        assert!(r.is_redundancy(nvm_page(100).line(0)));
+        // DRAM is never redundancy.
+        assert!(!r.is_redundancy(PhysAddr(0).line()));
+    }
+
+    #[test]
+    fn classifier_splits_nvm_counters() {
+        let mut s = sys();
+        s.set_redundancy_region(RedundancyRegion {
+            striped_pages: 16,
+            dimms: 4,
+        });
+        let mut buf = [0u8; 8];
+        // Data page 1 (stripe 0, slot 1).
+        s.read(0, nvm(4096), &mut buf).unwrap();
+        // Parity page 0.
+        s.read(0, nvm(0), &mut buf).unwrap();
+        let c = s.stats().counters;
+        assert_eq!(c.nvm_data_reads, 1);
+        assert_eq!(c.nvm_red_reads, 1);
+    }
+
+    #[test]
+    fn demand_reads_queue_behind_dimm_utilization() {
+        // Saturate a DIMM with posted writes, then issue a demand read: its
+        // latency must exceed an idle-system read's.
+        let mut s = sys();
+        s.compute(0, 1000); // establish a nonzero wall clock
+        s.with_hooks_env(|_h, env| {
+            let line = crate::addr::nvm_page(0).line(0);
+            for _ in 0..100 {
+                env.nvm_write_red(0, line, &[0u8; CACHE_LINE]);
+            }
+        });
+        let t0 = s.clock(0);
+        let mut buf = [0u8; 8];
+        s.read(0, PhysAddr(crate::addr::nvm_page(0).line(1).base().0), &mut buf)
+            .unwrap();
+        let busy_latency = s.clock(0) - t0;
+        let mut s2 = sys();
+        s2.compute(0, 1000);
+        let t0 = s2.clock(0);
+        s2.read(0, PhysAddr(crate::addr::nvm_page(0).line(1).base().0), &mut buf)
+            .unwrap();
+        let idle_latency = s2.clock(0) - t0;
+        assert!(
+            busy_latency > idle_latency + 200,
+            "queueing must delay demand reads: busy={busy_latency} idle={idle_latency}"
+        );
+        assert!(s.stats().counters.demand_queue_cycles > 0);
+    }
+
+    #[test]
+    fn overlapped_red_reads_do_not_stall() {
+        let mut s = sys();
+        let line = crate::addr::nvm_page(0).line(0);
+        let before = s.clock(0);
+        s.with_hooks_env(|_h, env| {
+            env.nvm_read_red_overlapped(0, line);
+        });
+        assert_eq!(s.clock(0), before, "overlapped reads cost no core time");
+        assert_eq!(s.stats().counters.nvm_red_reads, 1);
+    }
+
+    #[test]
+    fn reset_stats_clears_everything() {
+        let mut s = sys();
+        let mut buf = [0u8; 8];
+        s.read(0, nvm(0), &mut buf).unwrap();
+        s.reset_stats();
+        let st = s.stats();
+        assert_eq!(st.runtime_cycles(), 0);
+        assert_eq!(st.counters.nvm_data_reads, 0);
+    }
+
+    #[test]
+    fn corruption_error_propagates() {
+        struct FailingHooks;
+        impl RedundancyHooks for FailingHooks {
+            fn on_nvm_fill(
+                &mut self,
+                _core: usize,
+                line: LineAddr,
+                _data: &[u8; CACHE_LINE],
+                _env: &mut HookEnv<'_>,
+            ) -> Result<(), CorruptionDetected> {
+                Err(CorruptionDetected { line })
+            }
+            fn on_nvm_writeback(
+                &mut self,
+                _c: usize,
+                _l: LineAddr,
+                _d: &[u8; CACHE_LINE],
+                _e: &mut HookEnv<'_>,
+            ) {
+            }
+            fn on_llc_clean_to_dirty(
+                &mut self,
+                _c: usize,
+                _l: LineAddr,
+                _d: &[u8; CACHE_LINE],
+                _e: &mut HookEnv<'_>,
+            ) {
+            }
+            fn flush(&mut self, _e: &mut HookEnv<'_>) {}
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+            fn name(&self) -> &'static str {
+                "failing"
+            }
+        }
+        let mut s = System::new(SystemConfig::small(), Box::new(FailingHooks));
+        let mut buf = [0u8; 4];
+        let err = s.read(0, nvm(0), &mut buf).unwrap_err();
+        assert_eq!(err.line, nvm(0).line());
+    }
+}

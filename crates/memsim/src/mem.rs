@@ -1,0 +1,283 @@
+//! Backing memory devices: DRAM and page-striped NVM DIMMs, plus the
+//! firmware fault-injection mechanism.
+//!
+//! The backing store holds real bytes (sparsely, one 4 KB page at a time), so
+//! checksums and parity computed by the redundancy machinery are genuine.
+//!
+//! Firmware bugs from §II-A of the paper are modelled at exactly this level —
+//! *below* every cache and every checksum, where device firmware lives:
+//!
+//! - **Lost write**: the device acknowledges a line write but never updates
+//!   the media.
+//! - **Misdirected write**: the data is written to the wrong media location
+//!   (corrupting that location, and leaving the intended one stale).
+//! - **Misdirected read**: a read returns data from the wrong media location.
+//!
+//! Device-level ECC cannot catch these (the ECC travels with the data), which
+//! is why the paper's system-checksums exist; our verification tests exercise
+//! that end to end.
+
+use crate::addr::{LineAddr, PageNum, CACHE_LINE, NVM_BASE, PAGE, PAGE_SHIFT};
+use std::collections::HashMap;
+
+/// Which device a physical line lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Device {
+    /// DRAM (below [`NVM_BASE`]).
+    Dram,
+    /// NVM, on the given DIMM.
+    Nvm {
+        /// DIMM index in `0..nvm_dimms`.
+        dimm: usize,
+    },
+}
+
+/// A firmware bug armed against a specific media location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FirmwareFault {
+    /// The next write to the armed line is acknowledged but dropped.
+    LostWrite,
+    /// The next write to the armed line is stored at `actual` instead.
+    MisdirectedWrite {
+        /// Where the firmware erroneously writes the data.
+        actual: LineAddr,
+    },
+    /// The next read of the armed line returns the contents of `actual`.
+    MisdirectedRead {
+        /// Where the firmware erroneously reads from.
+        actual: LineAddr,
+    },
+}
+
+/// A record of a fault that actually fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FiredFault {
+    /// The line the access targeted.
+    pub target: LineAddr,
+    /// The fault that fired.
+    pub fault: FirmwareFault,
+}
+
+/// The simulated memory devices.
+#[derive(Debug)]
+pub struct Memory {
+    nvm_dimms: usize,
+    pages: HashMap<u64, Box<[u8; PAGE]>>,
+    armed: HashMap<LineAddr, FirmwareFault>,
+    fired: Vec<FiredFault>,
+}
+
+impl Memory {
+    /// Create memory backed by `nvm_dimms` NVM DIMMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvm_dimms == 0`.
+    pub fn new(nvm_dimms: usize) -> Self {
+        assert!(nvm_dimms > 0, "need at least one NVM DIMM");
+        Memory {
+            nvm_dimms,
+            pages: HashMap::new(),
+            armed: HashMap::new(),
+            fired: Vec::new(),
+        }
+    }
+
+    /// Number of NVM DIMMs.
+    pub fn nvm_dimms(&self) -> usize {
+        self.nvm_dimms
+    }
+
+    /// Index of an NVM page within the NVM region (0 for the first NVM page).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is not an NVM page.
+    #[inline]
+    pub fn nvm_page_index(&self, page: PageNum) -> u64 {
+        assert!(page.is_nvm(), "{page:?} is not an NVM page");
+        page.0 - (NVM_BASE >> PAGE_SHIFT)
+    }
+
+    /// The device holding `line`. NVM pages are interleaved page-granularly
+    /// across DIMMs (page-striping, Fig. 3): NVM page `p` is on DIMM
+    /// `p % dimms`.
+    #[inline]
+    pub fn device_of(&self, line: LineAddr) -> Device {
+        if line.is_nvm() {
+            let idx = self.nvm_page_index(line.page());
+            Device::Nvm {
+                dimm: (idx % self.nvm_dimms as u64) as usize,
+            }
+        } else {
+            Device::Dram
+        }
+    }
+
+    fn page_mut(&mut self, page: PageNum) -> &mut [u8; PAGE] {
+        self.pages
+            .entry(page.0)
+            .or_insert_with(|| Box::new([0u8; PAGE]))
+    }
+
+    /// Read a line through the device firmware (faults may fire).
+    pub fn read_line(&mut self, line: LineAddr) -> [u8; CACHE_LINE] {
+        let actual = match self.armed.get(&line) {
+            Some(&FirmwareFault::MisdirectedRead { actual }) => {
+                let fault = self.armed.remove(&line).unwrap();
+                self.fired.push(FiredFault {
+                    target: line,
+                    fault,
+                });
+                actual
+            }
+            _ => line,
+        };
+        self.peek_line(actual)
+    }
+
+    /// Write a line through the device firmware (faults may fire).
+    pub fn write_line(&mut self, line: LineAddr, data: &[u8; CACHE_LINE]) {
+        match self.armed.get(&line).copied() {
+            Some(f @ FirmwareFault::LostWrite) => {
+                self.armed.remove(&line);
+                self.fired.push(FiredFault {
+                    target: line,
+                    fault: f,
+                });
+                // Acknowledged, never written.
+            }
+            Some(f @ FirmwareFault::MisdirectedWrite { actual }) => {
+                self.armed.remove(&line);
+                self.fired.push(FiredFault {
+                    target: line,
+                    fault: f,
+                });
+                self.poke_line(actual, data);
+            }
+            _ => self.poke_line(line, data),
+        }
+    }
+
+    /// Read a line directly from the media, bypassing firmware faults.
+    /// (Used by tests and by documentation examples to inspect ground truth.)
+    pub fn peek_line(&self, line: LineAddr) -> [u8; CACHE_LINE] {
+        let mut out = [0u8; CACHE_LINE];
+        if let Some(p) = self.pages.get(&line.page().0) {
+            let off = line.index_in_page() * CACHE_LINE;
+            out.copy_from_slice(&p[off..off + CACHE_LINE]);
+        }
+        out
+    }
+
+    /// Write a line directly to the media, bypassing firmware faults.
+    pub fn poke_line(&mut self, line: LineAddr, data: &[u8; CACHE_LINE]) {
+        let off = line.index_in_page() * CACHE_LINE;
+        let page = self.page_mut(line.page());
+        page[off..off + CACHE_LINE].copy_from_slice(data);
+    }
+
+    /// Arm a one-shot firmware fault against `line`. A newly armed fault
+    /// replaces any previously armed fault on the same line.
+    pub fn arm_fault(&mut self, line: LineAddr, fault: FirmwareFault) {
+        self.armed.insert(line, fault);
+    }
+
+    /// Faults that have fired so far, in firing order.
+    pub fn fired_faults(&self) -> &[FiredFault] {
+        &self.fired
+    }
+
+    /// Number of faults still armed.
+    pub fn armed_faults(&self) -> usize {
+        self.armed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PhysAddr;
+
+    fn nvm_line(page_idx: u64, line_idx: usize) -> LineAddr {
+        PageNum((NVM_BASE >> PAGE_SHIFT) + page_idx).line(line_idx)
+    }
+
+    #[test]
+    fn rw_roundtrip() {
+        let mut m = Memory::new(4);
+        let l = nvm_line(3, 5);
+        let data = [0xabu8; CACHE_LINE];
+        m.write_line(l, &data);
+        assert_eq!(m.read_line(l), data);
+    }
+
+    #[test]
+    fn unwritten_lines_read_zero() {
+        let mut m = Memory::new(4);
+        assert_eq!(m.read_line(nvm_line(0, 0)), [0u8; CACHE_LINE]);
+    }
+
+    #[test]
+    fn dimm_interleave_is_page_granular() {
+        let m = Memory::new(4);
+        for p in 0..8u64 {
+            let d = m.device_of(nvm_line(p, 0));
+            assert_eq!(d, Device::Nvm { dimm: (p % 4) as usize });
+            // All lines of a page are on the same DIMM.
+            assert_eq!(m.device_of(nvm_line(p, 63)), d);
+        }
+        assert_eq!(m.device_of(PhysAddr(64).line()), Device::Dram);
+    }
+
+    #[test]
+    fn lost_write_drops_data_once() {
+        let mut m = Memory::new(4);
+        let l = nvm_line(0, 0);
+        m.write_line(l, &[1u8; CACHE_LINE]);
+        m.arm_fault(l, FirmwareFault::LostWrite);
+        m.write_line(l, &[2u8; CACHE_LINE]);
+        // The write was acknowledged but the media still has the old data.
+        assert_eq!(m.read_line(l)[0], 1);
+        assert_eq!(m.fired_faults().len(), 1);
+        // Fault is one-shot: the next write lands.
+        m.write_line(l, &[3u8; CACHE_LINE]);
+        assert_eq!(m.read_line(l)[0], 3);
+    }
+
+    #[test]
+    fn misdirected_write_corrupts_other_location() {
+        let mut m = Memory::new(4);
+        let green = nvm_line(1, 0);
+        let blue = nvm_line(2, 0);
+        m.write_line(blue, &[0xbbu8; CACHE_LINE]);
+        m.arm_fault(green, FirmwareFault::MisdirectedWrite { actual: blue });
+        m.write_line(green, &[0x99u8; CACHE_LINE]);
+        // Intended location is stale; victim location got clobbered (Fig. 2).
+        assert_eq!(m.read_line(green)[0], 0);
+        assert_eq!(m.read_line(blue)[0], 0x99);
+    }
+
+    #[test]
+    fn misdirected_read_returns_wrong_data() {
+        let mut m = Memory::new(4);
+        let a = nvm_line(0, 1);
+        let b = nvm_line(0, 2);
+        m.write_line(a, &[1u8; CACHE_LINE]);
+        m.write_line(b, &[2u8; CACHE_LINE]);
+        m.arm_fault(a, FirmwareFault::MisdirectedRead { actual: b });
+        assert_eq!(m.read_line(a)[0], 2);
+        // One-shot.
+        assert_eq!(m.read_line(a)[0], 1);
+    }
+
+    #[test]
+    fn peek_bypasses_faults() {
+        let mut m = Memory::new(2);
+        let l = nvm_line(0, 0);
+        m.write_line(l, &[7u8; CACHE_LINE]);
+        m.arm_fault(l, FirmwareFault::MisdirectedRead { actual: nvm_line(1, 0) });
+        assert_eq!(m.peek_line(l)[0], 7);
+        assert_eq!(m.armed_faults(), 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! Simulation statistics: the quantities the paper plots in Fig. 8
+//! (runtime, energy, NVM accesses split into data vs. redundancy, and cache
+//! accesses split by level).
+
+use crate::config::SystemConfig;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Raw event counters accumulated during a simulation run.
+///
+/// Counters are plain `u64`s; energy and runtime are *derived* from them (plus
+/// per-core cycle counts) via [`Stats::energy_nj`] so that a single run can be
+/// re-priced under different energy parameters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// L1-D hits.
+    pub l1d_hits: u64,
+    /// L1-D misses.
+    pub l1d_misses: u64,
+    /// L1-I accesses (charged as per-op constants).
+    pub l1i_accesses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// LLC hits (application-data partition).
+    pub llc_hits: u64,
+    /// LLC misses (application-data partition).
+    pub llc_misses: u64,
+    /// LLC accesses made on behalf of the redundancy controller
+    /// (redundancy-partition and diff-partition lookups/inserts).
+    pub llc_redundancy_accesses: u64,
+    /// On-controller (TVARAK) cache hits.
+    pub tvarak_cache_hits: u64,
+    /// On-controller (TVARAK) cache misses.
+    pub tvarak_cache_misses: u64,
+    /// DRAM 64 B accesses.
+    pub dram_accesses: u64,
+    /// NVM 64 B reads of application data.
+    pub nvm_data_reads: u64,
+    /// NVM 64 B writes of application data.
+    pub nvm_data_writes: u64,
+    /// NVM 64 B reads of redundancy information (checksums, parity, old data
+    /// read for delta computation).
+    pub nvm_red_reads: u64,
+    /// NVM 64 B writes of redundancy information.
+    pub nvm_red_writes: u64,
+    /// Checksum/parity computations performed by the controller.
+    pub controller_computes: u64,
+    /// Reads verified against a checksum by the controller.
+    pub reads_verified: u64,
+    /// Corruptions detected (verification mismatches).
+    pub corruptions_detected: u64,
+    /// Pages recovered from parity.
+    pub pages_recovered: u64,
+    /// Cycles demand reads spent queued behind DIMM traffic (diagnostics).
+    pub demand_queue_cycles: u64,
+}
+
+impl Counters {
+    /// Total NVM accesses (data + redundancy, reads + writes).
+    pub fn nvm_total(&self) -> u64 {
+        self.nvm_data_reads + self.nvm_data_writes + self.nvm_red_reads + self.nvm_red_writes
+    }
+
+    /// Total NVM accesses for redundancy information only.
+    pub fn nvm_redundancy(&self) -> u64 {
+        self.nvm_red_reads + self.nvm_red_writes
+    }
+
+    /// Total NVM accesses for application data only.
+    pub fn nvm_data(&self) -> u64 {
+        self.nvm_data_reads + self.nvm_data_writes
+    }
+
+    /// Total cache accesses across L1/L2/LLC plus the on-controller cache
+    /// (the quantity plotted in Fig. 8 (d,h,l,p,t)).
+    pub fn cache_total(&self) -> u64 {
+        self.l1_accesses() + self.l2_accesses() + self.llc_accesses() + self.tvarak_accesses()
+    }
+
+    /// L1 accesses (data + instruction).
+    pub fn l1_accesses(&self) -> u64 {
+        self.l1d_hits + self.l1d_misses + self.l1i_accesses
+    }
+
+    /// L2 accesses.
+    pub fn l2_accesses(&self) -> u64 {
+        self.l2_hits + self.l2_misses
+    }
+
+    /// LLC accesses, including controller-initiated partition accesses.
+    pub fn llc_accesses(&self) -> u64 {
+        self.llc_hits + self.llc_misses + self.llc_redundancy_accesses
+    }
+
+    /// On-controller cache accesses.
+    pub fn tvarak_accesses(&self) -> u64 {
+        self.tvarak_cache_hits + self.tvarak_cache_misses
+    }
+}
+
+impl Add for Counters {
+    type Output = Counters;
+    fn add(mut self, rhs: Counters) -> Counters {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for Counters {
+    fn add_assign(&mut self, r: Counters) {
+        self.l1d_hits += r.l1d_hits;
+        self.l1d_misses += r.l1d_misses;
+        self.l1i_accesses += r.l1i_accesses;
+        self.l2_hits += r.l2_hits;
+        self.l2_misses += r.l2_misses;
+        self.llc_hits += r.llc_hits;
+        self.llc_misses += r.llc_misses;
+        self.llc_redundancy_accesses += r.llc_redundancy_accesses;
+        self.tvarak_cache_hits += r.tvarak_cache_hits;
+        self.tvarak_cache_misses += r.tvarak_cache_misses;
+        self.dram_accesses += r.dram_accesses;
+        self.nvm_data_reads += r.nvm_data_reads;
+        self.nvm_data_writes += r.nvm_data_writes;
+        self.nvm_red_reads += r.nvm_red_reads;
+        self.nvm_red_writes += r.nvm_red_writes;
+        self.controller_computes += r.controller_computes;
+        self.reads_verified += r.reads_verified;
+        self.corruptions_detected += r.corruptions_detected;
+        self.pages_recovered += r.pages_recovered;
+        self.demand_queue_cycles += r.demand_queue_cycles;
+    }
+}
+
+/// Full run statistics: counters plus per-core cycle counts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Stats {
+    /// Event counters.
+    pub counters: Counters,
+    /// Cycles consumed by each core.
+    pub core_cycles: Vec<u64>,
+}
+
+impl Stats {
+    /// Create stats for `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        Stats {
+            counters: Counters::default(),
+            core_cycles: vec![0; cores],
+        }
+    }
+
+    /// Simulated runtime in cycles: the busiest core's cycle count.
+    pub fn runtime_cycles(&self) -> u64 {
+        self.core_cycles.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Simulated runtime in nanoseconds under `cfg`'s clock.
+    pub fn runtime_ns(&self, cfg: &SystemConfig) -> f64 {
+        self.runtime_cycles() as f64 / cfg.freq_ghz
+    }
+
+    /// Total energy in nanojoules under `cfg`'s energy parameters.
+    ///
+    /// Sums cache hit/miss energies, on-controller cache energies, DRAM
+    /// access energy, and NVM read/write energy — the components plotted in
+    /// Fig. 8 (b,f,j,n,r).
+    pub fn energy_nj(&self, cfg: &SystemConfig) -> f64 {
+        let c = &self.counters;
+        let pj = c.l1d_hits as f64 * cfg.l1d.hit_pj
+            + c.l1d_misses as f64 * cfg.l1d.miss_pj
+            + c.l1i_accesses as f64 * cfg.l1i.hit_pj
+            + c.l2_hits as f64 * cfg.l2.hit_pj
+            + c.l2_misses as f64 * cfg.l2.miss_pj
+            + (c.llc_hits + c.llc_redundancy_accesses) as f64 * cfg.llc.hit_pj
+            + c.llc_misses as f64 * cfg.llc.miss_pj
+            + c.tvarak_cache_hits as f64 * cfg.controller.cache_hit_pj
+            + c.tvarak_cache_misses as f64 * cfg.controller.cache_miss_pj;
+        let nj = c.dram_accesses as f64 * cfg.dram.access_nj
+            + (c.nvm_data_reads + c.nvm_red_reads) as f64 * cfg.nvm.read_nj
+            + (c.nvm_data_writes + c.nvm_red_writes) as f64 * cfg.nvm.write_nj;
+        pj / 1000.0 + nj
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = &self.counters;
+        writeln!(f, "runtime: {} cycles", self.runtime_cycles())?;
+        writeln!(
+            f,
+            "L1D {}/{} L2 {}/{} LLC {}/{} (hits/misses), tvarak$ {}/{}",
+            c.l1d_hits,
+            c.l1d_misses,
+            c.l2_hits,
+            c.l2_misses,
+            c.llc_hits,
+            c.llc_misses,
+            c.tvarak_cache_hits,
+            c.tvarak_cache_misses
+        )?;
+        writeln!(
+            f,
+            "NVM data r/w {}/{}, redundancy r/w {}/{}, DRAM {}",
+            c.nvm_data_reads, c.nvm_data_writes, c.nvm_red_reads, c.nvm_red_writes, c.dram_accesses
+        )?;
+        write!(
+            f,
+            "verified reads {}, corruptions {}, pages recovered {}",
+            c.reads_verified, c.corruptions_detected, c.pages_recovered
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_components() {
+        let mut c = Counters::default();
+        c.nvm_data_reads = 1;
+        c.nvm_data_writes = 2;
+        c.nvm_red_reads = 3;
+        c.nvm_red_writes = 4;
+        assert_eq!(c.nvm_total(), 10);
+        assert_eq!(c.nvm_redundancy(), 7);
+        assert_eq!(c.nvm_data(), 3);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = Counters::default();
+        a.l1d_hits = 5;
+        let mut b = Counters::default();
+        b.l1d_hits = 7;
+        b.pages_recovered = 1;
+        let s = a + b;
+        assert_eq!(s.l1d_hits, 12);
+        assert_eq!(s.pages_recovered, 1);
+    }
+
+    #[test]
+    fn runtime_is_max_core() {
+        let mut s = Stats::new(3);
+        s.core_cycles = vec![5, 9, 2];
+        assert_eq!(s.runtime_cycles(), 9);
+    }
+
+    #[test]
+    fn energy_counts_nvm_heavier_than_cache() {
+        let cfg = SystemConfig::default();
+        let mut s = Stats::new(1);
+        s.counters.nvm_data_writes = 100;
+        let e_nvm = s.energy_nj(&cfg);
+        let mut s2 = Stats::new(1);
+        s2.counters.l1d_hits = 100;
+        let e_l1 = s2.energy_nj(&cfg);
+        assert!(e_nvm > e_l1 * 100.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = Stats::new(1);
+        assert!(format!("{s}").contains("runtime"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the cache array against a reference model, and
+//! of the full hierarchy's data-correctness invariants.
+
+use memsim::addr::{LineAddr, PhysAddr, CACHE_LINE, NVM_BASE};
+use memsim::cache::CacheArray;
+use memsim::config::SystemConfig;
+use memsim::engine::{NullHooks, System};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Reference model: per-set bounded map (capacity = ways) — checks that the
+/// cache never holds more lines than its geometry allows and never invents
+/// data.
+#[derive(Default)]
+struct RefModel {
+    /// line -> data byte
+    present: HashMap<u64, u8>,
+}
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Insert(u8, u8),
+    Lookup(u8),
+    Invalidate(u8),
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(l, d)| CacheOp::Insert(l, d)),
+        any::<u8>().prop_map(CacheOp::Lookup),
+        any::<u8>().prop_map(CacheOp::Invalidate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the cache returns must be the data last inserted for that
+    /// line; occupancy never exceeds sets × ways.
+    #[test]
+    fn cache_never_invents_data(ops in prop::collection::vec(cache_op(), 1..300)) {
+        let sets = 4usize;
+        let ways = 2usize;
+        let mut cache = CacheArray::new(sets, ways, 1);
+        let mut reference = RefModel::default();
+        for op in ops {
+            match op {
+                CacheOp::Insert(l, d) => {
+                    let line = LineAddr(l as u64);
+                    let data = [d; CACHE_LINE];
+                    if let Some(ev) = cache.insert(line, &data, false, 0..ways) {
+                        reference.present.remove(&ev.line.0);
+                    }
+                    reference.present.insert(l as u64, d);
+                }
+                CacheOp::Lookup(l) => {
+                    if let Some(e) = cache.lookup(LineAddr(l as u64), 0..ways) {
+                        let expect = reference.present.get(&(l as u64));
+                        prop_assert_eq!(Some(&e.data[0]), expect, "line {} wrong data", l);
+                    }
+                }
+                CacheOp::Invalidate(l) => {
+                    cache.invalidate(LineAddr(l as u64), 0..ways);
+                    reference.present.remove(&(l as u64));
+                }
+            }
+            prop_assert!(cache.occupancy(0..ways) <= sets * ways);
+        }
+    }
+
+    /// A line just inserted must be present (LRU never evicts the newest).
+    #[test]
+    fn newest_line_survives_insert(lines in prop::collection::vec(any::<u8>(), 1..100)) {
+        let mut cache = CacheArray::new(2, 2, 1);
+        for l in lines {
+            let line = LineAddr(l as u64);
+            cache.insert(line, &[l; CACHE_LINE], true, 0..2);
+            prop_assert!(cache.probe(line, 0..2).is_some(), "line {l} missing after insert");
+        }
+    }
+
+    /// Dirty data is never lost: every dirty insert is either still cached
+    /// or was returned as a dirty eviction.
+    #[test]
+    fn dirty_lines_never_silently_dropped(lines in prop::collection::vec(any::<u8>(), 1..200)) {
+        let mut cache = CacheArray::new(2, 2, 1);
+        let mut live: HashMap<u64, u8> = HashMap::new();
+        for l in lines {
+            let line = LineAddr(l as u64);
+            if let Some(ev) = cache.insert(line, &[l; CACHE_LINE], true, 0..2) {
+                prop_assert!(ev.dirty, "evicted line {:?} lost its dirty bit", ev.line);
+                let expect = live.remove(&ev.line.0).expect("evicted line unknown");
+                prop_assert_eq!(ev.data[0], expect);
+            }
+            live.insert(l as u64, l);
+        }
+        // Everything still tracked must be in the cache.
+        for (&l, &d) in &live {
+            let e = cache.probe(LineAddr(l), 0..2).expect("live line missing");
+            prop_assert_eq!(e.data[0], d);
+        }
+    }
+
+    /// Multi-core hierarchy: reads always observe the last write regardless
+    /// of which core wrote, under arbitrary small access sequences.
+    #[test]
+    fn hierarchy_coherence_under_random_sharing(
+        ops in prop::collection::vec(
+            (0..2u8, 0..32u8, any::<u8>(), any::<bool>()), 1..150)
+    ) {
+        let mut sys = System::new(SystemConfig::small(), Box::new(NullHooks));
+        let mut reference = [0u8; 32];
+        for (core, slot, val, write) in ops {
+            let addr = PhysAddr(NVM_BASE + slot as u64 * 64);
+            if write {
+                sys.write(core as usize, addr, &[val]).unwrap();
+                reference[slot as usize] = val;
+            } else {
+                let mut buf = [0u8; 1];
+                sys.read(core as usize, addr, &mut buf).unwrap();
+                prop_assert_eq!(buf[0], reference[slot as usize],
+                    "core {} slot {}", core, slot);
+            }
+        }
+        // Durability after flush.
+        sys.flush();
+        for (slot, &val) in reference.iter().enumerate() {
+            let line = PhysAddr(NVM_BASE + slot as u64 * 64).line();
+            prop_assert_eq!(sys.memory().peek_line(line)[0], val);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! File-level firmware fault injection (the §II-A bug taxonomy, targeted at
+//! file offsets instead of raw physical lines).
+
+use crate::fs::FileHandle;
+use memsim::engine::System;
+use memsim::mem::FirmwareFault;
+
+/// A firmware bug to arm against a file location (one-shot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The next write to the line containing `offset` is acknowledged but
+    /// never reaches the media (Fig. 1).
+    LostWrite {
+        /// Byte offset within the file.
+        offset: u64,
+    },
+    /// The next write to the line containing `offset` lands on the line
+    /// containing `victim_offset` instead (Fig. 2).
+    MisdirectedWrite {
+        /// Byte offset within the file whose write is misdirected.
+        offset: u64,
+        /// Byte offset within the file that gets clobbered.
+        victim_offset: u64,
+    },
+    /// The next read of the line containing `offset` returns the content of
+    /// the line containing `source_offset`.
+    MisdirectedRead {
+        /// Byte offset within the file whose read is misdirected.
+        offset: u64,
+        /// Byte offset within the file whose content is returned instead.
+        source_offset: u64,
+    },
+}
+
+/// Arm `fault` against `file` in the device firmware.
+pub fn inject(sys: &mut System, file: &FileHandle, fault: Fault) {
+    match fault {
+        Fault::LostWrite { offset } => {
+            sys.memory_mut()
+                .arm_fault(file.addr(offset).line(), FirmwareFault::LostWrite);
+        }
+        Fault::MisdirectedWrite {
+            offset,
+            victim_offset,
+        } => {
+            let actual = file.addr(victim_offset).line();
+            sys.memory_mut()
+                .arm_fault(file.addr(offset).line(), FirmwareFault::MisdirectedWrite { actual });
+        }
+        Fault::MisdirectedRead {
+            offset,
+            source_offset,
+        } => {
+            let actual = file.addr(source_offset).line();
+            sys.memory_mut()
+                .arm_fault(file.addr(offset).line(), FirmwareFault::MisdirectedRead { actual });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::DaxFs;
+    use memsim::config::SystemConfig;
+    use memsim::engine::NullHooks;
+    use tvarak::layout::NvmLayout;
+
+    #[test]
+    fn injected_lost_write_fires_on_writeback() {
+        let cfg = SystemConfig::small();
+        let layout = NvmLayout::new(cfg.nvm.dimms, 8);
+        let mut sys = System::new(cfg, Box::new(NullHooks));
+        let mut fs = DaxFs::new(layout, &mut sys);
+        let f = fs.create(&mut sys, 4096).unwrap();
+        inject(&mut sys, &f, Fault::LostWrite { offset: 128 });
+        f.write(&mut sys, 0, 128, &[1u8; 64]).unwrap();
+        sys.flush();
+        // Baseline has no checksums: the loss is silent.
+        assert_eq!(sys.memory().peek_line(f.addr(128).line()), [0u8; 64]);
+        assert_eq!(sys.memory().fired_faults().len(), 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Redundancy-state initialization and DAX map/unmap checksum conversions.
+//!
+//! The paper's file system maintains per-page checksums for all data and
+//! switches to cache-line granular DAX-CL-checksums while a file is
+//! DAX-mapped (§III-C). The conversions happen in FS software at map/unmap
+//! time; they operate directly on media content (these helpers use the
+//! fault-bypassing peek/poke interface because they are setup-time
+//! operations, excluded from measured runs — see DESIGN.md).
+
+use crate::checksum::{line_checksum, page_checksum, set_csum_slot};
+use crate::layout::NvmLayout;
+use crate::parity::xor_into;
+use memsim::addr::{CACHE_LINE, LINES_PER_PAGE, PAGE};
+use memsim::mem::Memory;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Write the DAX-CL-checksums for the data pages with indices in `range`,
+/// computed from current media content (the map-time page→CL conversion).
+pub fn refresh_cl_csums(layout: &NvmLayout, mem: &mut Memory, range: Range<u64>) {
+    for n in range {
+        let page = layout.nth_data_page(n);
+        for i in 0..LINES_PER_PAGE {
+            let line = page.line(i);
+            let data = mem.peek_line(line);
+            let (cs_line, slot) = layout.cl_csum_loc(line);
+            let mut cs = mem.peek_line(cs_line);
+            set_csum_slot(&mut cs, slot, line_checksum(&data));
+            mem.poke_line(cs_line, &cs);
+        }
+    }
+}
+
+/// Write the per-page system-checksums for the data pages with indices in
+/// `range`, computed from current media content (the unmap-time CL→page
+/// conversion).
+pub fn refresh_page_csums(layout: &NvmLayout, mem: &mut Memory, range: Range<u64>) {
+    for n in range {
+        let page = layout.nth_data_page(n);
+        let mut bytes = vec![0u8; PAGE];
+        for i in 0..LINES_PER_PAGE {
+            bytes[i * CACHE_LINE..(i + 1) * CACHE_LINE]
+                .copy_from_slice(&mem.peek_line(page.line(i)));
+        }
+        let (cs_line, slot) = layout.page_csum_loc(page);
+        let mut cs = mem.peek_line(cs_line);
+        set_csum_slot(&mut cs, slot, page_checksum(&bytes));
+        mem.poke_line(cs_line, &cs);
+    }
+}
+
+/// Recompute the parity pages of every stripe containing a data page in
+/// `range`, from current media content.
+pub fn refresh_parity(layout: &NvmLayout, mem: &mut Memory, range: Range<u64>) {
+    let geom = layout.geometry();
+    let stripes: BTreeSet<u64> = range
+        .clone()
+        .map(|n| geom.stripe_of(layout.nth_data_page(n).nvm_index()))
+        .collect();
+    for stripe in stripes {
+        let parity_page = memsim::addr::nvm_page(geom.parity_page_of(stripe * geom.dimms() as u64));
+        let data_pages = geom.data_pages_of_stripe(stripe);
+        for o in 0..LINES_PER_PAGE {
+            let mut par = [0u8; CACHE_LINE];
+            for &dp in &data_pages {
+                let d = mem.peek_line(memsim::addr::nvm_page(dp).line(o));
+                xor_into(&mut par, &d);
+            }
+            mem.poke_line(parity_page.line(o), &par);
+        }
+    }
+}
+
+/// Full redundancy initialization for the data pages in `range`: DAX-CL
+/// checksums, page checksums, and parity, all consistent with current media
+/// content.
+pub fn initialize_region(layout: &NvmLayout, mem: &mut Memory, range: Range<u64>) {
+    refresh_cl_csums(layout, mem, range.clone());
+    refresh_page_csums(layout, mem, range.clone());
+    refresh_parity(layout, mem, range);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checksum::csum_slot;
+
+    #[test]
+    fn initialize_zero_region_matches_zero_checksums() {
+        let layout = NvmLayout::new(4, 6);
+        let mut mem = Memory::new(4);
+        initialize_region(&layout, &mut mem, 0..6);
+        let zero_line_csum = line_checksum(&[0u8; CACHE_LINE]);
+        let line = layout.nth_data_page(0).line(0);
+        let (cs_line, slot) = layout.cl_csum_loc(line);
+        assert_eq!(csum_slot(&mem.peek_line(cs_line), slot), zero_line_csum);
+        let (pcs_line, pslot) = layout.page_csum_loc(layout.nth_data_page(0));
+        assert_eq!(
+            csum_slot(&mem.peek_line(pcs_line), pslot),
+            page_checksum(&vec![0u8; PAGE])
+        );
+    }
+
+    #[test]
+    fn initialize_covers_prewritten_content() {
+        let layout = NvmLayout::new(4, 6);
+        let mut mem = Memory::new(4);
+        let line = layout.nth_data_page(2).line(5);
+        mem.poke_line(line, &[0x42u8; CACHE_LINE]);
+        initialize_region(&layout, &mut mem, 0..6);
+        let (cs_line, slot) = layout.cl_csum_loc(line);
+        assert_eq!(
+            csum_slot(&mem.peek_line(cs_line), slot),
+            line_checksum(&[0x42u8; CACHE_LINE])
+        );
+        // Parity of the stripe reflects the content.
+        let par = mem.peek_line(layout.parity_line_of(line));
+        let mut expect = mem.peek_line(line);
+        for sib in layout.sibling_lines_of(line) {
+            xor_into(&mut expect, &mem.peek_line(sib));
+        }
+        assert_eq!(par, expect);
+    }
+
+    #[test]
+    fn refresh_page_csums_tracks_updates() {
+        let layout = NvmLayout::new(4, 4);
+        let mut mem = Memory::new(4);
+        initialize_region(&layout, &mut mem, 0..4);
+        let page = layout.nth_data_page(1);
+        mem.poke_line(page.line(0), &[9u8; CACHE_LINE]);
+        refresh_page_csums(&layout, &mut mem, 1..2);
+        let mut bytes = vec![0u8; PAGE];
+        bytes[..CACHE_LINE].copy_from_slice(&[9u8; CACHE_LINE]);
+        let (cs_line, slot) = layout.page_csum_loc(page);
+        assert_eq!(
+            csum_slot(&mem.peek_line(cs_line), slot),
+            page_checksum(&bytes)
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! Cross-DIMM parity: RAID-5-style page striping over the NVM DIMMs (Fig. 3).
+//!
+//! With `d` DIMMs, NVM pages are grouped into *stripes* of `d` consecutive
+//! region-relative page indices. Because pages are interleaved page-granularly
+//! across DIMMs (page `i` lives on DIMM `i % d`), the pages of a stripe sit
+//! on `d` distinct DIMMs. One page per stripe holds parity; the parity slot
+//! rotates per stripe (`stripe % d`) so parity writes spread over DIMMs.
+//!
+//! Parity is maintained at cache-line granularity: the parity line at offset
+//! `o` of the parity page is the XOR of the lines at offset `o` of the
+//! stripe's data pages. A data-line update applies the delta
+//! `parity ^= old_data ^ new_data`, which is why TVARAK wants the old data
+//! (the *data diff*) at writeback time.
+
+use memsim::addr::CACHE_LINE;
+
+/// Stripe geometry over `dimms` NVM DIMMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeGeometry {
+    dimms: usize,
+}
+
+impl StripeGeometry {
+    /// Create geometry for `dimms` DIMMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimms < 2` (parity needs at least one data + one parity
+    /// device).
+    pub fn new(dimms: usize) -> Self {
+        assert!(dimms >= 2, "parity striping needs at least 2 DIMMs");
+        StripeGeometry { dimms }
+    }
+
+    /// Number of DIMMs.
+    pub fn dimms(&self) -> usize {
+        self.dimms
+    }
+
+    /// Data pages per stripe (one page of each stripe is parity).
+    pub fn data_pages_per_stripe(&self) -> usize {
+        self.dimms - 1
+    }
+
+    /// Stripe index containing region-relative NVM page `idx`.
+    #[inline]
+    pub fn stripe_of(&self, idx: u64) -> u64 {
+        idx / self.dimms as u64
+    }
+
+    /// Slot of page `idx` within its stripe (`0..dimms`); equals its DIMM.
+    #[inline]
+    pub fn slot_of(&self, idx: u64) -> usize {
+        (idx % self.dimms as u64) as usize
+    }
+
+    /// The slot holding parity in `stripe` (rotates).
+    #[inline]
+    pub fn parity_slot(&self, stripe: u64) -> usize {
+        (stripe % self.dimms as u64) as usize
+    }
+
+    /// Whether region-relative page `idx` is a parity page.
+    #[inline]
+    pub fn is_parity_page(&self, idx: u64) -> bool {
+        self.slot_of(idx) == self.parity_slot(self.stripe_of(idx))
+    }
+
+    /// The parity page of the stripe containing page `idx` (which may be
+    /// `idx` itself if it is the parity page).
+    #[inline]
+    pub fn parity_page_of(&self, idx: u64) -> u64 {
+        let stripe = self.stripe_of(idx);
+        stripe * self.dimms as u64 + self.parity_slot(stripe) as u64
+    }
+
+    /// The data pages of the stripe containing page `idx`, in slot order.
+    pub fn data_pages_of_stripe(&self, stripe: u64) -> Vec<u64> {
+        let base = stripe * self.dimms as u64;
+        let pslot = self.parity_slot(stripe);
+        (0..self.dimms)
+            .filter(|&s| s != pslot)
+            .map(|s| base + s as u64)
+            .collect()
+    }
+
+    /// The sibling data pages of data page `idx` (the other data pages in
+    /// its stripe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is a parity page.
+    pub fn siblings_of(&self, idx: u64) -> Vec<u64> {
+        assert!(!self.is_parity_page(idx), "page {idx} is a parity page");
+        self.data_pages_of_stripe(self.stripe_of(idx))
+            .into_iter()
+            .filter(|&p| p != idx)
+            .collect()
+    }
+
+    /// Number of pages (data + parity) needed to hold `data_pages` data
+    /// pages: the page count rounded up to whole stripes.
+    pub fn total_pages_for(&self, data_pages: u64) -> u64 {
+        let per = self.data_pages_per_stripe() as u64;
+        data_pages.div_ceil(per) * self.dimms as u64
+    }
+
+    /// Iterate region-relative indices of the first `n` data pages (skipping
+    /// parity pages).
+    pub fn data_page_iter(&self, n: u64) -> impl Iterator<Item = u64> + '_ {
+        (0u64..).filter(|&i| !self.is_parity_page(i)).take(n as usize)
+    }
+}
+
+/// XOR `b` into `a` in place.
+#[inline]
+pub fn xor_into(a: &mut [u8; CACHE_LINE], b: &[u8; CACHE_LINE]) {
+    for i in 0..CACHE_LINE {
+        a[i] ^= b[i];
+    }
+}
+
+/// Apply the RAID-5 delta update: `parity ^= old ^ new`.
+#[inline]
+pub fn parity_delta(
+    parity: &mut [u8; CACHE_LINE],
+    old: &[u8; CACHE_LINE],
+    new: &[u8; CACHE_LINE],
+) {
+    for i in 0..CACHE_LINE {
+        parity[i] ^= old[i] ^ new[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_rotates_across_stripes() {
+        let g = StripeGeometry::new(4);
+        assert_eq!(g.parity_slot(0), 0);
+        assert_eq!(g.parity_slot(1), 1);
+        assert_eq!(g.parity_slot(3), 3);
+        assert_eq!(g.parity_slot(4), 0);
+    }
+
+    #[test]
+    fn every_stripe_has_one_parity_page() {
+        let g = StripeGeometry::new(4);
+        for stripe in 0..16u64 {
+            let base = stripe * 4;
+            let n_parity = (base..base + 4).filter(|&i| g.is_parity_page(i)).count();
+            assert_eq!(n_parity, 1, "stripe {stripe}");
+            assert_eq!(g.data_pages_of_stripe(stripe).len(), 3);
+        }
+    }
+
+    #[test]
+    fn parity_page_of_is_in_same_stripe() {
+        let g = StripeGeometry::new(4);
+        for idx in 0..64u64 {
+            let p = g.parity_page_of(idx);
+            assert_eq!(g.stripe_of(p), g.stripe_of(idx));
+            assert!(g.is_parity_page(p));
+        }
+    }
+
+    #[test]
+    fn siblings_exclude_self_and_parity() {
+        let g = StripeGeometry::new(4);
+        // Page 5: stripe 1, parity slot 1 => parity page 5? slot_of(5)=1 ==
+        // parity_slot(1)=1, so 5 IS parity. Use page 6.
+        let sib = g.siblings_of(6);
+        assert_eq!(sib.len(), 2);
+        assert!(!sib.contains(&6));
+        assert!(sib.iter().all(|&p| !g.is_parity_page(p)));
+    }
+
+    #[test]
+    #[should_panic(expected = "parity page")]
+    fn siblings_of_parity_page_panics() {
+        StripeGeometry::new(4).siblings_of(0);
+    }
+
+    #[test]
+    fn total_pages_rounds_to_stripes() {
+        let g = StripeGeometry::new(4);
+        assert_eq!(g.total_pages_for(0), 0);
+        assert_eq!(g.total_pages_for(1), 4);
+        assert_eq!(g.total_pages_for(3), 4);
+        assert_eq!(g.total_pages_for(4), 8);
+    }
+
+    #[test]
+    fn data_page_iter_skips_parity() {
+        let g = StripeGeometry::new(4);
+        let pages: Vec<u64> = g.data_page_iter(6).collect();
+        assert_eq!(pages, vec![1, 2, 3, 4, 6, 7]);
+        assert!(pages.iter().all(|&p| !g.is_parity_page(p)));
+    }
+
+    #[test]
+    fn delta_equals_recompute() {
+        let g = StripeGeometry::new(4);
+        let _ = g;
+        let d0 = [1u8; CACHE_LINE];
+        let d1 = [2u8; CACHE_LINE];
+        let d2 = [4u8; CACHE_LINE];
+        // parity of (d0, d1, d2)
+        let mut parity = [0u8; CACHE_LINE];
+        xor_into(&mut parity, &d0);
+        xor_into(&mut parity, &d1);
+        xor_into(&mut parity, &d2);
+        // update d1 -> d1'
+        let d1_new = [9u8; CACHE_LINE];
+        parity_delta(&mut parity, &d1, &d1_new);
+        // recompute from scratch
+        let mut expect = [0u8; CACHE_LINE];
+        xor_into(&mut expect, &d0);
+        xor_into(&mut expect, &d1_new);
+        xor_into(&mut expect, &d2);
+        assert_eq!(parity, expect);
+    }
+
+    #[test]
+    fn xor_recovers_missing_line() {
+        let d0 = [0xa5u8; CACHE_LINE];
+        let d1 = [0x3cu8; CACHE_LINE];
+        let d2 = [0x7eu8; CACHE_LINE];
+        let mut parity = [0u8; CACHE_LINE];
+        for d in [&d0, &d1, &d2] {
+            xor_into(&mut parity, d);
+        }
+        // Reconstruct d1 from parity + siblings.
+        let mut rec = parity;
+        xor_into(&mut rec, &d0);
+        xor_into(&mut rec, &d2);
+        assert_eq!(rec, d1);
+    }
+}

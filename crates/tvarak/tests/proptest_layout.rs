@@ -1,0 +1,202 @@
+//! Property-based tests of the redundancy layout arithmetic and parity
+//! algebra — the invariants TVARAK's hardware comparators and adders rely on.
+
+use memsim::addr::{CACHE_LINE, LINES_PER_PAGE};
+use proptest::prelude::*;
+use tvarak::checksum::{crc32c, csum_slot, set_csum_slot, CSUMS_PER_LINE};
+use tvarak::layout::NvmLayout;
+use tvarak::parity::{parity_delta, xor_into, StripeGeometry};
+
+/// Page count of the striped (data+parity) region of a layout.
+fn geom_striped_pages(layout: &NvmLayout) -> u64 {
+    layout.geometry().total_pages_for(layout.data_pages())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// nth_data_page / data_index_of are inverse bijections, and data pages
+    /// are never parity pages, for any DIMM count and page index.
+    #[test]
+    fn data_page_indexing_roundtrips(dimms in 2usize..8, n in 0u64..10_000) {
+        let layout = NvmLayout::new(dimms, 10_000);
+        let page = layout.nth_data_page(n);
+        prop_assert!(!layout.geometry().is_parity_page(page.nvm_index()));
+        prop_assert_eq!(layout.data_index_of(page), n);
+    }
+
+    /// Every data line's checksum slot is unique (no two lines share a
+    /// 4-byte slot).
+    #[test]
+    fn csum_slots_unique_within_sample(
+        dimms in 2usize..6,
+        pages in prop::collection::btree_set(0u64..500, 2..10)
+    ) {
+        let layout = NvmLayout::new(dimms, 500);
+        let mut seen = std::collections::HashSet::new();
+        for &n in &pages {
+            let page = layout.nth_data_page(n);
+            for i in 0..LINES_PER_PAGE {
+                let loc = layout.cl_csum_loc(page.line(i));
+                prop_assert!(seen.insert(loc), "duplicate slot {loc:?}");
+            }
+        }
+    }
+
+    /// Checksum locations live strictly outside the striped region (no
+    /// overlap between data/parity and the tables).
+    #[test]
+    fn csum_tables_do_not_overlap_stripes(dimms in 2usize..6, n in 0u64..2_000) {
+        let layout = NvmLayout::new(dimms, 2_000);
+        let page = layout.nth_data_page(n % 2_000);
+        let (cs_line, _) = layout.cl_csum_loc(page.line((n % 64) as usize));
+        prop_assert!(!layout.is_data_line(cs_line));
+        prop_assert!(cs_line.page().nvm_index() >= geom_striped_pages(&layout));
+        let (pcs_line, _) = layout.page_csum_loc(page);
+        prop_assert!(!layout.is_data_line(pcs_line));
+        prop_assert!(pcs_line.page().nvm_index() > cs_line.page().nvm_index());
+    }
+
+    /// Parity line and sibling lines of a data line are all distinct, in the
+    /// same stripe, at the same in-page offset, and together cover the whole
+    /// stripe.
+    #[test]
+    fn stripe_members_are_consistent(dimms in 2usize..8, n in 0u64..5_000, o in 0usize..64) {
+        let layout = NvmLayout::new(dimms, 5_000);
+        let line = layout.nth_data_page(n).line(o);
+        let par = layout.parity_line_of(line);
+        let sibs = layout.sibling_lines_of(line);
+        prop_assert_eq!(sibs.len(), dimms - 2);
+        let geom = layout.geometry();
+        let stripe = geom.stripe_of(line.page().nvm_index());
+        let mut members = vec![line.page().nvm_index(), par.page().nvm_index()];
+        for s in &sibs {
+            prop_assert_eq!(s.index_in_page(), o);
+            prop_assert_eq!(geom.stripe_of(s.page().nvm_index()), stripe);
+            members.push(s.page().nvm_index());
+        }
+        members.sort_unstable();
+        members.dedup();
+        prop_assert_eq!(members.len(), dimms, "stripe members must be distinct and complete");
+    }
+
+    /// RAID algebra: for any stripe contents and any single-member update,
+    /// the delta-updated parity equals the recomputed parity, and any single
+    /// member is reconstructible from the others.
+    #[test]
+    fn parity_delta_matches_recompute_and_recovers(
+        data in prop::collection::vec(prop::collection::vec(any::<u8>(), CACHE_LINE), 2..6),
+        updated in prop::collection::vec(any::<u8>(), CACHE_LINE),
+        which in any::<prop::sample::Index>(),
+    ) {
+        let members: Vec<[u8; CACHE_LINE]> = data
+            .iter()
+            .map(|v| <[u8; CACHE_LINE]>::try_from(v.as_slice()).unwrap())
+            .collect();
+        let upd = <[u8; CACHE_LINE]>::try_from(updated.as_slice()).unwrap();
+        let idx = which.index(members.len());
+        // Parity of the original stripe.
+        let mut parity = [0u8; CACHE_LINE];
+        for m in &members {
+            xor_into(&mut parity, m);
+        }
+        // Delta update member `idx`.
+        let mut delta_parity = parity;
+        parity_delta(&mut delta_parity, &members[idx], &upd);
+        // Recompute from scratch.
+        let mut recompute = [0u8; CACHE_LINE];
+        for (i, m) in members.iter().enumerate() {
+            xor_into(&mut recompute, if i == idx { &upd } else { m });
+        }
+        prop_assert_eq!(delta_parity, recompute);
+        // Reconstruction of the updated member from parity + the others.
+        let mut rec = delta_parity;
+        for (i, m) in members.iter().enumerate() {
+            if i != idx {
+                xor_into(&mut rec, m);
+            }
+        }
+        prop_assert_eq!(rec, upd);
+    }
+
+    /// Checksum slot packing: any slot write is readable back and disturbs
+    /// no other slot.
+    #[test]
+    fn csum_slot_isolation(
+        init in prop::collection::vec(any::<u32>(), CSUMS_PER_LINE),
+        slot in 0usize..CSUMS_PER_LINE,
+        value in any::<u32>(),
+    ) {
+        let mut line = [0u8; CACHE_LINE];
+        for (i, v) in init.iter().enumerate() {
+            set_csum_slot(&mut line, i, *v);
+        }
+        set_csum_slot(&mut line, slot, value);
+        for i in 0..CSUMS_PER_LINE {
+            let expect = if i == slot { value } else { init[i] };
+            prop_assert_eq!(csum_slot(&line, i), expect);
+        }
+    }
+
+    /// CRC32C distinguishes any two different buffers we throw at it (no
+    /// accidental structural collisions for small perturbations).
+    #[test]
+    fn crc_detects_single_byte_changes(
+        data in prop::collection::vec(any::<u8>(), 1..256),
+        pos in any::<prop::sample::Index>(),
+        delta in 1u8..=255,
+    ) {
+        let mut mutated = data.clone();
+        let i = pos.index(mutated.len());
+        mutated[i] = mutated[i].wrapping_add(delta);
+        prop_assert_ne!(crc32c(&data), crc32c(&mutated));
+    }
+
+    /// RAID-6 extension: any two erased members of any stripe reconstruct
+    /// exactly from P+Q, for arbitrary stripe contents and widths.
+    #[test]
+    fn raid6_double_erasure_always_recovers(
+        members in prop::collection::vec(
+            prop::collection::vec(any::<u8>(), CACHE_LINE), 2..7),
+        pick in any::<(prop::sample::Index, prop::sample::Index)>(),
+    ) {
+        use tvarak::raid6;
+        let stripe: Vec<[u8; CACHE_LINE]> = members
+            .iter()
+            .map(|v| <[u8; CACHE_LINE]>::try_from(v.as_slice()).unwrap())
+            .collect();
+        let (p, q) = raid6::encode(&stripe);
+        prop_assert!(raid6::verify(&stripe, &p, &q));
+        let x = pick.0.index(stripe.len());
+        let mut y = pick.1.index(stripe.len());
+        if x == y {
+            y = (y + 1) % stripe.len();
+        }
+        let holes: Vec<Option<[u8; CACHE_LINE]>> = stripe
+            .iter()
+            .enumerate()
+            .map(|(i, d)| if i == x || i == y { None } else { Some(*d) })
+            .collect();
+        let (dx, dy) = raid6::recover_two(&holes, &p, &q, x, y);
+        let (lo, hi) = if x < y { (x, y) } else { (y, x) };
+        prop_assert_eq!(dx, stripe[lo]);
+        prop_assert_eq!(dy, stripe[hi]);
+    }
+
+    /// Stripe geometry partitions pages: every page is either parity or
+    /// data, and data_page_iter enumerates exactly the non-parity pages.
+    #[test]
+    fn geometry_partitions_pages(dimms in 2usize..8) {
+        let geom = StripeGeometry::new(dimms);
+        let by_iter: Vec<u64> = geom.data_page_iter(200).collect();
+        let mut iter_idx = 0;
+        for idx in 0..by_iter[by_iter.len() - 1] + 1 {
+            if geom.is_parity_page(idx) {
+                prop_assert!(!by_iter.contains(&idx));
+            } else {
+                prop_assert_eq!(by_iter[iter_idx], idx);
+                iter_idx += 1;
+            }
+        }
+    }
+}

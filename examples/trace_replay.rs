@@ -1,0 +1,70 @@
+//! Trace-driven comparison: build a synthetic access trace once, then
+//! replay it under Baseline and TVARAK to compare redundancy overheads on
+//! identical access streams — the portable-experiment workflow
+//! `memsim::trace` enables.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! ```
+
+use memsim::trace::{generate, Trace};
+use tvarak_repro::prelude::*;
+
+fn replay_under(design: Design, trace: &Trace) -> (u64, u64, u64) {
+    let mut machine = Machine::builder()
+        .small()
+        .design(design)
+        .data_pages(2048)
+        .build();
+    // DAX-map the region the trace touches so the controller covers it.
+    let file = machine
+        .create_dax_file("trace-region", 4 * 1024 * 1024)
+        .expect("pool too small");
+    let _ = file;
+    machine.reset_stats();
+    trace.replay(&mut machine.sys).expect("replay failed");
+    machine.flush();
+    let stats = machine.stats();
+    (
+        stats.runtime_cycles(),
+        stats.counters.nvm_data(),
+        stats.counters.nvm_redundancy(),
+    )
+}
+
+fn main() {
+    // A mixed trace: one sequential writer, one scrambled reader, on
+    // separate cores. The pool's first data page is the region base.
+    let mut m = Machine::builder().small().data_pages(2048).build();
+    let file = m.create_dax_file("probe", 4 * 1024 * 1024).unwrap();
+    let base = file.addr(0);
+    drop(m);
+
+    let mut trace = generate::sequential(0, true, base, 4096);
+    for r in generate::scramble(1, false, base, 4096, 7).iter() {
+        trace.push(*r);
+    }
+    println!("trace: {} accesses", trace.len());
+    // Traces serialize compactly for reuse across runs/machines.
+    let bytes = trace.to_bytes();
+    let trace = Trace::from_bytes(&bytes).unwrap();
+    println!("serialized: {} bytes", bytes.len());
+
+    println!(
+        "{:<12} {:>14} {:>10} {:>10}",
+        "design", "cycles", "nvm-data", "nvm-red"
+    );
+    let mut base_cycles = None;
+    for design in [Design::Baseline, Design::Tvarak] {
+        let (cycles, data, red) = replay_under(design, &trace);
+        let b = *base_cycles.get_or_insert(cycles);
+        println!(
+            "{:<12} {:>14} {:>10} {:>10}   ({:.3}x)",
+            design.label(),
+            cycles,
+            data,
+            red,
+            cycles as f64 / b as f64
+        );
+    }
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the TVARAK paper's evaluation.
+# Results land in results/*.csv; tables print to stdout.
+#
+# Usage: scripts/reproduce.sh [quick|reduced|full]
+set -euo pipefail
+export TVARAK_SCALE="${1:-full}"
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench
+
+run() { echo "=== $1 ${2:-} ==="; cargo run --release -q -p bench --bin "$1" -- ${2:-}; }
+
+run show_config
+run fig8_redis
+run fig8_kv
+run fig8_nstore
+run fig8_fio
+run fig8_stream
+TVARAK_SCALE=reduced run fig9_ablation a
+TVARAK_SCALE=reduced run fig9_ablation b
+TVARAK_SCALE=reduced run fig10_sensitivity redundancy
+TVARAK_SCALE=reduced run fig10_sensitivity diffs
+TVARAK_SCALE=reduced run sec4h_scaling
+TVARAK_SCALE=reduced run vilamb_sweep
+TVARAK_SCALE=reduced run ycsb_suite
+run coverage_campaign
+
+echo "All experiments complete; CSVs in results/."
