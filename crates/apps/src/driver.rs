@@ -7,9 +7,11 @@ use memsim::config::SystemConfig;
 use memsim::engine::{CorruptionDetected, NullHooks, System};
 use memsim::stats::Stats;
 use pmemfs::fs::{DaxFs, FileHandle, FsError, RecoveryError};
+use pmemfs::recover::{Poisoned, RecoveryOrchestrator};
 use pmemfs::tx::{SwScheme, TxManager};
 use tvarak::controller::{TvarakConfig, TvarakController};
 use tvarak::layout::NvmLayout;
+use tvarak::scrub::{ScrubDaemon, ScrubFindingKind, ScrubGranularity, Scrubber};
 use std::error::Error;
 use std::fmt;
 
@@ -77,6 +79,22 @@ impl Design {
     pub fn has_controller(&self) -> bool {
         matches!(self, Design::Tvarak | Design::TvarakAblated(_))
     }
+
+    /// The checksum granularity this design maintains, or `None` for
+    /// Baseline (which maintains no redundancy and can neither scrub nor
+    /// recover).
+    pub fn checksum_granularity(&self) -> Option<ScrubGranularity> {
+        match self {
+            Design::Baseline => None,
+            Design::Tvarak | Design::TxbObject => Some(ScrubGranularity::CacheLine),
+            Design::TvarakAblated(tc) => Some(if tc.cl_granular_csums {
+                ScrubGranularity::CacheLine
+            } else {
+                ScrubGranularity::Page
+            }),
+            Design::TxbPage | Design::Vilamb { .. } => Some(ScrubGranularity::Page),
+        }
+    }
 }
 
 impl fmt::Display for Design {
@@ -98,6 +116,8 @@ pub enum AppError {
     Oom(crate::alloc::OutOfMemory),
     /// Recovery failed.
     Recovery(RecoveryError),
+    /// The access touched a quarantined page (degraded mode fails closed).
+    Poisoned(Poisoned),
 }
 
 impl fmt::Display for AppError {
@@ -108,6 +128,7 @@ impl fmt::Display for AppError {
             AppError::Tx(e) => write!(f, "{e}"),
             AppError::Oom(e) => write!(f, "{e}"),
             AppError::Recovery(e) => write!(f, "{e}"),
+            AppError::Poisoned(e) => write!(f, "{e}"),
         }
     }
 }
@@ -141,6 +162,12 @@ impl From<crate::alloc::OutOfMemory> for AppError {
 impl From<RecoveryError> for AppError {
     fn from(e: RecoveryError) -> Self {
         AppError::Recovery(e)
+    }
+}
+
+impl From<Poisoned> for AppError {
+    fn from(e: Poisoned) -> Self {
+        AppError::Poisoned(e)
     }
 }
 
@@ -251,6 +278,9 @@ impl MachineBuilder {
             sys,
             fs,
             design: self.design,
+            orchestrator: None,
+            daemon: None,
+            scrub_strikes: None,
         }
     }
 }
@@ -263,6 +293,11 @@ pub struct Machine {
     /// The DAX file system.
     pub fs: DaxFs,
     design: Design,
+    orchestrator: Option<RecoveryOrchestrator>,
+    daemon: Option<ScrubDaemon>,
+    /// Consecutive scrub-time detections on the same page, for bounding
+    /// repeat offenders (see [`Machine::tick_scrub`]).
+    scrub_strikes: Option<(PageNum, u32)>,
 }
 
 impl Machine {
@@ -390,6 +425,318 @@ impl Machine {
         self.fs.recover_page(&mut self.sys, page)
     }
 
+    /// Install the detection→recovery→degradation pipeline: corruption
+    /// handled through this machine (via [`Self::handle_corruption`] or
+    /// [`Self::with_recovery`]) is transparently recovered with up to
+    /// `max_retries` attempts, and unrecoverable pages are quarantined on a
+    /// persistent poison list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] if the pool cannot hold the poison-list store.
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`Design::Baseline`], which maintains no redundancy to
+    /// recover from.
+    pub fn enable_recovery(&mut self, max_retries: u32) -> Result<(), FsError> {
+        let granularity = self
+            .design
+            .checksum_granularity()
+            .expect("Baseline maintains no redundancy; nothing to recover from");
+        let orch =
+            RecoveryOrchestrator::new(&mut self.fs, &mut self.sys, granularity, max_retries)?;
+        self.orchestrator = Some(orch);
+        Ok(())
+    }
+
+    /// Install a budgeted scrub daemon over `file`: `pages` pages verified
+    /// every `interval_ops` operations, ticked by the run drivers
+    /// ([`run_interleaved`], [`run_clocked`]) after every operation.
+    /// Findings are routed through the recovery orchestrator when one is
+    /// enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`Design::Baseline`] (no checksums to scrub against) and
+    /// on a zero budget.
+    pub fn enable_scrub_daemon(&mut self, file: &FileHandle, pages: u64, interval_ops: u64) {
+        let granularity = self
+            .design
+            .checksum_granularity()
+            .expect("Baseline maintains no checksums; nothing to scrub against");
+        let scrubber = Scrubber::new(
+            *self.fs.layout(),
+            granularity,
+            file.first_data_index(),
+            file.pages(),
+        )
+        .with_parity_audit();
+        self.daemon = Some(ScrubDaemon::new(scrubber, pages, interval_ops));
+    }
+
+    /// The recovery orchestrator, if [`Self::enable_recovery`] was called.
+    pub fn orchestrator(&self) -> Option<&RecoveryOrchestrator> {
+        self.orchestrator.as_ref()
+    }
+
+    /// Mutable access to the orchestrator (poison clearing, event draining).
+    pub fn orchestrator_mut(&mut self) -> Option<&mut RecoveryOrchestrator> {
+        self.orchestrator.as_mut()
+    }
+
+    /// The scrub daemon, if [`Self::enable_scrub_daemon`] was called.
+    pub fn scrub_daemon(&self) -> Option<&ScrubDaemon> {
+        self.daemon.as_ref()
+    }
+
+    /// Route one detected corruption through the orchestrator: recover with
+    /// bounded retries, or quarantine.
+    ///
+    /// # Errors
+    ///
+    /// [`AppError::Poisoned`] when the page was (or just became)
+    /// quarantined; [`AppError::Corruption`] when no orchestrator is
+    /// enabled.
+    pub fn handle_corruption(&mut self, err: CorruptionDetected) -> Result<(), AppError> {
+        match self.orchestrator.as_mut() {
+            Some(orch) => {
+                orch.handle(&mut self.fs, &mut self.sys, err)?;
+                Ok(())
+            }
+            None => Err(AppError::Corruption(err)),
+        }
+    }
+
+    /// Run `op` with transparent recovery: any corruption it surfaces —
+    /// [`AppError::Corruption`] from a raw access or wrapped as
+    /// [`pmemfs::tx::TxError::Corruption`] from inside a transaction — is
+    /// routed through the orchestrator and the operation is re-issued. A
+    /// page that keeps detecting after `max_retries` apparently-successful
+    /// recoveries (a broken device read path: the media verifies but reads
+    /// keep faulting) is quarantined.
+    ///
+    /// # Errors
+    ///
+    /// [`AppError::Poisoned`] once the failing page is quarantined; other
+    /// errors propagate unchanged.
+    pub fn with_recovery<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Machine) -> Result<T, AppError>,
+    ) -> Result<T, AppError> {
+        let mut incidents: Vec<(PageNum, u32)> = Vec::new();
+        loop {
+            let err = match op(self) {
+                Ok(v) => return Ok(v),
+                Err(err) => err,
+            };
+            let e = match (&err, self.orchestrator.is_some()) {
+                (AppError::Corruption(e), true) => *e,
+                (AppError::Tx(pmemfs::tx::TxError::Corruption(e)), true) => *e,
+                _ => return Err(err),
+            };
+            let page = e.line.page();
+            let n = match incidents.iter_mut().find(|(p, _)| *p == page) {
+                Some((_, n)) => {
+                    *n += 1;
+                    *n
+                }
+                None => {
+                    incidents.push((page, 1));
+                    1
+                }
+            };
+            let orch = self.orchestrator.as_mut().unwrap();
+            if n > orch.max_retries() {
+                return Err(orch.quarantine_page(&mut self.sys, page).into());
+            }
+            orch.handle(&mut self.fs, &mut self.sys, e)?;
+        }
+    }
+
+    /// Fail closed if `[offset, offset + len)` of `file` touches a
+    /// quarantined page. Software designs have no inline verification, so
+    /// this is how their demand reads observe the poison list.
+    ///
+    /// # Errors
+    ///
+    /// [`AppError::Poisoned`] for a quarantined range.
+    pub fn check_poison(
+        &self,
+        file: &FileHandle,
+        offset: u64,
+        len: usize,
+    ) -> Result<(), AppError> {
+        match self.orchestrator.as_ref() {
+            Some(orch) => {
+                orch.check_range(file, offset, len)?;
+                Ok(())
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Read `file` with the full pipeline: poison ranges fail closed,
+    /// detected corruption is transparently recovered and the read
+    /// re-issued. Falls back to a plain [`FileHandle::read`] when no
+    /// orchestrator is enabled.
+    ///
+    /// # Errors
+    ///
+    /// [`AppError::Poisoned`] or [`AppError::Corruption`].
+    pub fn read_file(
+        &mut self,
+        file: &FileHandle,
+        core: usize,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<(), AppError> {
+        match self.orchestrator.as_mut() {
+            Some(orch) => {
+                orch.read(&mut self.fs, &mut self.sys, file, core, offset, buf)?;
+                Ok(())
+            }
+            None => {
+                file.read(&mut self.sys, core, offset, buf)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Write `file` with the full pipeline (see [`Self::read_file`]).
+    ///
+    /// # Errors
+    ///
+    /// [`AppError::Poisoned`] or [`AppError::Corruption`].
+    pub fn write_file(
+        &mut self,
+        file: &FileHandle,
+        core: usize,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), AppError> {
+        match self.orchestrator.as_mut() {
+            Some(orch) => {
+                orch.write(&mut self.fs, &mut self.sys, file, core, offset, data)?;
+                Ok(())
+            }
+            None => {
+                file.write(&mut self.sys, core, offset, data)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Rewrite page `n` of `file` wholesale, clearing its poison if the
+    /// rewrite verifies on media (see
+    /// [`RecoveryOrchestrator::rewrite_page`]).
+    ///
+    /// # Errors
+    ///
+    /// [`AppError::Poisoned`] if the rewrite did not reach the media.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no orchestrator is enabled (call
+    /// [`Self::enable_recovery`] first) or `data` is not one page.
+    pub fn rewrite_page(&mut self, file: &FileHandle, n: u64, data: &[u8]) -> Result<(), AppError> {
+        let orch = self
+            .orchestrator
+            .as_mut()
+            .expect("rewrite_page requires enable_recovery");
+        orch.rewrite_page(&mut self.fs, &mut self.sys, file, n, data)?;
+        Ok(())
+    }
+
+    /// Advance the scrub daemon by one application operation on `core`.
+    /// Detections are routed through the orchestrator; a quarantined page is
+    /// skipped so the daemon keeps covering the rest of the file. The run
+    /// drivers call this automatically after every operation.
+    ///
+    /// # Errors
+    ///
+    /// [`AppError::Corruption`] when the scrubber detects corruption and no
+    /// orchestrator is enabled. Quarantines do *not* fail the tick — the
+    /// poison only surfaces to accesses that touch the page.
+    pub fn tick_scrub(&mut self, core: usize) -> Result<(), AppError> {
+        let Some(daemon) = self.daemon.as_mut() else {
+            return Ok(());
+        };
+        match daemon.tick(&mut self.sys, core) {
+            // Off-interval tick: no scrubbing happened, leave the strike
+            // record of the page under the cursor untouched.
+            Ok(None) => Ok(()),
+            Ok(Some(findings)) => {
+                self.scrub_strikes = None;
+                for f in findings {
+                    match f.kind {
+                        ScrubFindingKind::Checksum => {
+                            let err = CorruptionDetected {
+                                line: f.page.line(0),
+                            };
+                            match self.orchestrator.as_mut() {
+                                // Quarantine is recorded in the orchestrator;
+                                // the daemon moves on.
+                                Some(orch) => {
+                                    let _ = orch.handle(&mut self.fs, &mut self.sys, err);
+                                }
+                                None => return Err(AppError::Corruption(err)),
+                            }
+                        }
+                        // Data and checksums agree but the stripe no longer
+                        // reconstructs: re-silver it while the data is still
+                        // intact. The orchestrator refuses while a sibling is
+                        // checksum-failing (that sibling still needs the old
+                        // parity); the audit will re-report next pass. Without
+                        // an orchestrator the audit stays advisory.
+                        ScrubFindingKind::Parity => {
+                            if let Some(orch) = self.orchestrator.as_mut() {
+                                let _ = orch.repair_parity(&mut self.sys, f.page);
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            // Hardware verification tripped mid-step; the cursor is still on
+            // the failing page, so settle it before the next tick.
+            Err(e) => {
+                let page = e.line.page();
+                let Some(orch) = self.orchestrator.as_mut() else {
+                    return Err(AppError::Corruption(e));
+                };
+                // A quarantined page trips verification on every scrub read
+                // forever; that is not a new incident — skip past it.
+                if orch.is_poisoned(page) {
+                    self.daemon.as_mut().unwrap().skip_page();
+                    self.scrub_strikes = None;
+                    return Ok(());
+                }
+                let strikes = match &mut self.scrub_strikes {
+                    Some((p, n)) if *p == page => {
+                        *n += 1;
+                        *n
+                    }
+                    _ => {
+                        self.scrub_strikes = Some((page, 1));
+                        1
+                    }
+                };
+                let poisoned = if strikes > orch.max_retries() {
+                    orch.quarantine_page(&mut self.sys, page);
+                    true
+                } else {
+                    orch.handle(&mut self.fs, &mut self.sys, e).is_err()
+                };
+                if poisoned {
+                    self.daemon.as_mut().unwrap().skip_page();
+                    self.scrub_strikes = None;
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Rebuild `file`'s redundancy (checksums + parity) from current media
     /// content, bypassing the measured path. Workload *setup* phases use
     /// this after bulk raw initialization so that unmeasured initialization
@@ -421,9 +768,11 @@ pub fn run_interleaved<F>(
 where
     F: FnMut(&mut Machine, usize, u64) -> Result<(), AppError>,
 {
+    let cores = m.sys.num_cores();
     for op in 0..ops {
         for inst in 0..instances {
             f(m, inst, op)?;
+            m.tick_scrub(inst % cores)?;
         }
     }
     m.flush();
@@ -459,6 +808,7 @@ where
         }
         let Some((inst, _)) = next else { break };
         f(m, inst, done[inst])?;
+        m.tick_scrub(inst % cores)?;
         done[inst] += 1;
     }
     Ok(())

@@ -1,0 +1,703 @@
+//! Chaos campaign: sweep firmware-fault type × design × application and
+//! assert the survival invariants of the detection → recovery → degradation
+//! pipeline (§II-A fault taxonomy, §III recovery path):
+//!
+//! 1. **No silent wrong data** under designs with inline cache-line-granular
+//!    verification (TVARAK proper): a read either returns the acknowledged
+//!    bytes, is transparently recovered, or fails closed with a structured
+//!    `Poisoned` error — never fabricated values. Page-granular checksums
+//!    (the naive ablation, TxB-Page) cannot make this promise: their update
+//!    path re-reads the rest of the page from media, so a sticky misread or
+//!    stale line gets *laundered* into the recomputed checksum and later
+//!    verification agrees with the wrong bytes. The campaign measures that
+//!    exposure (`wrong`/`crash` columns) instead of asserting it away;
+//!    Baseline runs as the no-checksum contrast row.
+//! 2. **End-state convergence**: once the fault episode ends (the campaign
+//!    disarms surviving sticky faults — device replaced), continued
+//!    scrubbing settles every remaining media inconsistency: repaired,
+//!    checksum-rebuilt (two-of-three vote), parity-re-silvered, or
+//!    quarantined — nothing stays silently inconsistent.
+//! 3. **Degraded mode fails closed**: every quarantined page rejects reads
+//!    with `Poisoned`; the rest of the file keeps serving.
+//!
+//! Faults are injected from a deterministic seeded [`FaultPlan`], identical
+//! across designs for a given (app, fault-kind) cell. Emits
+//! `results/chaos_campaign.csv` plus a structured event log in
+//! `results/chaos_events.log`; exits non-zero on any invariant violation.
+
+use apps::btree::BTree;
+use apps::driver::{AppError, Design, Machine};
+use apps::kv::PersistentKv;
+use apps::rbtree::RbTree;
+use apps::rng::Rng;
+use memsim::addr::{LineAddr, PAGE};
+use memsim::{FaultKind, FaultPlan, FirmwareFault};
+use pmemfs::fs::FileHandle;
+use pmemfs::recover::RecoveryEvent;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use tvarak::controller::TvarakConfig;
+
+/// Ops per run and fault events per run, from `TVARAK_SCALE`.
+fn scale() -> (u64, usize) {
+    match std::env::var("TVARAK_SCALE").as_deref() {
+        Ok("quick") => (240, 5),
+        Ok("reduced") => (600, 8),
+        _ => (1200, 12),
+    }
+}
+
+const FLUSH_EVERY: u64 = 16;
+const MAX_RETRIES: u32 = 3;
+const SCRUB_PAGES: u64 = 1;
+const SCRUB_INTERVAL: u64 = 4;
+
+fn designs() -> [Design; 5] {
+    [
+        Design::Baseline,
+        Design::Tvarak,
+        Design::TvarakAblated(TvarakConfig::naive()),
+        Design::TxbObject,
+        Design::TxbPage,
+    ]
+}
+
+/// Inline cache-line-granular verification — the only designs that can
+/// promise "no silent wrong data" under every fault kind. Page-granular
+/// checksums are launderable: recomputing them re-reads the rest of the
+/// page from media, folding a sticky misread or stale line into the stored
+/// checksum, after which verification agrees with the wrong bytes.
+fn inline_cl_verified(design: Design) -> bool {
+    design.has_controller()
+        && design.checksum_granularity() == Some(tvarak::scrub::ScrubGranularity::CacheLine)
+}
+
+/// Whether a fired fault of this kind leaves the media inconsistent with the
+/// acknowledged write stream (read-path misdirections corrupt what's
+/// *returned*, not what's stored).
+fn corrupts_media(kind: FaultKind) -> bool {
+    matches!(
+        kind,
+        FaultKind::LostWrite
+            | FaultKind::MisdirectedWrite
+            | FaultKind::TornWrite
+            | FaultKind::StickyLostWrite
+    )
+}
+
+fn build_fault(kind: FaultKind, aux: LineAddr, torn_bytes: usize) -> FirmwareFault {
+    match kind {
+        FaultKind::LostWrite => FirmwareFault::LostWrite,
+        FaultKind::MisdirectedWrite => FirmwareFault::MisdirectedWrite { actual: aux },
+        FaultKind::MisdirectedRead => FirmwareFault::MisdirectedRead { actual: aux },
+        FaultKind::TornWrite => FirmwareFault::TornWrite {
+            persist_bytes: torn_bytes,
+        },
+        FaultKind::StickyLostWrite => FirmwareFault::StickyLostWrite,
+        FaultKind::StickyMisdirectedRead => FirmwareFault::StickyMisdirectedRead { actual: aux },
+    }
+}
+
+/// Per-run tallies and invariant violations.
+#[derive(Default)]
+struct Outcome {
+    armed: u64,
+    fired: u64,
+    media_fired: u64,
+    detections: u64,
+    recoveries: u64,
+    quarantines: u64,
+    /// Reads that returned a *value* different from the acknowledged one.
+    wrong_data: u64,
+    /// Reads that returned nothing where a value was expected (collateral
+    /// of a degraded structure; reported, not an invariant).
+    degraded_miss: u64,
+    /// Accesses rejected with a structured `Poisoned` error.
+    fail_closed: u64,
+    /// The application panicked chasing fabricated bytes (only reachable
+    /// when the stack returned wrong data — i.e. non-verifying designs).
+    crashed: bool,
+    first_fire_op: Option<u64>,
+    first_detect_op: Option<u64>,
+    final_bad_pages: usize,
+    violations: Vec<String>,
+}
+
+impl Outcome {
+    fn detect_latency(&self) -> Option<u64> {
+        match (self.first_fire_op, self.first_detect_op) {
+            (Some(f), Some(d)) if d >= f => Some(d - f),
+            _ => None,
+        }
+    }
+}
+
+/// The fault-injection scaffold shared by all apps: arms planned faults,
+/// forces periodic writebacks, ticks the scrub daemon, and collects the
+/// structured event log.
+struct ChaosCtl {
+    plan: FaultPlan,
+    /// Candidate target lines (the app's hot region).
+    lines: Vec<LineAddr>,
+    kind: FaultKind,
+    fired_seen: usize,
+    out: Outcome,
+    log: Vec<String>,
+    ctx: String,
+}
+
+impl ChaosCtl {
+    fn new(seed: u64, ops: u64, events: usize, kind: FaultKind, lines: Vec<LineAddr>, ctx: String) -> Self {
+        ChaosCtl {
+            plan: FaultPlan::new(seed, ops, events, &[kind]),
+            lines,
+            kind,
+            fired_seen: 0,
+            out: Outcome::default(),
+            log: Vec::new(),
+            ctx,
+        }
+    }
+
+    fn before_op(&mut self, m: &mut Machine, op: u64) {
+        // Pre-drain due events to end the borrow before arming.
+        let due: Vec<_> = self.plan.due(op).to_vec();
+        for ev in due {
+            let target = self.lines[(ev.target_sel % self.lines.len() as u64) as usize];
+            let mut aux = self.lines[(ev.aux_sel % self.lines.len() as u64) as usize];
+            if aux == target {
+                aux = self.lines[((ev.aux_sel + 1) % self.lines.len() as u64) as usize];
+            }
+            m.sys
+                .memory_mut()
+                .arm_fault(target, build_fault(ev.kind, aux, ev.torn_bytes));
+            self.out.armed += 1;
+            // Read-path faults only fire on a demand miss; flush (which
+            // writes back dirty lines and drains the hierarchy) so the next
+            // access goes to the device. A bare invalidate would discard
+            // acknowledged dirty data — the campaign must not inject faults
+            // the fault model doesn't define.
+            if matches!(
+                ev.kind,
+                FaultKind::MisdirectedRead | FaultKind::StickyMisdirectedRead
+            ) {
+                m.flush();
+            }
+            self.log.push(format!(
+                "{} op={} event=Armed kind={} line={:?} aux={:?}",
+                self.ctx,
+                op,
+                ev.kind.label(),
+                target,
+                aux
+            ));
+        }
+    }
+
+    fn after_op(&mut self, m: &mut Machine, op: u64) {
+        if (op + 1).is_multiple_of(FLUSH_EVERY) {
+            m.flush();
+        }
+        // Scrub daemon tick; detections route through the orchestrator.
+        // Only Baseline runs without one, and Baseline detects nothing.
+        let _ = m.tick_scrub(0);
+        // Newly fired firmware faults.
+        let fired = m.sys.memory().fired_faults();
+        for f in &fired[self.fired_seen..] {
+            self.out.fired += 1;
+            if corrupts_media(self.kind) {
+                self.out.media_fired += 1;
+                self.out.first_fire_op.get_or_insert(op);
+            }
+            self.log.push(format!(
+                "{} op={} event=Fired fault={:?} line={:?}",
+                self.ctx, op, f.fault, f.target
+            ));
+        }
+        self.fired_seen = fired.len();
+        // Orchestrator events, stamped with the op index.
+        if let Some(orch) = m.orchestrator_mut() {
+            for ev in orch.take_events() {
+                if matches!(ev, RecoveryEvent::Detected { .. }) {
+                    self.out.first_detect_op.get_or_insert(op);
+                }
+                self.log.push(format!("{} op={} event={:?}", self.ctx, op, ev));
+            }
+        }
+    }
+
+    /// End the fault episode and converge. The final flush still races the
+    /// armed faults; then the failed device region is "replaced" (every
+    /// surviving fault disarmed) and the scrub daemon keeps running until a
+    /// full pass settles nothing new — every residual inconsistency gets
+    /// repaired, checksum-rebuilt, parity-re-silvered, or quarantined.
+    fn finish(&mut self, m: &mut Machine, file: &FileHandle, ops: u64) {
+        m.flush();
+        let disarmed = m.sys.memory_mut().disarm_all_faults();
+        if disarmed > 0 {
+            self.log.push(format!(
+                "{} op={ops} event=Disarmed remaining={disarmed}",
+                self.ctx
+            ));
+        }
+        if m.scrub_daemon().is_some() {
+            let settled = |m: &Machine| {
+                m.orchestrator().map_or((0, 0, 0, 0), |o| {
+                    (
+                        o.detections(),
+                        o.recoveries(),
+                        o.quarantines(),
+                        o.parity_rebuilds(),
+                    )
+                })
+            };
+            let period = file.pages() * SCRUB_INTERVAL / SCRUB_PAGES;
+            // Each stuck page can absorb MAX_RETRIES error-steps before its
+            // quarantine; size the tick budget so convergence is decided by
+            // the no-new-findings test, not budget exhaustion.
+            let mut budget = period * (6 + 2 * u64::from(MAX_RETRIES));
+            // Align to a pass boundary first: the cursor is mid-range, and
+            // "settles nothing new" is only meaningful over a FULL pass —
+            // a partial wrap can miss the corrupt page entirely.
+            let run_one_pass = |m: &mut Machine, budget: &mut u64| {
+                let pass = m.scrub_daemon().unwrap().scrubber().passes();
+                while m.scrub_daemon().unwrap().scrubber().passes() == pass && *budget > 0 {
+                    let _ = m.tick_scrub(0);
+                    *budget -= 1;
+                }
+            };
+            run_one_pass(m, &mut budget);
+            loop {
+                let before = settled(m);
+                run_one_pass(m, &mut budget);
+                if settled(m) == before || budget == 0 {
+                    break;
+                }
+            }
+            let s = m.scrub_daemon().unwrap().scrubber();
+            self.log.push(format!(
+                "{} op={ops} event=Converged passes={} checked={} budget_left={budget} settled={:?}",
+                self.ctx,
+                s.passes(),
+                s.pages_checked(),
+                settled(m)
+            ));
+            self.after_op(m, ops);
+        }
+        if let Some(orch) = m.orchestrator() {
+            self.out.detections = orch.detections();
+            self.out.recoveries = orch.recoveries();
+            self.out.quarantines = orch.quarantines();
+        }
+    }
+
+    /// The cross-design invariants. `verifying` = inline cache-line-granular
+    /// verification on every read (see [`inline_cl_verified`]).
+    fn check_invariants(&mut self, m: &mut Machine, file: &FileHandle, verifying: bool) {
+        if verifying && self.out.wrong_data > 0 {
+            self.out.violations.push(format!(
+                "{}: {} silent wrong-data reads under a verifying design",
+                self.ctx, self.out.wrong_data
+            ));
+        }
+        // Degraded mode fails closed on every poisoned page.
+        let poisoned: Vec<_> = match m.orchestrator() {
+            Some(orch) => orch.poisoned_pages().to_vec(),
+            None => Vec::new(),
+        };
+        for p in &poisoned {
+            if let Some(n) = (0..file.pages()).find(|&n| file.page(n) == *p) {
+                let mut buf = [0u8; 8];
+                if m.read_file(file, 0, n * PAGE as u64, &mut buf).is_ok() {
+                    self.out.violations.push(format!(
+                        "{}: poisoned {:?} served a read (fail-open)",
+                        self.ctx, p
+                    ));
+                }
+            }
+        }
+        // No *silent* media inconsistency survives the final sweep: every
+        // inconsistent page must be on the poison list. (Baseline maintains
+        // no redundancy, so verify_all is trivially empty there.)
+        let bad = m.verify_all(file).err().unwrap_or_default();
+        self.out.final_bad_pages = bad.len();
+        if std::env::var("CHAOS_DEBUG").is_ok() && !bad.is_empty() {
+            let csum_bad = m.fs.scrub_cl(&m.sys, file);
+            let page_bad = m.fs.scrub_pages(&m.sys, file);
+            let parity_bad = m.fs.scrub_parity(&m.sys, file);
+            eprintln!(
+                "{}: debug bad={bad:?} cl={csum_bad:?} page={page_bad:?} parity={parity_bad:?} poisoned={poisoned:?}",
+                self.ctx
+            );
+        }
+        for n in bad {
+            if !poisoned.contains(&file.page(n)) {
+                self.out.violations.push(format!(
+                    "{}: file page {n} inconsistent but not quarantined (silent)",
+                    self.ctx
+                ));
+            }
+        }
+    }
+}
+
+fn enable_pipeline(m: &mut Machine, file: &FileHandle) {
+    if m.design() != Design::Baseline {
+        m.enable_recovery(MAX_RETRIES).expect("poison store fits");
+        m.enable_scrub_daemon(file, SCRUB_PAGES, SCRUB_INTERVAL);
+    }
+}
+
+fn seed_for(app: &str, design: Design, kind: FaultKind) -> u64 {
+    // Same plan for every design in a given (app, kind) cell, so designs
+    // face identical chaos.
+    let mut s: u64 = 0x00c4_a05c_u64;
+    for b in app.bytes().chain(kind.label().bytes()) {
+        s = s.wrapping_mul(31).wrapping_add(b as u64);
+    }
+    let _ = design;
+    s
+}
+
+/// Key-value chaos: btree or rbtree under a 60:40 overwrite:lookup mix with
+/// a shadow map. Keys whose op failed are tainted (their durable value is
+/// legitimately unknown) and excluded from comparisons.
+fn run_kv_chaos(
+    design: Design,
+    kind: FaultKind,
+    app: &str,
+    ops: u64,
+    events: usize,
+) -> (Outcome, Vec<String>) {
+    let mut m = Machine::builder().small().design(design).data_pages(256).build();
+    let mut txm = m.tx_manager(256 * 1024).expect("pool fits tx log");
+    let heap = 32 * 1024u64;
+    let mut kv: Box<dyn PersistentKv> = match app {
+        "btree" => Box::new(BTree::create(&mut m, 0, heap).expect("pool fits")),
+        _ => Box::new(RbTree::create(&mut m, 0, heap).expect("pool fits")),
+    };
+    let file = *kv.file();
+    const KEYSPACE: u64 = 240;
+    let mut shadow: HashMap<u64, u64> = HashMap::new();
+    let mut tainted: HashMap<u64, ()> = HashMap::new();
+    for k in 0..160u64 {
+        kv.insert(&mut m, &mut txm, k, k ^ 0xa5a5).expect("preload");
+        shadow.insert(k, k ^ 0xa5a5);
+    }
+    m.flush();
+    enable_pipeline(&mut m, &file);
+    // Fault targets: the node region actually exercised (first pages).
+    let hot_pages = 4.min(file.pages());
+    let lines: Vec<LineAddr> = (0..hot_pages)
+        .flat_map(|n| (0..memsim::LINES_PER_PAGE).map(move |i| (n, i)))
+        .map(|(n, i)| file.page(n).line(i))
+        .collect();
+    let ctx = format!("app={app} design={} fault={}", m.design().label(), kind.label());
+    let mut ctl = ChaosCtl::new(seed_for(app, design, kind), ops, events, kind, lines, ctx);
+    let page_map: Vec<_> = (0..file.pages()).map(|n| file.page(n)).collect();
+    ctl.log.push(format!(
+        "{} geometry: pages={:?} first_data_index={} hot_pages={hot_pages}",
+        ctl.ctx,
+        page_map,
+        file.first_data_index()
+    ));
+    let mut rng = Rng::new(0xdead_0000 ^ seed_for(app, design, kind));
+    // Silent-wrong-data accounting stops once the index structure itself
+    // is legitimately suspect: after the stack raises a structured
+    // `Poisoned` error, or after recovery interrupts a *mutation* mid-op
+    // (the dropped transaction's partial writes may have left the index
+    // mid-split; the retried insert runs on that state). Neither is
+    // *silent* — the stack detected and signalled in both cases. Reads
+    // interrupted by recovery stay fully checked: they mutate nothing.
+    let mut degraded = false;
+    // Fabricated bytes can send the index chasing garbage pointers; a panic
+    // is a loud (not silent) failure, caught per-op and reported with its
+    // message + location in the event log.
+    static LAST_PANIC: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|info| {
+        *LAST_PANIC.lock().unwrap() = Some(info.to_string());
+    }));
+    for op in 0..ops {
+        ctl.before_op(&mut m, op);
+        let key = rng.below(KEYSPACE);
+        let write = rng.below(10) < 6;
+        let d_before = m.orchestrator().map_or(0, |o| o.detections());
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if write {
+                match m.with_recovery(|m| kv.insert(m, &mut txm, key, op)) {
+                    Ok(()) => {
+                        shadow.insert(key, op);
+                        tainted.remove(&key);
+                        false
+                    }
+                    Err(AppError::Poisoned(_)) => {
+                        ctl.out.fail_closed += 1;
+                        tainted.insert(key, ());
+                        true
+                    }
+                    Err(e) => panic!("unexpected app error: {e}"),
+                }
+            } else if !design.has_controller()
+                && m.check_poison(&file, 0, (file.pages() * PAGE as u64) as usize).is_err()
+            {
+                // Software designs cannot detect a poisoned page inline;
+                // the coarse pre-check is their fail-closed gate.
+                ctl.out.fail_closed += 1;
+                true
+            } else {
+                match m.with_recovery(|m| kv.get(m, key)) {
+                    Ok(got) => {
+                        match (got, shadow.get(&key)) {
+                            (Some(v), Some(&want))
+                                if v != want && !tainted.contains_key(&key) && !degraded =>
+                            {
+                                ctl.out.wrong_data += 1;
+                                let line = format!(
+                                    "{} op={} event=WrongData key={key} got={v} want={want}",
+                                    ctl.ctx, op
+                                );
+                                ctl.log.push(line);
+                            }
+                            (None, Some(_)) if !tainted.contains_key(&key) => {
+                                ctl.out.degraded_miss += 1;
+                            }
+                            _ => {}
+                        }
+                        false
+                    }
+                    Err(AppError::Poisoned(_)) => {
+                        ctl.out.fail_closed += 1;
+                        true
+                    }
+                    Err(e) => panic!("unexpected app error: {e}"),
+                }
+            }
+        }));
+        match outcome {
+            Ok(poisoned_now) => {
+                degraded |= poisoned_now;
+                let d_after = m.orchestrator().map_or(0, |o| o.detections());
+                if write && d_after > d_before {
+                    // A mutation was interrupted and retried; the index may
+                    // be structurally disturbed from here on.
+                    degraded = true;
+                    tainted.insert(key, ());
+                }
+            }
+            Err(_) => {
+                ctl.out.crashed = true;
+                let info = LAST_PANIC.lock().unwrap().take().unwrap_or_default();
+                ctl.log.push(format!(
+                    "{} op={} event=AppCrash info={}",
+                    ctl.ctx,
+                    op,
+                    info.replace('\n', " | ")
+                ));
+                if inline_cl_verified(design) && !degraded {
+                    ctl.out.violations.push(format!(
+                        "{}: app crash on fabricated bytes under a verifying design",
+                        ctl.ctx
+                    ));
+                }
+                break;
+            }
+        }
+        ctl.after_op(&mut m, op);
+    }
+    std::panic::set_hook(prev_hook);
+    ctl.finish(&mut m, &file, ops);
+    ctl.check_invariants(&mut m, &file, inline_cl_verified(design));
+    let log = std::mem::take(&mut ctl.log);
+    (ctl.out, log)
+}
+
+/// Raw-file chaos (fio-style): 64 B reads/writes at random line offsets
+/// with a per-line shadow. Writes go through the transactional interface
+/// under software designs so their checksums stay maintained.
+fn run_raw_chaos(design: Design, kind: FaultKind, ops: u64, events: usize) -> (Outcome, Vec<String>) {
+    let mut m = Machine::builder().small().design(design).data_pages(256).build();
+    let mut txm = match design.sw_scheme() {
+        pmemfs::tx::SwScheme::None => None,
+        _ => Some(m.tx_manager(256 * 1024).expect("pool fits tx log")),
+    };
+    let file = m.create_dax_file("fio", 16 * PAGE as u64).expect("pool fits");
+    let nlines = file.pages() * memsim::LINES_PER_PAGE as u64;
+    // Preload every line out-of-band (unmeasured setup), then rebuild
+    // redundancy from media ground truth.
+    let pattern = |l: u64, v: u64| -> [u8; 64] {
+        let mut p = [0u8; 64];
+        p[..8].copy_from_slice(&l.to_le_bytes());
+        p[8..16].copy_from_slice(&v.to_le_bytes());
+        p[16] = (l ^ v) as u8;
+        p
+    };
+    for l in 0..nlines {
+        m.sys.memory_mut().poke_line(file.addr(l * 64).line(), &pattern(l, 0));
+    }
+    m.reinit_redundancy(&file);
+    let mut shadow: Vec<Option<u64>> = vec![Some(0); nlines as usize];
+    enable_pipeline(&mut m, &file);
+    let lines: Vec<LineAddr> = (0..nlines).map(|l| file.addr(l * 64).line()).collect();
+    let ctx = format!(
+        "app=fio design={} fault={}",
+        m.design().label(),
+        kind.label()
+    );
+    let mut ctl = ChaosCtl::new(seed_for("fio", design, kind), ops, events, kind, lines, ctx);
+    let mut rng = Rng::new(0xf10_0000 ^ seed_for("fio", design, kind));
+    for op in 0..ops {
+        ctl.before_op(&mut m, op);
+        let l = rng.below(nlines);
+        let off = l * 64;
+        if rng.below(2) == 0 {
+            // Write.
+            let data = pattern(l, op + 1);
+            let result = match txm.as_mut() {
+                Some(txm) => {
+                    // Transactional path has no inline poison gate; check
+                    // explicitly so degraded pages fail closed.
+                    match m.check_poison(&file, off, 64) {
+                        Ok(()) => {
+                            let mut tx = txm.begin(&mut m.sys, 0).expect("tx");
+                            tx.write(&mut m.sys, &file, off, &data).expect("tx write");
+                            tx.commit(&mut m.sys).expect("commit");
+                            Ok(())
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+                None => m.write_file(&file, 0, off, &data),
+            };
+            match result {
+                Ok(()) => shadow[l as usize] = Some(op + 1),
+                Err(AppError::Poisoned(_)) => {
+                    ctl.out.fail_closed += 1;
+                    shadow[l as usize] = None;
+                }
+                Err(e) => panic!("unexpected app error: {e}"),
+            }
+        } else {
+            // Read.
+            let mut buf = [0u8; 64];
+            match m.read_file(&file, 0, off, &mut buf) {
+                Ok(()) => {
+                    if let Some(v) = shadow[l as usize] {
+                        if buf != pattern(l, v) {
+                            ctl.out.wrong_data += 1;
+                            ctl.log.push(format!(
+                                "{} op={} event=WrongData line={l} want_ver={v} got={:02x?}",
+                                ctl.ctx,
+                                op,
+                                &buf[..17]
+                            ));
+                        }
+                    }
+                }
+                Err(AppError::Poisoned(_)) => ctl.out.fail_closed += 1,
+                Err(e) => panic!("unexpected app error: {e}"),
+            }
+        }
+        ctl.after_op(&mut m, op);
+    }
+    ctl.finish(&mut m, &file, ops);
+    ctl.check_invariants(&mut m, &file, inline_cl_verified(design));
+    let log = std::mem::take(&mut ctl.log);
+    (ctl.out, log)
+}
+
+fn main() {
+    let (ops, events) = scale();
+    println!("# Chaos campaign — fault type × design × app, {ops} ops, {events} fault events/run");
+    println!(
+        "{:<6} {:<17} {:<18} {:>5} {:>5} {:>6} {:>7} {:>5} {:>5} {:>7} {:>7} {:>5} {:>8}",
+        "app", "design", "fault", "armed", "fired", "detect", "recover", "quar", "wrong", "dmiss", "closed", "crash", "latency"
+    );
+    let mut csv = String::from(
+        "app,design,fault,ops,armed,fired,media_fired,detections,recoveries,quarantines,\
+         wrong_data,degraded_miss,fail_closed,crashed,first_detect_latency_ops,final_bad_pages\n",
+    );
+    let mut log = String::new();
+    let mut violations: Vec<String> = Vec::new();
+    // CHAOS_FILTER=substring runs only matching cells (e.g. "rbtree design=Tvarak fault=sticky").
+    let filter = std::env::var("CHAOS_FILTER").unwrap_or_default();
+    let mut cells = 0u32;
+    for app in ["btree", "rbtree", "fio"] {
+        for design in designs() {
+            for kind in FaultKind::all() {
+                let ctx = format!("app={app} design={} fault={}", design.label(), kind.label());
+                if !filter.is_empty() && !ctx.contains(&filter) {
+                    continue;
+                }
+                cells += 1;
+                let (out, run_log) = match app {
+                    "fio" => run_raw_chaos(design, kind, ops, events),
+                    _ => run_kv_chaos(design, kind, app, ops, events),
+                };
+                let latency = out
+                    .detect_latency()
+                    .map(|l| l.to_string())
+                    .unwrap_or_else(|| "-".into());
+                println!(
+                    "{:<6} {:<17} {:<18} {:>5} {:>5} {:>6} {:>7} {:>5} {:>5} {:>7} {:>7} {:>5} {:>8}",
+                    app,
+                    design.label(),
+                    kind.label(),
+                    out.armed,
+                    out.fired,
+                    out.detections,
+                    out.recoveries,
+                    out.quarantines,
+                    out.wrong_data,
+                    out.degraded_miss,
+                    out.fail_closed,
+                    out.crashed as u8,
+                    latency
+                );
+                let _ = writeln!(
+                    csv,
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    app,
+                    design.label(),
+                    kind.label(),
+                    ops,
+                    out.armed,
+                    out.fired,
+                    out.media_fired,
+                    out.detections,
+                    out.recoveries,
+                    out.quarantines,
+                    out.wrong_data,
+                    out.degraded_miss,
+                    out.fail_closed,
+                    out.crashed as u8,
+                    latency,
+                    out.final_bad_pages
+                );
+                for line in run_log {
+                    log.push_str(&line);
+                    log.push('\n');
+                }
+                violations.extend(out.violations);
+            }
+        }
+    }
+    // A filter that matches nothing must not read as a clean campaign.
+    if cells == 0 {
+        eprintln!("CHAOS_FILTER={filter:?} matched no cells — nothing was checked");
+        std::process::exit(2);
+    }
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/chaos_campaign.csv", csv);
+    let _ = std::fs::write("results/chaos_events.log", log);
+    println!("[saved results/chaos_campaign.csv, results/chaos_events.log]");
+    if !violations.is_empty() {
+        eprintln!("INVARIANT VIOLATIONS ({}):", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("all survival invariants held");
+}

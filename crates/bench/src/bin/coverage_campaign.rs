@@ -99,7 +99,15 @@ fn run_trial(design: Design, trial: u64, tally: &mut Tally) {
         match scrubber.step(&mut m.sys, 0, file.pages()) {
             Ok(findings) if !findings.is_empty() => tally.detected_by_scrub += 1,
             Ok(_) => tally.undetected += 1,
-            Err(_) => tally.detected_inline += 1, // controller beat the scrubber
+            Err(err) => {
+                // Controller beat the scrubber: count the detection AND run
+                // the same recovery path the inline arm does, so the
+                // recovered column is comparable across designs.
+                tally.detected_inline += 1;
+                if m.recover(err.line.page()).is_ok() {
+                    tally.recovered += 1;
+                }
+            }
         }
     }
 }

@@ -13,6 +13,9 @@
 //! - `vilamb_sweep` — extension: Vilamb-style asynchronous-redundancy epochs
 //! - `coverage_campaign` — Table I's verification column, quantified by
 //!   fault injection
+//! - `chaos_campaign` — fault type × design × app sweep asserting the
+//!   survival invariants of the detection → recovery → degradation
+//!   pipeline (exits non-zero on violation; see DESIGN.md §8)
 //! - `probe` — ad-hoc single-workload comparisons for calibration
 //!
 //! Run with `TVARAK_SCALE=quick` (smoke sizes) or `TVARAK_SCALE=reduced`

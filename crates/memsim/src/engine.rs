@@ -517,6 +517,7 @@ pub struct System {
     counters: Counters,
     hooks: Box<dyn RedundancyHooks>,
     red_region: Option<RedundancyRegion>,
+    scrub_accounting: bool,
 }
 
 impl fmt::Debug for System {
@@ -559,7 +560,21 @@ impl System {
             counters: Counters::default(),
             hooks,
             red_region: None,
+            scrub_accounting: false,
         }
+    }
+
+    /// While set, NVM data-line demand reads tally under
+    /// [`Counters::scrub_reads`] instead of `nvm_data_reads`. The scrub
+    /// daemon brackets its page walks with this so campaign reports can
+    /// split application traffic from redundancy-maintenance traffic.
+    pub fn set_scrub_accounting(&mut self, on: bool) {
+        self.scrub_accounting = on;
+    }
+
+    /// Whether scrub accounting is currently active.
+    pub fn scrub_accounting(&self) -> bool {
+        self.scrub_accounting
     }
 
     /// Install the redundancy-region classifier used to split NVM access
@@ -921,6 +936,8 @@ impl System {
             Device::Nvm { dimm } => {
                 if self.is_red_line(line) {
                     self.counters.nvm_red_reads += 1;
+                } else if self.scrub_accounting {
+                    self.counters.scrub_reads += 1;
                 } else {
                     self.counters.nvm_data_reads += 1;
                 }

@@ -38,6 +38,10 @@ pub struct Counters {
     pub dram_accesses: u64,
     /// NVM 64 B reads of application data.
     pub nvm_data_reads: u64,
+    /// NVM 64 B data reads issued by the scrub daemon. Tallied separately
+    /// from demand `nvm_data_reads` so reports can split application traffic
+    /// from redundancy-maintenance traffic.
+    pub scrub_reads: u64,
     /// NVM 64 B writes of application data.
     pub nvm_data_writes: u64,
     /// NVM 64 B reads of redundancy information (checksums, parity, old data
@@ -58,14 +62,19 @@ pub struct Counters {
 }
 
 impl Counters {
-    /// Total NVM accesses (data + redundancy, reads + writes).
+    /// Total NVM accesses (data + redundancy + scrub, reads + writes).
     pub fn nvm_total(&self) -> u64 {
-        self.nvm_data_reads + self.nvm_data_writes + self.nvm_red_reads + self.nvm_red_writes
+        self.nvm_data_reads
+            + self.scrub_reads
+            + self.nvm_data_writes
+            + self.nvm_red_reads
+            + self.nvm_red_writes
     }
 
-    /// Total NVM accesses for redundancy information only.
+    /// Total NVM accesses for redundancy maintenance (checksum/parity
+    /// traffic plus scrub-daemon reads).
     pub fn nvm_redundancy(&self) -> u64 {
-        self.nvm_red_reads + self.nvm_red_writes
+        self.nvm_red_reads + self.nvm_red_writes + self.scrub_reads
     }
 
     /// Total NVM accesses for application data only.
@@ -122,6 +131,7 @@ impl AddAssign for Counters {
         self.tvarak_cache_misses += r.tvarak_cache_misses;
         self.dram_accesses += r.dram_accesses;
         self.nvm_data_reads += r.nvm_data_reads;
+        self.scrub_reads += r.scrub_reads;
         self.nvm_data_writes += r.nvm_data_writes;
         self.nvm_red_reads += r.nvm_red_reads;
         self.nvm_red_writes += r.nvm_red_writes;
@@ -178,7 +188,7 @@ impl Stats {
             + c.tvarak_cache_hits as f64 * cfg.controller.cache_hit_pj
             + c.tvarak_cache_misses as f64 * cfg.controller.cache_miss_pj;
         let nj = c.dram_accesses as f64 * cfg.dram.access_nj
-            + (c.nvm_data_reads + c.nvm_red_reads) as f64 * cfg.nvm.read_nj
+            + (c.nvm_data_reads + c.scrub_reads + c.nvm_red_reads) as f64 * cfg.nvm.read_nj
             + (c.nvm_data_writes + c.nvm_red_writes) as f64 * cfg.nvm.write_nj;
         pj / 1000.0 + nj
     }
@@ -202,8 +212,13 @@ impl fmt::Display for Stats {
         )?;
         writeln!(
             f,
-            "NVM data r/w {}/{}, redundancy r/w {}/{}, DRAM {}",
-            c.nvm_data_reads, c.nvm_data_writes, c.nvm_red_reads, c.nvm_red_writes, c.dram_accesses
+            "NVM data r/w {}/{}, redundancy r/w {}/{}, scrub r {}, DRAM {}",
+            c.nvm_data_reads,
+            c.nvm_data_writes,
+            c.nvm_red_reads,
+            c.nvm_red_writes,
+            c.scrub_reads,
+            c.dram_accesses
         )?;
         write!(
             f,
@@ -239,6 +254,18 @@ mod tests {
         let s = a + b;
         assert_eq!(s.l1d_hits, 12);
         assert_eq!(s.pages_recovered, 1);
+    }
+
+    #[test]
+    fn scrub_reads_tally_separately_from_demand() {
+        let mut c = Counters::default();
+        c.nvm_data_reads = 10;
+        c.scrub_reads = 4;
+        assert_eq!(c.nvm_data(), 10, "scrub traffic is not application data");
+        assert_eq!(c.nvm_redundancy(), 4);
+        assert_eq!(c.nvm_total(), 14);
+        let s = c + c;
+        assert_eq!(s.scrub_reads, 8);
     }
 
     #[test]

@@ -26,8 +26,10 @@
 
 pub mod fault;
 pub mod fs;
+pub mod recover;
 pub mod tx;
 
 pub use fault::Fault;
 pub use fs::{DaxFs, FileHandle, FsError, RecoveryError};
+pub use recover::{Poisoned, RecoveryEvent, RecoveryOrchestrator};
 pub use tx::{sw_redundancy_update, SwScheme, Tx, TxError, TxManager};

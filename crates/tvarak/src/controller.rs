@@ -365,6 +365,19 @@ impl TvarakController {
         self.read_red_line(core, bank, line, Urgency::Stall, env)
     }
 
+    /// Drop any cached copies of redundancy `line` — on-controller caches
+    /// and the LLC redundancy partition — *without* writeback. The file
+    /// system calls this after rebuilding a page's redundancy directly on
+    /// media (the poison-clearing rewrite path), so stale cached checksums
+    /// or parity cannot shadow the rebuilt values.
+    pub fn drop_cached_red(&mut self, line: LineAddr, env: &mut HookEnv<'_>) {
+        for cache in self.oncache.iter_mut() {
+            let all = cache.all_ways();
+            cache.invalidate(line, all);
+        }
+        env.llc_red_invalidate(line);
+    }
+
     /// Fetch the old (pre-modification) content of a dirty data line about
     /// to be written back: from the diff partition if present, else an extra
     /// NVM read of the current media content.

@@ -58,17 +58,53 @@ pub fn refresh_parity(layout: &NvmLayout, mem: &mut Memory, range: Range<u64>) {
         .map(|n| geom.stripe_of(layout.nth_data_page(n).nvm_index()))
         .collect();
     for stripe in stripes {
-        let parity_page = memsim::addr::nvm_page(geom.parity_page_of(stripe * geom.dimms() as u64));
-        let data_pages = geom.data_pages_of_stripe(stripe);
-        for o in 0..LINES_PER_PAGE {
-            let mut par = [0u8; CACHE_LINE];
-            for &dp in &data_pages {
-                let d = mem.peek_line(memsim::addr::nvm_page(dp).line(o));
-                xor_into(&mut par, &d);
-            }
-            mem.poke_line(parity_page.line(o), &par);
-        }
+        rebuild_stripe_parity(layout, mem, stripe);
     }
+}
+
+/// Recompute the parity page of the stripe containing `page`, from current
+/// media content. Recovery re-silvers a stripe this way after quarantining
+/// one of its pages: the lost page's stale parity deltas must not keep
+/// implicating — or corrupting future reconstructions of — the surviving
+/// stripe members.
+pub fn refresh_parity_for_page(layout: &NvmLayout, mem: &mut Memory, page: memsim::addr::PageNum) {
+    let geom = layout.geometry();
+    rebuild_stripe_parity(layout, mem, geom.stripe_of(page.nvm_index()));
+}
+
+fn rebuild_stripe_parity(layout: &NvmLayout, mem: &mut Memory, stripe: u64) {
+    let geom = layout.geometry();
+    let parity_page = memsim::addr::nvm_page(geom.parity_page_of(stripe * geom.dimms() as u64));
+    let data_pages = geom.data_pages_of_stripe(stripe);
+    for o in 0..LINES_PER_PAGE {
+        let mut par = [0u8; CACHE_LINE];
+        for &dp in &data_pages {
+            let d = mem.peek_line(memsim::addr::nvm_page(dp).line(o));
+            xor_into(&mut par, &d);
+        }
+        mem.poke_line(parity_page.line(o), &par);
+    }
+}
+
+/// Recompute both checksum granularities of `page` from current media
+/// content. Recovery's two-of-three vote uses this when data and parity
+/// agree with each other but not with the stored checksum — the checksum is
+/// the liar, so it is rebuilt rather than the (intact) data quarantined.
+pub fn refresh_csums_for_page(layout: &NvmLayout, mem: &mut Memory, page: memsim::addr::PageNum) {
+    let mut bytes = vec![0u8; PAGE];
+    for i in 0..LINES_PER_PAGE {
+        let line = page.line(i);
+        let data = mem.peek_line(line);
+        bytes[i * CACHE_LINE..(i + 1) * CACHE_LINE].copy_from_slice(&data);
+        let (cs_line, slot) = layout.cl_csum_loc(line);
+        let mut cs = mem.peek_line(cs_line);
+        set_csum_slot(&mut cs, slot, line_checksum(&data));
+        mem.poke_line(cs_line, &cs);
+    }
+    let (cs_line, slot) = layout.page_csum_loc(page);
+    let mut cs = mem.peek_line(cs_line);
+    set_csum_slot(&mut cs, slot, page_checksum(&bytes));
+    mem.poke_line(cs_line, &cs);
 }
 
 /// Full redundancy initialization for the data pages in `range`: DAX-CL

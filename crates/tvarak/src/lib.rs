@@ -54,3 +54,4 @@ pub mod scrub;
 pub use controller::{TvarakConfig, TvarakController};
 pub use layout::NvmLayout;
 pub use recovery::RecoveryFailed;
+pub use scrub::{ScrubDaemon, ScrubFinding, ScrubGranularity, Scrubber};

@@ -8,6 +8,13 @@
 //! corruption by the scrub period — in contrast to TVARAK, which detects at
 //! the first read — and consumes NVM read bandwidth while it runs. The
 //! `detection_latency` experiment binary quantifies this difference.
+//!
+//! [`ScrubDaemon`] packages a scrubber with a *budget*: `pages` pages of
+//! scrubbing every `interval_ops` application operations. Workload drivers
+//! call [`ScrubDaemon::tick`] once per operation; the daemon interleaves its
+//! reads with the application's and tallies them under the separate
+//! `scrub_reads` counter so reports can split demand from maintenance
+//! traffic.
 
 use crate::checksum::{csum_slot, line_checksum, page_checksum};
 use crate::layout::NvmLayout;
@@ -23,6 +30,19 @@ pub enum ScrubGranularity {
     CacheLine,
 }
 
+/// What kind of inconsistency a [`ScrubFinding`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScrubFindingKind {
+    /// Page content does not match its stored checksum: the data (or the
+    /// checksum) is corrupt; route through detection→recovery.
+    Checksum,
+    /// Page content matches its checksum but its parity stripe does not XOR
+    /// to the stored parity: the *redundancy* has rotted (e.g. a delta
+    /// update computed from a misread old value) while the data is intact.
+    /// The repair is to re-silver the stripe, not to reconstruct data.
+    Parity,
+}
+
 /// A corruption found by the scrubber.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScrubFinding {
@@ -30,6 +50,8 @@ pub struct ScrubFinding {
     pub page: PageNum,
     /// Data-page index within the pool.
     pub data_index: u64,
+    /// What is inconsistent.
+    pub kind: ScrubFindingKind,
 }
 
 /// An incremental background scrubber over a data-page-index range.
@@ -44,6 +66,8 @@ pub struct Scrubber {
     passes: u64,
     /// Pages checked in total.
     pages_checked: u64,
+    /// Also audit each page's parity stripe (media-level XOR comparison).
+    audit_parity: bool,
 }
 
 impl Scrubber {
@@ -63,7 +87,21 @@ impl Scrubber {
             cursor: 0,
             passes: 0,
             pages_checked: 0,
+            audit_parity: false,
         }
+    }
+
+    /// Additionally audit each scrubbed page's parity stripe: XOR the stripe
+    /// members at the media level and compare against the stored parity.
+    /// Checksums alone cannot see *redundancy* rot (a parity delta computed
+    /// from a misread old value leaves data and checksum agreeing while the
+    /// stripe no longer reconstructs); the audit surfaces it as a
+    /// [`ScrubFindingKind::Parity`] finding so the stripe can be re-silvered
+    /// while the data is still intact.
+    #[must_use]
+    pub fn with_parity_audit(mut self) -> Self {
+        self.audit_parity = true;
+        self
     }
 
     /// Completed full passes over the range.
@@ -95,10 +133,11 @@ impl Scrubber {
         for _ in 0..pages {
             let n = self.first + self.cursor;
             let page = self.layout.nth_data_page(n);
-            if !self.check_page(sys, core, page)? {
+            if let Some(kind) = self.check_page(sys, core, page)? {
                 findings.push(ScrubFinding {
                     page,
                     data_index: n,
+                    kind,
                 });
             }
             self.pages_checked += 1;
@@ -111,12 +150,24 @@ impl Scrubber {
         Ok(findings)
     }
 
+    /// Advance past the current page without checking it. Drivers use this
+    /// when the page under the cursor is quarantined — reads of it fail
+    /// closed, so the scrubber would otherwise wedge on it forever.
+    pub fn skip_current(&mut self) {
+        self.pages_checked += 1;
+        self.cursor += 1;
+        if self.cursor == self.len {
+            self.cursor = 0;
+            self.passes += 1;
+        }
+    }
+
     fn check_page(
         &self,
         sys: &mut System,
         core: usize,
         page: PageNum,
-    ) -> Result<bool, memsim::engine::CorruptionDetected> {
+    ) -> Result<Option<ScrubFindingKind>, memsim::engine::CorruptionDetected> {
         let mut bytes = vec![0u8; PAGE];
         for i in 0..LINES_PER_PAGE {
             sys.read(
@@ -125,14 +176,15 @@ impl Scrubber {
                 &mut bytes[i * CACHE_LINE..(i + 1) * CACHE_LINE],
             )?;
         }
-        match self.granularity {
+        let csums_ok = match self.granularity {
             ScrubGranularity::Page => {
                 let (cs_line, slot) = self.layout.page_csum_loc(page);
                 let mut cs = [0u8; CACHE_LINE];
                 sys.read(core, cs_line.base(), &mut cs)?;
-                Ok(csum_slot(&cs, slot) == page_checksum(&bytes))
+                csum_slot(&cs, slot) == page_checksum(&bytes)
             }
             ScrubGranularity::CacheLine => {
+                let mut ok = true;
                 for i in 0..LINES_PER_PAGE {
                     let line = page.line(i);
                     let (cs_line, slot) = self.layout.cl_csum_loc(line);
@@ -141,12 +193,121 @@ impl Scrubber {
                     let mut data = [0u8; CACHE_LINE];
                     data.copy_from_slice(&bytes[i * CACHE_LINE..(i + 1) * CACHE_LINE]);
                     if csum_slot(&cs, slot) != line_checksum(&data) {
-                        return Ok(false);
+                        ok = false;
+                        break;
                     }
                 }
-                Ok(true)
+                ok
+            }
+        };
+        if !csums_ok {
+            return Ok(Some(ScrubFindingKind::Checksum));
+        }
+        if self.audit_parity && !self.parity_consistent(sys, page) {
+            return Ok(Some(ScrubFindingKind::Parity));
+        }
+        Ok(None)
+    }
+
+    /// Media-level stripe audit: XOR every stripe member against the stored
+    /// parity line. Uses the fault-bypassing peek interface — the audit
+    /// models an offline stripe walk below the firmware, so it is not
+    /// charged as demand traffic and cannot itself trip verification.
+    fn parity_consistent(&self, sys: &System, page: PageNum) -> bool {
+        let mem = sys.memory();
+        for i in 0..LINES_PER_PAGE {
+            let line = page.line(i);
+            let mut x = mem.peek_line(line);
+            for sib in self.layout.sibling_lines_of(line) {
+                let d = mem.peek_line(sib);
+                for (xb, db) in x.iter_mut().zip(d.iter()) {
+                    *xb ^= db;
+                }
+            }
+            if x != mem.peek_line(self.layout.parity_line_of(line)) {
+                return false;
             }
         }
+        true
+    }
+}
+
+/// A budgeted scrub daemon: `pages` pages of scrubbing interleaved every
+/// `interval_ops` application operations.
+///
+/// The daemon brackets its scrubber steps with the system's scrub-accounting
+/// flag, so its NVM data reads land in the `scrub_reads` counter instead of
+/// `nvm_data_reads`.
+#[derive(Debug)]
+pub struct ScrubDaemon {
+    scrubber: Scrubber,
+    pages: u64,
+    interval_ops: u64,
+    ops: u64,
+}
+
+impl ScrubDaemon {
+    /// Wrap `scrubber` with a budget of `pages` pages per `interval_ops`
+    /// application operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages == 0` or `interval_ops == 0`.
+    pub fn new(scrubber: Scrubber, pages: u64, interval_ops: u64) -> Self {
+        assert!(pages > 0, "scrub budget must cover at least one page");
+        assert!(interval_ops > 0, "scrub interval must be at least one op");
+        ScrubDaemon {
+            scrubber,
+            pages,
+            interval_ops,
+            ops: 0,
+        }
+    }
+
+    /// Account one application operation; every `interval_ops`-th call runs
+    /// the budgeted scrub step on `core` and returns `Some(findings)`.
+    /// Off-interval calls return `Ok(None)` — distinguishable from a clean
+    /// step, so callers tracking consecutive step outcomes (e.g. repeated
+    /// verification failures on one page) aren't reset by ticks that did no
+    /// scrubbing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hardware-verification errors like [`Scrubber::step`].
+    pub fn tick(
+        &mut self,
+        sys: &mut System,
+        core: usize,
+    ) -> Result<Option<Vec<ScrubFinding>>, memsim::engine::CorruptionDetected> {
+        self.ops += 1;
+        if !self.ops.is_multiple_of(self.interval_ops) {
+            return Ok(None);
+        }
+        sys.set_scrub_accounting(true);
+        let result = self.scrubber.step(sys, core, self.pages);
+        sys.set_scrub_accounting(false);
+        result.map(Some)
+    }
+
+    /// The wrapped scrubber (pass counts, pages checked).
+    pub fn scrubber(&self) -> &Scrubber {
+        &self.scrubber
+    }
+
+    /// Skip the page currently under the scrub cursor (see
+    /// [`Scrubber::skip_current`]).
+    pub fn skip_page(&mut self) {
+        self.scrubber.skip_current();
+    }
+
+    /// Application operations observed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// The scrub budget as (pages, interval_ops).
+    pub fn budget(&self) -> (u64, u64) {
+        (self.pages, self.interval_ops)
     }
 }
 
@@ -199,6 +360,45 @@ mod tests {
         }
         assert_eq!(s.passes(), 2);
         assert_eq!(s.pages_checked(), 12);
+    }
+
+    #[test]
+    fn daemon_paces_by_budget() {
+        let (mut sys, layout) = setup(8);
+        let s = Scrubber::new(layout, ScrubGranularity::Page, 0, 8);
+        let mut d = ScrubDaemon::new(s, 2, 10);
+        for _ in 0..35 {
+            d.tick(&mut sys, 0).unwrap();
+        }
+        // 35 ops → 3 completed intervals × 2 pages.
+        assert_eq!(d.scrubber().pages_checked(), 6);
+        assert_eq!(d.ops(), 35);
+    }
+
+    #[test]
+    fn daemon_reads_count_as_scrub_not_demand() {
+        let (mut sys, layout) = setup(8);
+        sys.reset_stats();
+        let s = Scrubber::new(layout, ScrubGranularity::Page, 0, 8);
+        let mut d = ScrubDaemon::new(s, 8, 1);
+        d.tick(&mut sys, 0).unwrap();
+        let c = sys.stats().counters;
+        assert!(c.scrub_reads >= 8 * 64, "scrub traffic tallied separately");
+        assert_eq!(c.nvm_data_reads, 0, "no demand reads charged");
+        assert!(!sys.scrub_accounting(), "flag restored after the step");
+    }
+
+    #[test]
+    fn daemon_finds_corruption_and_restores_flag_on_error() {
+        let (mut sys, layout) = setup(8);
+        let victim = layout.nth_data_page(3);
+        sys.memory_mut().poke_line(victim.line(0), &[7u8; 64]);
+        let s = Scrubber::new(layout, ScrubGranularity::Page, 0, 8);
+        let mut d = ScrubDaemon::new(s, 8, 1);
+        let findings = d.tick(&mut sys, 0).unwrap().expect("on-interval tick steps");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].page, victim);
+        assert!(!sys.scrub_accounting());
     }
 
     #[test]

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, unit/integration tests, and quick-scale smokes of the
+# two fault-injection campaigns. The campaigns exit non-zero on any survival
+# invariant violation (silent wrong data under a verifying design, an
+# unsettled media inconsistency after convergence, or a poisoned page that
+# fails open), so this script fails CI on them.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== build (workspace) ==="
+cargo build --release --workspace
+
+echo "=== tests (workspace) ==="
+cargo test --release --workspace --quiet
+
+echo "=== coverage_campaign (quick) ==="
+TVARAK_SCALE=quick ./target/release/coverage_campaign
+
+echo "=== chaos_campaign (quick) ==="
+TVARAK_SCALE=quick ./target/release/chaos_campaign
+
+echo "ci: all gates passed"

@@ -25,5 +25,6 @@ TVARAK_SCALE=reduced run sec4h_scaling
 TVARAK_SCALE=reduced run vilamb_sweep
 TVARAK_SCALE=reduced run ycsb_suite
 run coverage_campaign
+run chaos_campaign
 
 echo "All experiments complete; CSVs in results/."
