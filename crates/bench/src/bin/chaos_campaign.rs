@@ -30,14 +30,36 @@ use apps::driver::{AppError, Design, Machine};
 use apps::kv::PersistentKv;
 use apps::rbtree::RbTree;
 use apps::rng::Rng;
+use bench::runner::{self, Cell};
 use memsim::addr::{LineAddr, PAGE};
 use memsim::{FaultKind, FaultPlan, FirmwareFault};
 use pmemfs::fs::FileHandle;
 use pmemfs::recover::RecoveryEvent;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use tvarak::controller::TvarakConfig;
+
+thread_local! {
+    /// The most recent panic message on *this* worker thread. Fabricated
+    /// bytes legitimately send the index structures chasing garbage (a
+    /// loud, per-op-caught failure), so the campaign installs one quiet
+    /// process-wide hook up front that records the message here instead of
+    /// spamming stderr. A per-run `set_hook`/`take_hook` pair — the old
+    /// scheme — would race when cells run on the runner's worker pool.
+    static LAST_PANIC: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+fn install_quiet_panic_hook() {
+    std::panic::set_hook(Box::new(|info| {
+        LAST_PANIC.with(|p| *p.borrow_mut() = Some(info.to_string()));
+    }));
+}
+
+fn take_last_panic() -> Option<String> {
+    LAST_PANIC.with(|p| p.borrow_mut().take())
+}
 
 /// Ops per run and fault events per run, from `TVARAK_SCALE`.
 fn scale() -> (u64, usize) {
@@ -413,12 +435,8 @@ fn run_kv_chaos(
     let mut degraded = false;
     // Fabricated bytes can send the index chasing garbage pointers; a panic
     // is a loud (not silent) failure, caught per-op and reported with its
-    // message + location in the event log.
-    static LAST_PANIC: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
-    let prev_hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|info| {
-        *LAST_PANIC.lock().unwrap() = Some(info.to_string());
-    }));
+    // message + location in the event log (the quiet hook main() installed
+    // records it in LAST_PANIC).
     for op in 0..ops {
         ctl.before_op(&mut m, op);
         let key = rng.below(KEYSPACE);
@@ -488,7 +506,7 @@ fn run_kv_chaos(
             }
             Err(_) => {
                 ctl.out.crashed = true;
-                let info = LAST_PANIC.lock().unwrap().take().unwrap_or_default();
+                let info = take_last_panic().unwrap_or_default();
                 ctl.log.push(format!(
                     "{} op={} event=AppCrash info={}",
                     ctl.ctx,
@@ -506,7 +524,6 @@ fn run_kv_chaos(
         }
         ctl.after_op(&mut m, op);
     }
-    std::panic::set_hook(prev_hook);
     ctl.finish(&mut m, &file, ops);
     ctl.check_invariants(&mut m, &file, inline_cl_verified(design));
     let log = std::mem::take(&mut ctl.log);
@@ -614,15 +631,12 @@ fn main() {
         "{:<6} {:<17} {:<18} {:>5} {:>5} {:>6} {:>7} {:>5} {:>5} {:>7} {:>7} {:>5} {:>8}",
         "app", "design", "fault", "armed", "fired", "detect", "recover", "quar", "wrong", "dmiss", "closed", "crash", "latency"
     );
-    let mut csv = String::from(
-        "app,design,fault,ops,armed,fired,media_fired,detections,recoveries,quarantines,\
-         wrong_data,degraded_miss,fail_closed,crashed,first_detect_latency_ops,final_bad_pages\n",
-    );
-    let mut log = String::new();
-    let mut violations: Vec<String> = Vec::new();
+    // Install the quiet panic hook once, before any worker thread can run a
+    // cell (per-run hook swaps would race on the process-global hook).
+    install_quiet_panic_hook();
     // CHAOS_FILTER=substring runs only matching cells (e.g. "rbtree design=Tvarak fault=sticky").
     let filter = std::env::var("CHAOS_FILTER").unwrap_or_default();
-    let mut cells = 0u32;
+    let mut cells: Vec<Cell<(&'static str, Design, FaultKind, Outcome, Vec<String>)>> = Vec::new();
     for app in ["btree", "rbtree", "fio"] {
         for design in designs() {
             for kind in FaultKind::all() {
@@ -630,68 +644,83 @@ fn main() {
                 if !filter.is_empty() && !ctx.contains(&filter) {
                     continue;
                 }
-                cells += 1;
-                let (out, run_log) = match app {
-                    "fio" => run_raw_chaos(design, kind, ops, events),
-                    _ => run_kv_chaos(design, kind, app, ops, events),
-                };
-                let latency = out
-                    .detect_latency()
-                    .map(|l| l.to_string())
-                    .unwrap_or_else(|| "-".into());
-                println!(
-                    "{:<6} {:<17} {:<18} {:>5} {:>5} {:>6} {:>7} {:>5} {:>5} {:>7} {:>7} {:>5} {:>8}",
-                    app,
-                    design.label(),
-                    kind.label(),
-                    out.armed,
-                    out.fired,
-                    out.detections,
-                    out.recoveries,
-                    out.quarantines,
-                    out.wrong_data,
-                    out.degraded_miss,
-                    out.fail_closed,
-                    out.crashed as u8,
-                    latency
-                );
-                let _ = writeln!(
-                    csv,
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-                    app,
-                    design.label(),
-                    kind.label(),
-                    ops,
-                    out.armed,
-                    out.fired,
-                    out.media_fired,
-                    out.detections,
-                    out.recoveries,
-                    out.quarantines,
-                    out.wrong_data,
-                    out.degraded_miss,
-                    out.fail_closed,
-                    out.crashed as u8,
-                    latency,
-                    out.final_bad_pages
-                );
-                for line in run_log {
-                    log.push_str(&line);
-                    log.push('\n');
-                }
-                violations.extend(out.violations);
+                cells.push(Cell::new(ctx, move || {
+                    let (out, run_log) = match app {
+                        "fio" => run_raw_chaos(design, kind, ops, events),
+                        _ => run_kv_chaos(design, kind, app, ops, events),
+                    };
+                    (app, design, kind, out, run_log)
+                }));
             }
         }
     }
     // A filter that matches nothing must not read as a clean campaign.
-    if cells == 0 {
+    if cells.is_empty() {
         eprintln!("CHAOS_FILTER={filter:?} matched no cells — nothing was checked");
         std::process::exit(2);
+    }
+    let results = runner::run_cells(cells, runner::jobs());
+    // Table, CSV, and event log are assembled from the in-input-order
+    // results after the pool drains, so every --jobs setting emits the
+    // same bytes.
+    let mut csv = String::from(
+        "app,design,fault,ops,armed,fired,media_fired,detections,recoveries,quarantines,\
+         wrong_data,degraded_miss,fail_closed,crashed,first_detect_latency_ops,final_bad_pages\n",
+    );
+    let mut log = String::new();
+    let mut violations: Vec<String> = Vec::new();
+    for r in &results {
+        let (app, design, kind, out, run_log) = &r.value;
+        let latency = out
+            .detect_latency()
+            .map(|l| l.to_string())
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<6} {:<17} {:<18} {:>5} {:>5} {:>6} {:>7} {:>5} {:>5} {:>7} {:>7} {:>5} {:>8}",
+            app,
+            design.label(),
+            kind.label(),
+            out.armed,
+            out.fired,
+            out.detections,
+            out.recoveries,
+            out.quarantines,
+            out.wrong_data,
+            out.degraded_miss,
+            out.fail_closed,
+            out.crashed as u8,
+            latency
+        );
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            app,
+            design.label(),
+            kind.label(),
+            ops,
+            out.armed,
+            out.fired,
+            out.media_fired,
+            out.detections,
+            out.recoveries,
+            out.quarantines,
+            out.wrong_data,
+            out.degraded_miss,
+            out.fail_closed,
+            out.crashed as u8,
+            latency,
+            out.final_bad_pages
+        );
+        for line in run_log {
+            log.push_str(line);
+            log.push('\n');
+        }
+        violations.extend(out.violations.iter().cloned());
     }
     let _ = std::fs::create_dir_all("results");
     let _ = std::fs::write("results/chaos_campaign.csv", csv);
     let _ = std::fs::write("results/chaos_events.log", log);
-    println!("[saved results/chaos_campaign.csv, results/chaos_events.log]");
+    eprintln!("[saved results/chaos_campaign.csv, results/chaos_events.log]");
     if !violations.is_empty() {
         eprintln!("INVARIANT VIOLATIONS ({}):", violations.len());
         for v in &violations {

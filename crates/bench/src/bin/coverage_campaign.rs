@@ -15,6 +15,7 @@
 
 use apps::driver::{Design, Machine};
 use apps::rng::Rng;
+use bench::runner::{self, Cell};
 use tvarak::controller::TvarakConfig;
 use tvarak::scrub::{ScrubGranularity, Scrubber};
 
@@ -24,6 +25,7 @@ const READS: u64 = 400;
 
 #[derive(Default)]
 struct Tally {
+    trials: u64,
     detected_inline: u64,
     wrong_data_reads: u64,
     detected_by_scrub: u64,
@@ -39,7 +41,25 @@ fn pattern(line: u64) -> [u8; 64] {
     p
 }
 
-fn run_trial(design: Design, trial: u64, tally: &mut Tally) {
+impl Tally {
+    /// Fold one trial's counts into the per-design aggregate. Every field
+    /// is a sum, so the aggregate is independent of merge order — but the
+    /// runner hands results back in input order anyway.
+    fn merge(&mut self, other: &Tally) {
+        self.trials += other.trials;
+        self.detected_inline += other.detected_inline;
+        self.wrong_data_reads += other.wrong_data_reads;
+        self.detected_by_scrub += other.detected_by_scrub;
+        self.recovered += other.recovered;
+        self.undetected += other.undetected;
+    }
+}
+
+fn run_trial(design: Design, trial: u64) -> Tally {
+    let mut tally = Tally {
+        trials: 1,
+        ..Tally::default()
+    };
     let mut m = Machine::builder()
         .small()
         .design(design)
@@ -110,6 +130,7 @@ fn run_trial(design: Design, trial: u64, tally: &mut Tally) {
             }
         }
     }
+    tally
 }
 
 fn main() {
@@ -125,12 +146,30 @@ fn main() {
         Design::TxbObject,
         Design::TxbPage,
     ];
+    // One cell per (design, trial): each trial builds its own Machine, so
+    // the grid parallelizes at full granularity. Results come back in input
+    // order and tally fields are sums, so the aggregates — and the CSV —
+    // are identical at every --jobs setting.
+    let cells: Vec<Cell<(usize, Tally)>> = designs
+        .iter()
+        .enumerate()
+        .flat_map(|(d, &design)| {
+            (0..TRIALS).map(move |trial| {
+                Cell::new(format!("{} trial {trial}", design.label()), move || {
+                    (d, run_trial(design, trial))
+                })
+            })
+        })
+        .collect();
+    let results = runner::run_cells(cells, runner::jobs());
+    let mut tallies: Vec<Tally> = designs.iter().map(|_| Tally::default()).collect();
+    for r in &results {
+        let (d, tally) = &r.value;
+        tallies[*d].merge(tally);
+    }
     let mut csv = String::from("design,inline,wrong_reads,by_scrub,undetected,recovered\n");
-    for design in designs {
-        let mut tally = Tally::default();
-        for trial in 0..TRIALS {
-            run_trial(design, trial, &mut tally);
-        }
+    for (design, tally) in designs.iter().zip(&tallies) {
+        assert_eq!(tally.trials, TRIALS, "lost trials for {}", design.label());
         println!(
             "{:<20} {:>10} {:>12} {:>10} {:>10} {:>12}",
             design.label(),
@@ -152,5 +191,5 @@ fn main() {
     }
     let _ = std::fs::create_dir_all("results");
     let _ = std::fs::write("results/coverage_campaign.csv", csv);
-    println!("[saved results/coverage_campaign.csv]");
+    eprintln!("[saved results/coverage_campaign.csv]");
 }

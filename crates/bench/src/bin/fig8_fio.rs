@@ -2,18 +2,31 @@
 
 use apps::driver::Design;
 use apps::fio::Pattern;
+use bench::runner::{self, Cell};
 use bench::workloads::{run_fio, Scale};
 use bench::{Report, Row};
 
 fn main() {
     let scale = Scale::from_env();
-    let mut rep = Report::new("Fig. 8(m-p) — fio (runtime, energy, NVM & cache accesses)");
+    let mut cells = Vec::new();
     for pattern in Pattern::all() {
         for design in Design::fig8() {
-            eprintln!("running fio {} under {design} ...", pattern.label());
-            let out = run_fio(design, pattern, &scale).expect("workload failed");
-            rep.push(Row::new(pattern.label(), design, &out.stats, &out.cfg));
+            let s = scale.clone();
+            cells.push(Cell::new(
+                format!("fio {} {design}", pattern.label()),
+                move || {
+                    let out = run_fio(design, pattern, &s).expect("workload failed");
+                    (pattern.label(), design, out)
+                },
+            ));
         }
+    }
+    let results = runner::run_cells(cells, runner::jobs());
+    runner::eprint_rates(&results, |(_, _, out)| out.stats.runtime_cycles());
+    let mut rep = Report::new("Fig. 8(m-p) — fio (runtime, energy, NVM & cache accesses)");
+    for r in &results {
+        let (label, design, out) = &r.value;
+        rep.push(Row::new(label, *design, &out.stats, &out.cfg));
     }
     rep.emit("fig8_fio");
 }

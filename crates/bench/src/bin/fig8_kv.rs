@@ -2,22 +2,32 @@
 //! workloads under all four designs.
 
 use apps::driver::Design;
+use bench::runner::{self, Cell};
 use bench::workloads::{run_kv, KvKind, KvWorkload, Scale};
 use bench::{Report, Row};
 
 fn main() {
     let scale = Scale::from_env();
-    let mut rep =
-        Report::new("Fig. 8(e-h) — Key-value structures (runtime, energy, NVM & cache accesses)");
+    let mut cells = Vec::new();
     for kind in KvKind::all() {
         for wl in [KvWorkload::InsertOnly, KvWorkload::Balanced] {
             for design in Design::fig8() {
                 let label = format!("{}/{}", kind.label(), wl.label());
-                eprintln!("running {label} under {design} ...");
-                let out = run_kv(design, kind, wl, &scale).expect("workload failed");
-                rep.push(Row::new(&label, design, &out.stats, &out.cfg));
+                let s = scale.clone();
+                cells.push(Cell::new(format!("{label} {design}"), move || {
+                    let out = run_kv(design, kind, wl, &s).expect("workload failed");
+                    (label, design, out)
+                }));
             }
         }
+    }
+    let results = runner::run_cells(cells, runner::jobs());
+    runner::eprint_rates(&results, |(_, _, out)| out.stats.runtime_cycles());
+    let mut rep =
+        Report::new("Fig. 8(e-h) — Key-value structures (runtime, energy, NVM & cache accesses)");
+    for r in &results {
+        let (label, design, out) = &r.value;
+        rep.push(Row::new(label, *design, &out.stats, &out.cfg));
     }
     rep.emit("fig8_kv");
 }

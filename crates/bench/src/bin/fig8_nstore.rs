@@ -2,18 +2,31 @@
 //! four designs.
 
 use apps::driver::Design;
+use bench::runner::{self, Cell};
 use bench::workloads::{run_nstore, NstoreWorkload, Scale};
 use bench::{Report, Row};
 
 fn main() {
     let scale = Scale::from_env();
-    let mut rep = Report::new("Fig. 8(i-l) — N-Store (runtime, energy, NVM & cache accesses)");
+    let mut cells = Vec::new();
     for wl in NstoreWorkload::all() {
         for design in Design::fig8() {
-            eprintln!("running nstore {} under {design} ...", wl.label());
-            let out = run_nstore(design, wl, &scale).expect("workload failed");
-            rep.push(Row::new(wl.label(), design, &out.stats, &out.cfg));
+            let s = scale.clone();
+            cells.push(Cell::new(
+                format!("nstore {} {design}", wl.label()),
+                move || {
+                    let out = run_nstore(design, wl, &s).expect("workload failed");
+                    (wl.label(), design, out)
+                },
+            ));
         }
+    }
+    let results = runner::run_cells(cells, runner::jobs());
+    runner::eprint_rates(&results, |(_, _, out)| out.stats.runtime_cycles());
+    let mut rep = Report::new("Fig. 8(i-l) — N-Store (runtime, energy, NVM & cache accesses)");
+    for r in &results {
+        let (label, design, out) = &r.value;
+        rep.push(Row::new(label, *design, &out.stats, &out.cfg));
     }
     rep.emit("fig8_nstore");
 }

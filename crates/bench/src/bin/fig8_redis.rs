@@ -1,18 +1,31 @@
 //! Fig. 8(a–d): Redis set-only and get-only under all four designs.
 
 use apps::driver::Design;
+use bench::runner::{self, Cell};
 use bench::workloads::{run_redis, RedisWorkload, Scale};
 use bench::{Report, Row};
 
 fn main() {
     let scale = Scale::from_env();
-    let mut rep = Report::new("Fig. 8(a-d) — Redis (runtime, energy, NVM & cache accesses)");
+    let mut cells = Vec::new();
     for wl in [RedisWorkload::SetOnly, RedisWorkload::GetOnly] {
         for design in Design::fig8() {
-            eprintln!("running redis {} under {design} ...", wl.label());
-            let out = run_redis(design, wl, &scale).expect("workload failed");
-            rep.push(Row::new(wl.label(), design, &out.stats, &out.cfg));
+            let s = scale.clone();
+            cells.push(Cell::new(
+                format!("redis {} {design}", wl.label()),
+                move || {
+                    let out = run_redis(design, wl, &s).expect("workload failed");
+                    (wl.label(), design, out)
+                },
+            ));
         }
+    }
+    let results = runner::run_cells(cells, runner::jobs());
+    runner::eprint_rates(&results, |(_, _, out)| out.stats.runtime_cycles());
+    let mut rep = Report::new("Fig. 8(a-d) — Redis (runtime, energy, NVM & cache accesses)");
+    for r in &results {
+        let (label, design, out) = &r.value;
+        rep.push(Row::new(label, *design, &out.stats, &out.cfg));
     }
     rep.emit("fig8_redis");
 }

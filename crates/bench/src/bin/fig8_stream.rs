@@ -2,18 +2,31 @@
 
 use apps::driver::Design;
 use apps::stream::Kernel;
+use bench::runner::{self, Cell};
 use bench::workloads::{run_stream, Scale};
 use bench::{Report, Row};
 
 fn main() {
     let scale = Scale::from_env();
-    let mut rep = Report::new("Fig. 8(q-t) — stream (runtime, energy, NVM & cache accesses)");
+    let mut cells = Vec::new();
     for kernel in Kernel::all() {
         for design in Design::fig8() {
-            eprintln!("running stream {} under {design} ...", kernel.label());
-            let out = run_stream(design, kernel, &scale).expect("workload failed");
-            rep.push(Row::new(kernel.label(), design, &out.stats, &out.cfg));
+            let s = scale.clone();
+            cells.push(Cell::new(
+                format!("stream {} {design}", kernel.label()),
+                move || {
+                    let out = run_stream(design, kernel, &s).expect("workload failed");
+                    (kernel.label(), design, out)
+                },
+            ));
         }
+    }
+    let results = runner::run_cells(cells, runner::jobs());
+    runner::eprint_rates(&results, |(_, _, out)| out.stats.runtime_cycles());
+    let mut rep = Report::new("Fig. 8(q-t) — stream (runtime, energy, NVM & cache accesses)");
+    for r in &results {
+        let (label, design, out) = &r.value;
+        rep.push(Row::new(label, *design, &out.stats, &out.cfg));
     }
     rep.emit("fig8_stream");
 }

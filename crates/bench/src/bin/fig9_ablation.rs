@@ -13,9 +13,10 @@
 use apps::driver::Design;
 use apps::fio::Pattern;
 use apps::stream::Kernel;
+use bench::runner::{self, Cell};
 use bench::workloads::{
     run_fio, run_kv, run_nstore, run_redis, run_stream, KvKind, KvWorkload, NstoreWorkload,
-    RedisWorkload, Scale,
+    Outcome, RedisWorkload, Scale,
 };
 use bench::{Report, Row};
 use tvarak::controller::TvarakConfig;
@@ -35,50 +36,95 @@ fn variants() -> Vec<(&'static str, Design)> {
     ]
 }
 
+/// The five (workload, group) sweeps, one runner per variant each.
+fn workload_cells(scale: &Scale, run_a: bool, run_b: bool) -> Vec<Cell<(String, &'static str, Design, Outcome)>> {
+    let mut cells = Vec::new();
+    let mut push =
+        |enabled: bool,
+         workload: &'static str,
+         name: &'static str,
+         design: Design,
+         run: Box<dyn FnOnce() -> Outcome + Send>| {
+            if enabled {
+                cells.push(Cell::new(format!("{workload} {name}"), move || {
+                    (workload.to_string(), name, design, run())
+                }));
+            }
+        };
+    for (name, design) in variants() {
+        let s = scale.clone();
+        push(
+            run_a,
+            "redis/set",
+            name,
+            design,
+            Box::new(move || run_redis(design, RedisWorkload::SetOnly, &s).expect("redis failed")),
+        );
+    }
+    for (name, design) in variants() {
+        let s = scale.clone();
+        push(
+            run_a,
+            "ctree/insert",
+            name,
+            design,
+            Box::new(move || {
+                run_kv(design, KvKind::CTree, KvWorkload::InsertOnly, &s).expect("ctree failed")
+            }),
+        );
+    }
+    for (name, design) in variants() {
+        let s = scale.clone();
+        push(
+            run_b,
+            "nstore/bal",
+            name,
+            design,
+            Box::new(move || {
+                run_nstore(design, NstoreWorkload::Balanced, &s).expect("nstore failed")
+            }),
+        );
+    }
+    for (name, design) in variants() {
+        let s = scale.clone();
+        push(
+            run_b,
+            "fio/rand-wr",
+            name,
+            design,
+            Box::new(move || run_fio(design, Pattern::RandWrite, &s).expect("fio failed")),
+        );
+    }
+    for (name, design) in variants() {
+        let s = scale.clone();
+        push(
+            run_b,
+            "stream/triad",
+            name,
+            design,
+            Box::new(move || run_stream(design, Kernel::Triad, &s).expect("stream failed")),
+        );
+    }
+    cells
+}
+
 fn main() {
     let scale = Scale::from_env();
     // Optional group filter so long sweeps fit in bounded CI slots:
     // `a` = redis+ctree, `b` = nstore+fio+stream, default = all.
-    let group = std::env::args().nth(1).unwrap_or_default();
+    let group = runner::positional_args().into_iter().next().unwrap_or_default();
     let (run_a, run_b) = match group.as_str() {
         "a" => (true, false),
         "b" => (false, true),
         _ => (true, true),
     };
+    let cells = workload_cells(&scale, run_a, run_b);
+    let results = runner::run_cells(cells, runner::jobs());
+    runner::eprint_rates(&results, |(_, _, _, out)| out.stats.runtime_cycles());
     let mut rep = Report::new("Fig. 9 — Impact of TVARAK's design choices (runtime)");
-    for (name, design) in variants().into_iter().filter(|_| run_a) {
-        eprintln!("redis/set-only under {name} ...");
-        let out = run_redis(design, RedisWorkload::SetOnly, &scale).expect("redis failed");
-        let mut row = Row::new("redis/set", design, &out.stats, &out.cfg);
-        row.design = name.to_string();
-        rep.push(row);
-    }
-    for (name, design) in variants().into_iter().filter(|_| run_a) {
-        eprintln!("ctree/insert-only under {name} ...");
-        let out =
-            run_kv(design, KvKind::CTree, KvWorkload::InsertOnly, &scale).expect("ctree failed");
-        let mut row = Row::new("ctree/insert", design, &out.stats, &out.cfg);
-        row.design = name.to_string();
-        rep.push(row);
-    }
-    for (name, design) in variants().into_iter().filter(|_| run_b) {
-        eprintln!("nstore/balanced under {name} ...");
-        let out = run_nstore(design, NstoreWorkload::Balanced, &scale).expect("nstore failed");
-        let mut row = Row::new("nstore/bal", design, &out.stats, &out.cfg);
-        row.design = name.to_string();
-        rep.push(row);
-    }
-    for (name, design) in variants().into_iter().filter(|_| run_b) {
-        eprintln!("fio/rand-write under {name} ...");
-        let out = run_fio(design, Pattern::RandWrite, &scale).expect("fio failed");
-        let mut row = Row::new("fio/rand-wr", design, &out.stats, &out.cfg);
-        row.design = name.to_string();
-        rep.push(row);
-    }
-    for (name, design) in variants().into_iter().filter(|_| run_b) {
-        eprintln!("stream/triad under {name} ...");
-        let out = run_stream(design, Kernel::Triad, &scale).expect("stream failed");
-        let mut row = Row::new("stream/triad", design, &out.stats, &out.cfg);
+    for r in &results {
+        let (workload, name, design, out) = &r.value;
+        let mut row = Row::new(workload, *design, &out.stats, &out.cfg);
         row.design = name.to_string();
         rep.push(row);
     }

@@ -1,0 +1,156 @@
+//! Tracked performance baseline for the simulator itself.
+//!
+//! Times three things and writes `BENCH_perf.json` in the working
+//! directory so the trajectory is tracked from PR to PR:
+//!
+//! 1. **Checksum microbench** — slice-by-8 CRC32C vs. the byte-wise
+//!    reference, in MiB/s over cache-line and page inputs (the hot
+//!    verification path; the acceptance bar is ≥ 2× for slice-by-8).
+//! 2. **Engine microbench** — a raw DAX read/write sweep on a small
+//!    machine under the full TVARAK design, reported as simulated cycles
+//!    per wall-clock second.
+//! 3. **Cell grid** — a fixed small fio grid (4 patterns × Baseline/Tvarak
+//!    at quick scale) through `bench::runner`, reporting per-cell wall
+//!    time, per-cell simulated throughput, and aggregate cells/sec.
+//!
+//! `--quick` shrinks the iteration counts for the CI smoke (the JSON shape
+//! is identical); `--jobs N` / `MEMSIM_JOBS` control the cell-grid pool.
+
+use apps::driver::{Design, Machine};
+use apps::fio::Pattern;
+use bench::runner::{self, Cell};
+use bench::workloads::{run_fio, Outcome, Scale};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+use tvarak::checksum::{crc32c, crc32c_bytewise};
+
+/// MiB/s of `f` over `iters` passes of a `len`-byte buffer.
+fn checksum_throughput(f: fn(&[u8]) -> u32, len: usize, iters: u64) -> f64 {
+    let buf: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
+    // Warm up tables and cache.
+    let mut sink = f(&buf);
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink ^= f(black_box(&buf));
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    black_box(sink);
+    (len as u64 * iters) as f64 / (1024.0 * 1024.0) / secs
+}
+
+/// Simulated cycles and wall seconds for a raw DAX read/write sweep.
+fn engine_microbench(ops: u64) -> (u64, f64) {
+    let mut m = Machine::builder()
+        .small()
+        .design(Design::Tvarak)
+        .data_pages(256)
+        .build();
+    let file = m
+        .create_dax_file("perf", 64 * 1024)
+        .expect("pool fits perf file");
+    let lines = file.len() / 64;
+    let start = Instant::now();
+    let mut buf = [0u8; 64];
+    for op in 0..ops {
+        let l = (op * 0x9e37) % lines;
+        if op % 4 == 0 {
+            buf[0] = op as u8;
+            file.write(&mut m.sys, 0, l * 64, &buf).expect("write");
+        } else {
+            file.read(&mut m.sys, 0, l * 64, &mut buf).expect("read");
+        }
+        if op % 1024 == 1023 {
+            m.flush();
+        }
+    }
+    m.flush();
+    (m.stats().runtime_cycles(), start.elapsed().as_secs_f64())
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let jobs = runner::jobs();
+    let (csum_iters, engine_ops) = if quick { (2_000, 20_000) } else { (40_000, 200_000) };
+
+    eprintln!("# checksum microbench ({csum_iters} iters per input size)");
+    let line_by = checksum_throughput(crc32c_bytewise, 64, csum_iters * 8);
+    let line_s8 = checksum_throughput(crc32c, 64, csum_iters * 8);
+    let page_by = checksum_throughput(crc32c_bytewise, 4096, csum_iters);
+    let page_s8 = checksum_throughput(crc32c, 4096, csum_iters);
+    let speedup_line = line_s8 / line_by;
+    let speedup_page = page_s8 / page_by;
+    eprintln!("#   64 B line: bytewise {line_by:.0} MiB/s, slice-by-8 {line_s8:.0} MiB/s ({speedup_line:.2}x)");
+    eprintln!("#   4 KB page: bytewise {page_by:.0} MiB/s, slice-by-8 {page_s8:.0} MiB/s ({speedup_page:.2}x)");
+
+    eprintln!("# engine microbench ({engine_ops} raw DAX ops under Tvarak)");
+    let (sim_cycles, engine_wall) = engine_microbench(engine_ops);
+    let engine_rate = sim_cycles as f64 / engine_wall.max(1e-9);
+    eprintln!("#   {sim_cycles} simulated cycles in {engine_wall:.2}s = {:.2} Mcyc/s", engine_rate / 1e6);
+
+    eprintln!("# cell grid (fio 4 patterns x Baseline/Tvarak, quick scale, --jobs {jobs})");
+    let scale = Scale::quick();
+    let mut cells: Vec<Cell<Outcome>> = Vec::new();
+    for pattern in Pattern::all() {
+        for design in [Design::Baseline, Design::Tvarak] {
+            let s = scale.clone();
+            cells.push(Cell::new(
+                format!("fio {} {design}", pattern.label()),
+                move || run_fio(design, pattern, &s).expect("workload failed"),
+            ));
+        }
+    }
+    let grid_start = Instant::now();
+    let results = runner::run_cells(cells, jobs);
+    let grid_wall = grid_start.elapsed().as_secs_f64();
+    runner::eprint_rates(&results, |out| out.stats.runtime_cycles());
+    let cells_per_sec = results.len() as f64 / grid_wall.max(1e-9);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": 1,");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"jobs\": {jobs},");
+    let _ = writeln!(json, "  \"checksum\": {{");
+    let _ = writeln!(json, "    \"line_bytewise_mib_s\": {},", json_f(line_by));
+    let _ = writeln!(json, "    \"line_slice8_mib_s\": {},", json_f(line_s8));
+    let _ = writeln!(json, "    \"page_bytewise_mib_s\": {},", json_f(page_by));
+    let _ = writeln!(json, "    \"page_slice8_mib_s\": {},", json_f(page_s8));
+    let _ = writeln!(json, "    \"line_speedup\": {},", json_f(speedup_line));
+    let _ = writeln!(json, "    \"page_speedup\": {}", json_f(speedup_page));
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"engine\": {{");
+    let _ = writeln!(json, "    \"sim_cycles\": {sim_cycles},");
+    let _ = writeln!(json, "    \"wall_s\": {},", json_f(engine_wall));
+    let _ = writeln!(json, "    \"sim_cycles_per_sec\": {}", json_f(engine_rate));
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"cells\": [");
+    for (i, r) in results.iter().enumerate() {
+        let cyc = r.value.stats.runtime_cycles();
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"label\": \"{}\", \"wall_s\": {}, \"sim_cycles\": {cyc}, \"sim_cycles_per_sec\": {}}}{comma}",
+            r.label,
+            json_f(r.wall.as_secs_f64()),
+            json_f(r.sim_cycles_per_sec(cyc))
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"cell_grid\": {{");
+    let _ = writeln!(json, "    \"cells\": {},", results.len());
+    let _ = writeln!(json, "    \"total_wall_s\": {},", json_f(grid_wall));
+    let _ = writeln!(json, "    \"cells_per_sec\": {}", json_f(cells_per_sec));
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_perf.json", &json).expect("write BENCH_perf.json");
+    println!("{json}");
+    eprintln!("[saved BENCH_perf.json]");
+}

@@ -17,15 +17,22 @@
 //!   survival invariants of the detection → recovery → degradation
 //!   pipeline (exits non-zero on violation; see DESIGN.md §8)
 //! - `probe` — ad-hoc single-workload comparisons for calibration
+//! - `perf_baseline` — tracked performance baseline of the simulator
+//!   itself (checksum/engine microbenches + a fixed cell grid), emitting
+//!   `BENCH_perf.json` (see DESIGN.md §9)
 //!
 //! Run with `TVARAK_SCALE=quick` (smoke sizes) or `TVARAK_SCALE=reduced`
 //! (half-sized measured phases for the many-configuration sweeps);
-//! `scripts/reproduce.sh` chains everything.
+//! `scripts/reproduce.sh` chains everything. Campaign binaries execute
+//! their cells on [`runner`]'s worker pool — `--jobs N` / `MEMSIM_JOBS`
+//! select the width; output is byte-identical at any setting.
 
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod runner;
 pub mod workloads;
 
 pub use report::{Report, Row};
+pub use runner::{run_cells, Cell, CellResult};
 pub use workloads::{Outcome, Scale};

@@ -224,6 +224,10 @@ impl Report {
 
     /// Print the table to stdout and save the CSV plus a gnuplot script
     /// under `results/<name>.{csv,gp}`.
+    ///
+    /// Rows print in insertion order and the save notice goes to stderr, so
+    /// stdout (and the saved CSV) is byte-identical however the cells that
+    /// produced the rows were scheduled.
     pub fn emit(&self, name: &str) {
         println!("{}", self.to_table());
         let dir = Path::new("results");
@@ -231,7 +235,7 @@ impl Report {
             let path = dir.join(format!("{name}.csv"));
             if let Ok(mut f) = fs::File::create(&path) {
                 let _ = f.write_all(self.to_csv().as_bytes());
-                println!("[saved {}]", path.display());
+                eprintln!("[saved {}]", path.display());
             }
             let gp = dir.join(format!("{name}.gp"));
             if let Ok(mut f) = fs::File::create(&gp) {

@@ -1,0 +1,262 @@
+//! Parallel cell execution for the campaign binaries.
+//!
+//! Every evaluation artifact in this repo is a grid of fully independent
+//! deterministic simulations — (design × app × workload × fault) cells that
+//! each build their own `Machine` and share nothing. The campaign binaries
+//! declare that grid as a `Vec<Cell>` and hand it to [`run_cells`], which
+//! executes the cells on a worker pool and returns the results **in input
+//! order**, so tables and CSV files are byte-identical at every `--jobs`
+//! setting.
+//!
+//! Determinism argument: a cell's closure owns every piece of state its
+//! simulation touches (the `Machine`, app instances, RNGs are all built
+//! inside it); the pool only chooses *when* and *on which thread* a cell
+//! runs, never what it computes. The only shared mutable state is the
+//! work-queue index and the slot each cell writes its own result into.
+//!
+//! Worker count: `--jobs N` (or `--jobs=N`) on the command line beats the
+//! `MEMSIM_JOBS` environment variable beats `available_parallelism()`.
+//! Progress lines go to stderr only, so piped stdout stays clean.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One unit of work: a label for progress display plus the closure that
+/// runs the simulation. The closure owns all of its state (machines are
+/// built inside it), which is what keeps parallel execution deterministic.
+pub struct Cell<R> {
+    /// Shown in the progress line and in [`CellResult`].
+    pub label: String,
+    run: Box<dyn FnOnce() -> R + Send>,
+}
+
+impl<R> Cell<R> {
+    /// Package a closure as a runnable cell.
+    pub fn new(label: impl Into<String>, run: impl FnOnce() -> R + Send + 'static) -> Self {
+        Cell {
+            label: label.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+/// A completed cell: its label, wall-clock duration, and return value.
+#[derive(Debug, Clone)]
+pub struct CellResult<R> {
+    /// The cell's label.
+    pub label: String,
+    /// Wall-clock time the cell's closure took.
+    pub wall: Duration,
+    /// The closure's return value.
+    pub value: R,
+}
+
+impl<R> CellResult<R> {
+    /// Simulated cycles per wall-clock second, given the cell's simulated
+    /// cycle count (the simulator-throughput figure `perf_baseline` tracks).
+    pub fn sim_cycles_per_sec(&self, sim_cycles: u64) -> f64 {
+        sim_cycles as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Worker count for this invocation: the first `--jobs N` / `--jobs=N` in
+/// `std::env::args()`, else `MEMSIM_JOBS`, else the machine's available
+/// parallelism. Malformed or zero values fall through to the next source.
+pub fn jobs() -> usize {
+    jobs_from(std::env::args().skip(1))
+}
+
+fn jobs_from(args: impl Iterator<Item = String>) -> usize {
+    if let Some(n) = parse_jobs_args(args) {
+        return n;
+    }
+    if let Some(n) = std::env::var("MEMSIM_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn parse_jobs_args(mut args: impl Iterator<Item = String>) -> Option<usize> {
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            return args.next()?.parse().ok().filter(|&n| n > 0);
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse().ok().filter(|&n| n > 0);
+        }
+    }
+    None
+}
+
+/// Command-line arguments with the `--jobs` forms removed, for binaries
+/// that also take positional arguments (e.g. `fig9_ablation`'s group).
+pub fn positional_args() -> Vec<String> {
+    let mut out = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            let _ = args.next();
+        } else if !a.starts_with("--jobs=") {
+            out.push(a);
+        }
+    }
+    out
+}
+
+/// Execute `cells` on `jobs` worker threads and return their results in
+/// input order. With `jobs <= 1` the cells run serially on the calling
+/// thread (no pool), which is the reference order the determinism test
+/// compares against. A panicking cell propagates and aborts the campaign,
+/// matching the old serial `.expect()` behavior.
+///
+/// # Panics
+///
+/// Re-raises the first cell panic after the remaining workers finish their
+/// current cells.
+pub fn run_cells<R: Send>(cells: Vec<Cell<R>>, jobs: usize) -> Vec<CellResult<R>> {
+    let total = cells.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let progress = |done: usize, label: &str, wall: Duration| {
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(
+            err,
+            "[{done}/{total}] {label} ({:.2}s)",
+            wall.as_secs_f64()
+        );
+    };
+    if jobs <= 1 {
+        let mut results = Vec::with_capacity(total);
+        for (i, cell) in cells.into_iter().enumerate() {
+            let start = Instant::now();
+            let value = (cell.run)();
+            let wall = start.elapsed();
+            progress(i + 1, &cell.label, wall);
+            results.push(CellResult {
+                label: cell.label,
+                wall,
+                value,
+            });
+        }
+        return results;
+    }
+    // Work queue: an atomic cursor over the cell vector; each claimed index
+    // is run exactly once and its result stored in the same slot, so the
+    // output order equals the input order regardless of completion order.
+    let queue: Vec<Mutex<Option<Cell<R>>>> =
+        cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CellResult<R>>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(total) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    return;
+                }
+                let cell = queue[i]
+                    .lock()
+                    .expect("cell slot poisoned")
+                    .take()
+                    .expect("cell claimed twice");
+                let start = Instant::now();
+                let value = (cell.run)();
+                let wall = start.elapsed();
+                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                progress(n, &cell.label, wall);
+                *slots[i].lock().expect("result slot poisoned") = Some(CellResult {
+                    label: cell.label,
+                    wall,
+                    value,
+                });
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("cell produced no result")
+        })
+        .collect()
+}
+
+/// Print a per-cell wall-time / simulated-throughput summary to stderr.
+/// `sim_cycles` extracts each cell's simulated cycle count from its value.
+pub fn eprint_rates<R>(results: &[CellResult<R>], sim_cycles: impl Fn(&R) -> u64) {
+    let mut err = std::io::stderr().lock();
+    let total_wall: f64 = results.iter().map(|r| r.wall.as_secs_f64()).sum();
+    let _ = writeln!(err, "# per-cell wall time and simulated throughput");
+    for r in results {
+        let cyc = sim_cycles(&r.value);
+        let _ = writeln!(
+            err,
+            "#   {:<40} {:>8.2}s {:>10.2} Mcyc/s",
+            r.label,
+            r.wall.as_secs_f64(),
+            r.sim_cycles_per_sec(cyc) / 1e6
+        );
+    }
+    let _ = writeln!(
+        err,
+        "#   total cell wall time {total_wall:.2}s across {} cells",
+        results.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_input_order_any_jobs() {
+        for jobs in [1usize, 2, 4, 9] {
+            let cells: Vec<Cell<usize>> = (0..20)
+                .map(|i| Cell::new(format!("cell{i}"), move || i * i))
+                .collect();
+            let results = run_cells(cells, jobs);
+            assert_eq!(results.len(), 20);
+            for (i, r) in results.iter().enumerate() {
+                assert_eq!(r.label, format!("cell{i}"), "jobs={jobs}");
+                assert_eq!(r.value, i * i, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let results = run_cells(Vec::<Cell<u32>>::new(), 4);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn jobs_flag_parsing() {
+        let parse = |v: &[&str]| parse_jobs_args(v.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&["--jobs", "8"]), Some(8));
+        assert_eq!(parse(&["a", "--jobs=3"]), Some(3));
+        assert_eq!(parse(&["--jobs", "0"]), None);
+        assert_eq!(parse(&["--jobs", "x"]), None);
+        assert_eq!(parse(&["--jobs"]), None);
+        assert_eq!(parse(&["b"]), None);
+    }
+
+    #[test]
+    fn sim_rate_uses_wall_time() {
+        let r = CellResult {
+            label: "x".into(),
+            wall: Duration::from_secs(2),
+            value: (),
+        };
+        assert!((r.sim_cycles_per_sec(4_000_000) - 2_000_000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Slice-by-8 vs. byte-wise CRC32C equivalence, driven by the in-repo PRNG
+//! (`apps::rng::Rng`): seeded random buffers at every length 0..256 and
+//! every unaligned starting offset, plus incremental-update splits.
+
+use apps::rng::Rng;
+use tvarak::checksum::{crc32c, crc32c_bytewise, Crc32c};
+
+#[test]
+fn random_buffer_sweep_lengths_and_offsets() {
+    let mut rng = Rng::new(0xc4c_32c);
+    // A shared buffer longer than the largest (offset + length) window.
+    let buf: Vec<u8> = (0..(256 + 16)).map(|_| rng.below(256) as u8).collect();
+    for len in 0..=256usize {
+        for off in 0..16usize {
+            let s = &buf[off..off + len];
+            assert_eq!(
+                crc32c(s),
+                crc32c_bytewise(s),
+                "divergence at len {len} offset {off}"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_split_points_match_one_shot() {
+    let mut rng = Rng::new(0x5eed_0511);
+    let data: Vec<u8> = (0..4096).map(|_| rng.below(256) as u8).collect();
+    for _ in 0..64 {
+        let mut h = Crc32c::new();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let step = 1 + rng.below(257) as usize;
+            let end = (pos + step).min(data.len());
+            h.update(&data[pos..end]);
+            pos = end;
+        }
+        assert_eq!(h.finalize(), crc32c_bytewise(&data));
+    }
+}
+
+#[test]
+fn every_single_bit_flip_changes_the_crc() {
+    let mut rng = Rng::new(0xb17_f11b);
+    let base: Vec<u8> = (0..64).map(|_| rng.below(256) as u8).collect();
+    let c0 = crc32c(&base);
+    for bit in 0..64 * 8 {
+        let mut x = base.clone();
+        x[bit / 8] ^= 1 << (bit % 8);
+        assert_ne!(crc32c(&x), c0, "bit {bit} flip undetected");
+        assert_eq!(crc32c(&x), crc32c_bytewise(&x));
+    }
+}

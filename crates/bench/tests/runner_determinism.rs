@@ -1,0 +1,79 @@
+//! Golden determinism tests for the parallel cell runner: scheduling must
+//! not change any simulated number. One representative cell runs serially
+//! and through the pool at `--jobs 4`; `Stats` (every counter, every core
+//! clock) and the emitted report rows must be byte-identical.
+
+use apps::driver::Design;
+use apps::fio::Pattern;
+use bench::runner::{run_cells, Cell};
+use bench::workloads::{run_fio, Outcome, Scale};
+use bench::{Report, Row};
+
+/// A small fixed scale so the test grid stays fast in CI.
+fn tiny() -> Scale {
+    let mut s = Scale::quick();
+    s.fio_threads = 2;
+    s.fio_region_bytes = 128 * 1024;
+    s.fio_ops_per_thread = 512;
+    s
+}
+
+fn grid() -> Vec<Cell<(&'static str, Design, Outcome)>> {
+    let mut cells = Vec::new();
+    for pattern in [Pattern::SeqWrite, Pattern::RandRead, Pattern::RandWrite] {
+        for design in [Design::Baseline, Design::Tvarak] {
+            let s = tiny();
+            cells.push(Cell::new(
+                format!("fio {} {design}", pattern.label()),
+                move || {
+                    let out = run_fio(design, pattern, &s).expect("workload failed");
+                    (pattern.label(), design, out)
+                },
+            ));
+        }
+    }
+    cells
+}
+
+fn report_of(results: &[bench::CellResult<(&'static str, Design, Outcome)>]) -> Report {
+    let mut rep = Report::new("determinism");
+    for r in results {
+        let (label, design, out) = &r.value;
+        rep.push(Row::new(label, *design, &out.stats, &out.cfg));
+    }
+    rep
+}
+
+#[test]
+fn parallel_execution_is_bit_identical_to_serial() {
+    let serial = run_cells(grid(), 1);
+    let parallel = run_cells(grid(), 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.label, p.label, "result order changed");
+        let (sl, sd, so) = &s.value;
+        let (pl, pd, po) = &p.value;
+        assert_eq!(sl, pl);
+        assert_eq!(sd, pd);
+        // Stats derives PartialEq over every counter and core clock: any
+        // cross-cell interference whatsoever shows up here.
+        assert_eq!(so.stats, po.stats, "simulated stats differ for {sl} {sd}");
+    }
+    // The rendered report rows — what lands in results/*.csv — must be
+    // byte-identical too (stable ordering, no scheduling leakage).
+    let rs = report_of(&serial);
+    let rp = report_of(&parallel);
+    assert_eq!(rs.to_csv(), rp.to_csv());
+    assert_eq!(rs.to_table(), rp.to_table());
+    assert_eq!(rs.to_gnuplot("det"), rp.to_gnuplot("det"));
+}
+
+#[test]
+fn rerunning_the_same_cell_is_deterministic() {
+    // The premise behind the pool: a cell owns all of its state, so running
+    // it twice (anywhere, anytime) gives the same simulated numbers.
+    let s = tiny();
+    let a = run_fio(Design::Tvarak, Pattern::SeqRead, &s).expect("run a");
+    let b = run_fio(Design::Tvarak, Pattern::SeqRead, &s).expect("run b");
+    assert_eq!(a.stats, b.stats);
+}

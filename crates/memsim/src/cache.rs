@@ -250,6 +250,13 @@ impl CacheArray {
     /// end-of-run flushes.
     pub fn drain(&mut self, ways: Range<usize>) -> Vec<Evicted> {
         let mut out = Vec::new();
+        self.drain_into(ways, &mut out);
+        out
+    }
+
+    /// [`Self::drain`] into a caller-provided buffer (not cleared first), so
+    /// flush-heavy paths can reuse one allocation across many drains.
+    pub fn drain_into(&mut self, ways: Range<usize>, out: &mut Vec<Evicted>) {
         for set in 0..self.sets {
             for way in ways.clone() {
                 let idx = self.slot(set, way);
@@ -266,7 +273,18 @@ impl CacheArray {
                 }
             }
         }
-        out
+    }
+
+    /// Invalidate every valid line in `ways` without collecting the victims
+    /// (for caches whose flushed contents are discarded, e.g. the
+    /// controller's clean-by-construction on-controller caches).
+    pub fn clear(&mut self, ways: Range<usize>) {
+        for set in 0..self.sets {
+            for way in ways.clone() {
+                let idx = self.slot(set, way);
+                self.entries[idx].valid = false;
+            }
+        }
     }
 
     /// Count valid lines in `ways`.

@@ -203,8 +203,10 @@ impl SystemConfig {
     /// Keeps all latency/energy parameters identical to the paper's so that
     /// behaviourial tests remain meaningful while running quickly.
     pub fn small() -> Self {
-        let mut cfg = SystemConfig::default();
-        cfg.cores = 2;
+        let mut cfg = SystemConfig {
+            cores: 2,
+            ..SystemConfig::default()
+        };
         cfg.l1d.size_bytes = 4 * 1024;
         cfg.l1i.size_bytes = 4 * 1024;
         cfg.l2.size_bytes = 16 * 1024;

@@ -234,12 +234,18 @@ impl<'a> HookEnv<'a> {
 
     /// Drain the whole LLC redundancy partition (flush path).
     pub fn llc_red_drain(&mut self) -> Vec<Evicted> {
-        let ways = self.red_ways();
         let mut all = Vec::new();
-        for bank in self.llc.iter_mut() {
-            all.extend(bank.drain(ways.clone()));
-        }
+        self.llc_red_drain_into(&mut all);
         all
+    }
+
+    /// [`Self::llc_red_drain`] into a caller-provided buffer (not cleared
+    /// first), so hooks can reuse one allocation across flushes.
+    pub fn llc_red_drain_into(&mut self, out: &mut Vec<Evicted>) {
+        let ways = self.red_ways();
+        for bank in self.llc.iter_mut() {
+            bank.drain_into(ways.clone(), out);
+        }
     }
 
     /// Look up the data diff for `data_line` in the diff partition.
@@ -273,12 +279,19 @@ impl<'a> HookEnv<'a> {
 
     /// Drain the whole diff partition (flush path).
     pub fn llc_diff_drain(&mut self) -> Vec<Evicted> {
-        let ways = self.diff_ways();
         let mut all = Vec::new();
-        for bank in self.llc.iter_mut() {
-            all.extend(bank.drain(ways.clone()));
-        }
+        self.llc_diff_drain_into(&mut all);
         all
+    }
+
+    /// [`Self::llc_diff_drain`] into a caller-provided buffer (not cleared
+    /// first). Diffs drained at flush are discarded, so the buffer lets the
+    /// controller avoid a per-flush allocation entirely.
+    pub fn llc_diff_drain_into(&mut self, out: &mut Vec<Evicted>) {
+        let ways = self.diff_ways();
+        for bank in self.llc.iter_mut() {
+            bank.drain_into(ways.clone(), out);
+        }
     }
 
     /// If `line` sits dirty in the LLC data partition, return its current
@@ -1149,10 +1162,17 @@ impl System {
     /// redundancy state. Counters and energy are accounted; core clocks are
     /// not advanced (see DESIGN.md §6 "Timing model").
     pub fn flush(&mut self) {
+        // One victim buffer reused across every drain below: flushes run
+        // between measured phases and every FLUSH_EVERY ops in the chaos
+        // campaign, so the per-drain `Vec` allocations add up.
+        let mut victims: Vec<Evicted> = Vec::new();
         // Private caches first.
         for core in 0..self.cfg.cores {
-            let l1 = self.cores[core].l1d.drain(0..self.cfg.l1d.ways);
-            for v in l1 {
+            victims.clear();
+            self.cores[core]
+                .l1d
+                .drain_into(0..self.cfg.l1d.ways, &mut victims);
+            for v in &victims {
                 if v.dirty {
                     let ways = 0..self.cfg.l2.ways;
                     if let Some(e) = self.cores[core].l2.lookup(v.line, ways) {
@@ -1163,16 +1183,20 @@ impl System {
                     }
                 }
             }
-            let l2 = self.cores[core].l2.drain(0..self.cfg.l2.ways);
-            for v in l2 {
+            victims.clear();
+            self.cores[core]
+                .l2
+                .drain_into(0..self.cfg.l2.ways, &mut victims);
+            for v in &victims {
                 self.spill_to_llc(core, v.line, &v.data, v.dirty);
             }
         }
         // LLC data partition.
         let ways = self.data_ways();
         for bank in 0..self.llc.len() {
-            let victims = self.llc[bank].drain(ways.clone());
-            for v in victims {
+            victims.clear();
+            self.llc[bank].drain_into(ways.clone(), &mut victims);
+            for v in &victims {
                 if v.dirty {
                     self.mem_posted_write(0, v.line, &v.data);
                 }

@@ -31,6 +31,7 @@ pub mod addr;
 pub mod cache;
 pub mod config;
 pub mod engine;
+pub mod hash;
 pub mod mem;
 pub mod stats;
 pub mod trace;

@@ -25,7 +25,7 @@
 //! these faults over an operation timeline for chaos campaigns.
 
 use crate::addr::{LineAddr, PageNum, CACHE_LINE, NVM_BASE, PAGE, PAGE_SHIFT};
-use std::collections::HashMap;
+use crate::hash::FxHashMap;
 
 /// Which device a physical line lives on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,8 +95,10 @@ pub struct FiredFault {
 #[derive(Debug)]
 pub struct Memory {
     nvm_dimms: usize,
-    pages: HashMap<u64, Box<[u8; PAGE]>>,
-    armed: HashMap<LineAddr, FirmwareFault>,
+    // Fx-hashed (crate::hash): every simulated access indexes `pages`, and
+    // the fault check hits `armed`; neither map is iterated for output.
+    pages: FxHashMap<u64, Box<[u8; PAGE]>>,
+    armed: FxHashMap<LineAddr, FirmwareFault>,
     fired: Vec<FiredFault>,
 }
 
@@ -110,8 +112,8 @@ impl Memory {
         assert!(nvm_dimms > 0, "need at least one NVM DIMM");
         Memory {
             nvm_dimms,
-            pages: HashMap::new(),
-            armed: HashMap::new(),
+            pages: FxHashMap::default(),
+            armed: FxHashMap::default(),
             fired: Vec::new(),
         }
     }

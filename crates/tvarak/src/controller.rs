@@ -25,11 +25,11 @@
 //! whole-page reads), redundancy caching, and data diffs. All three disabled
 //! is the paper's *naive* controller (Fig. 4/5).
 
-use crate::checksum::{csum_slot, line_checksum, page_checksum, set_csum_slot};
+use crate::checksum::{csum_slot, line_checksum, set_csum_slot, Crc32c};
 use crate::layout::NvmLayout;
 use crate::parity::parity_delta;
-use memsim::addr::{LineAddr, PAGE};
-use memsim::cache::CacheArray;
+use memsim::addr::LineAddr;
+use memsim::cache::{CacheArray, Evicted};
 use memsim::engine::{CorruptionDetected, HookEnv, RedundancyHooks};
 use memsim::{CACHE_LINE, LINES_PER_PAGE};
 use std::any::Any;
@@ -108,6 +108,8 @@ pub struct TvarakController {
     /// DAX-mapped ranges as [start, end) *data-page-index* intervals —
     /// the contents of the per-bank comparators.
     mapped: Vec<Range<u64>>,
+    /// Reusable victim buffer for the flush-path partition drains.
+    drain_scratch: Vec<Evicted>,
 }
 
 impl std::fmt::Debug for TvarakController {
@@ -143,6 +145,7 @@ impl TvarakController {
             layout,
             oncache,
             mapped: Vec::new(),
+            drain_scratch: Vec::new(),
         }
     }
 
@@ -290,21 +293,21 @@ impl TvarakController {
         } else {
             // Page-granular (naive): verifying one line means reading the
             // *rest of the page* from NVM on the critical path — the cost
-            // Fig. 5 highlights.
-            let mut page_bytes = vec![0u8; PAGE];
+            // Fig. 5 highlights. The lines stream through an incremental
+            // CRC, so no 4 KB buffer is materialized per verification.
+            let mut h = Crc32c::new();
             let page = line.page();
             for i in 0..LINES_PER_PAGE {
                 let l = page.line(i);
-                let d = if l == line {
-                    *content
+                if l == line {
+                    h.update(content);
                 } else {
-                    env.nvm_read_red(core, l, true)
-                };
-                page_bytes[i * CACHE_LINE..(i + 1) * CACHE_LINE].copy_from_slice(&d);
+                    h.update(&env.nvm_read_red(core, l, true));
+                }
             }
             let (cs_line, slot) = self.layout.page_csum_loc(page);
             let cs = self.read_red_line(core, bank, cs_line, Urgency::Stall, env);
-            (csum_slot(&cs, slot), page_checksum(&page_bytes))
+            (csum_slot(&cs, slot), h.finalize())
         }
     }
 
@@ -327,22 +330,21 @@ impl TvarakController {
             set_csum_slot(&mut cs, slot, line_checksum(new));
             self.write_red_line(core, bank, cs_line, &cs, env);
         } else {
-            // Naive: recompute the page checksum, reading the rest of the
-            // page from NVM.
-            let mut page_bytes = vec![0u8; PAGE];
+            // Naive: recompute the page checksum, streaming the rest of the
+            // page from NVM through an incremental CRC.
+            let mut h = Crc32c::new();
             let page = line.page();
             for i in 0..LINES_PER_PAGE {
                 let l = page.line(i);
-                let d = if l == line {
-                    *new
+                if l == line {
+                    h.update(new);
                 } else {
-                    env.nvm_read_red(core, l, false)
-                };
-                page_bytes[i * CACHE_LINE..(i + 1) * CACHE_LINE].copy_from_slice(&d);
+                    h.update(&env.nvm_read_red(core, l, false));
+                }
             }
             let (cs_line, slot) = self.layout.page_csum_loc(page);
             let mut cs = self.read_red_line(core, bank, cs_line, Urgency::Background, env);
-            set_csum_slot(&mut cs, slot, page_checksum(&page_bytes));
+            set_csum_slot(&mut cs, slot, h.finalize());
             self.write_red_line(core, bank, cs_line, &cs, env);
         }
         // Parity delta update.
@@ -457,15 +459,18 @@ impl RedundancyHooks for TvarakController {
         // Any diffs still resident belong to data lines that were flushed
         // from the LLC before this hook ran (the engine flushes the data
         // partition first), so they are already consumed; drop the rest.
-        env.llc_diff_drain();
-        for v in env.llc_red_drain() {
+        self.drain_scratch.clear();
+        env.llc_diff_drain_into(&mut self.drain_scratch);
+        self.drain_scratch.clear();
+        env.llc_red_drain_into(&mut self.drain_scratch);
+        for v in &self.drain_scratch {
             if v.dirty {
                 env.nvm_write_red(0, v.line, &v.data);
             }
         }
         for cache in &mut self.oncache {
             let all = cache.all_ways();
-            cache.drain(all);
+            cache.clear(all);
         }
     }
 

@@ -52,7 +52,7 @@ impl TvarakController {
     ) -> Result<(), RecoveryFailed> {
         let layout = *self.layout();
         let mut reconstructed = vec![[0u8; CACHE_LINE]; LINES_PER_PAGE];
-        for o in 0..LINES_PER_PAGE {
+        for (o, slot) in reconstructed.iter_mut().enumerate() {
             let line = page.line(o);
             let par_line = layout.parity_line_of(line);
             let bank = env.bank_of(line);
@@ -61,7 +61,7 @@ impl TvarakController {
                 let d = env.nvm_read_red(core, sib, true);
                 xor_into(&mut rec, &d);
             }
-            reconstructed[o] = rec;
+            *slot = rec;
         }
         // Verify against stored checksums before repairing.
         if self.tvarak_config().cl_granular_csums {

@@ -12,6 +12,9 @@ cd "$(dirname "$0")/.."
 echo "=== build (workspace) ==="
 cargo build --release --workspace
 
+echo "=== clippy (workspace, -D warnings) ==="
+cargo clippy -q --all-targets -- -D warnings
+
 echo "=== tests (workspace) ==="
 cargo test --release --workspace --quiet
 
@@ -20,5 +23,19 @@ TVARAK_SCALE=quick ./target/release/coverage_campaign
 
 echo "=== chaos_campaign (quick) ==="
 TVARAK_SCALE=quick ./target/release/chaos_campaign
+
+echo "=== perf_baseline (quick smoke) ==="
+# Runs the simulator-performance baseline in quick mode and checks that
+# BENCH_perf.json comes out well-formed. The committed BENCH_perf.json is
+# regenerated manually in full mode (see EXPERIMENTS.md); CI only smokes
+# the instrument, so run in a scratch dir to avoid clobbering it.
+repo_root="$PWD"
+perf_tmp="$(mktemp -d)"
+trap 'rm -rf "$perf_tmp"' EXIT
+(cd "$perf_tmp" && "$repo_root/target/release/perf_baseline" --quick > /dev/null)
+for key in '"schema"' '"line_speedup"' '"sim_cycles_per_sec"' '"cells_per_sec"'; do
+    grep -q "$key" "$perf_tmp/BENCH_perf.json" \
+        || { echo "ci: BENCH_perf.json missing key $key" >&2; exit 1; }
+done
 
 echo "ci: all gates passed"
