@@ -40,6 +40,10 @@ pub enum Design {
     },
 }
 
+/// Default Vilamb epoch length used where a campaign needs *one*
+/// representative configuration (the middle of the `vilamb_sweep` range).
+pub const DEFAULT_VILAMB_EPOCH_TXS: u32 = 100;
+
 impl Design {
     /// The four Fig. 8 designs in the paper's presentation order.
     pub fn fig8() -> [Design; 4] {
@@ -48,6 +52,21 @@ impl Design {
             Design::Tvarak,
             Design::TxbObject,
             Design::TxbPage,
+        ]
+    }
+
+    /// The five concrete designs campaigns sweep: the Fig. 8 four plus a
+    /// representative Vilamb configuration. Ablated TVARAK variants are
+    /// excluded — they are Fig. 9 point studies, not standalone designs.
+    pub fn all() -> [Design; 5] {
+        [
+            Design::Baseline,
+            Design::Tvarak,
+            Design::TxbObject,
+            Design::TxbPage,
+            Design::Vilamb {
+                epoch_txs: DEFAULT_VILAMB_EPOCH_TXS,
+            },
         ]
     }
 
@@ -100,6 +119,68 @@ impl Design {
 impl fmt::Display for Design {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+/// The design names [`Design::from_str`] accepts, for error messages and
+/// usage strings.
+pub const DESIGN_NAMES: &str = "baseline, tvarak, naive, tvarak-noverify, \
+     tvarak-nodiff, tvarak-stall, tvarak-nocache, txb-object, txb-page, \
+     vilamb, vilamb:<epoch_txs>";
+
+/// A design name the command line could not be parsed into a [`Design`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDesignError {
+    input: String,
+}
+
+impl fmt::Display for ParseDesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown design `{}`; valid designs: {DESIGN_NAMES}",
+            self.input
+        )
+    }
+}
+
+impl Error for ParseDesignError {}
+
+impl std::str::FromStr for Design {
+    type Err = ParseDesignError;
+
+    /// Parse the kebab-case design names the campaign binaries take on the
+    /// command line. `vilamb` uses [`DEFAULT_VILAMB_EPOCH_TXS`];
+    /// `vilamb:<n>` selects an explicit epoch length.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseDesignError {
+            input: s.to_string(),
+        };
+        let ablated = |f: fn(&mut TvarakConfig)| {
+            let mut tc = TvarakConfig::default();
+            f(&mut tc);
+            Design::TvarakAblated(tc)
+        };
+        Ok(match s.to_ascii_lowercase().as_str() {
+            "baseline" => Design::Baseline,
+            "tvarak" => Design::Tvarak,
+            "naive" => Design::TvarakAblated(TvarakConfig::naive()),
+            "tvarak-noverify" => ablated(|tc| tc.verify_reads = false),
+            "tvarak-nodiff" => ablated(|tc| tc.data_diffs = false),
+            "tvarak-stall" => ablated(|tc| tc.overlapped_verification = false),
+            "tvarak-nocache" => ablated(|tc| tc.redundancy_caching = false),
+            "txb-object" => Design::TxbObject,
+            "txb-page" => Design::TxbPage,
+            "vilamb" => Design::Vilamb {
+                epoch_txs: DEFAULT_VILAMB_EPOCH_TXS,
+            },
+            other => match other.strip_prefix("vilamb:") {
+                Some(n) => Design::Vilamb {
+                    epoch_txs: n.parse().map_err(|_| err())?,
+                },
+                None => return Err(err()),
+            },
+        })
     }
 }
 
@@ -878,5 +959,40 @@ mod tests {
         assert_eq!(Design::TxbObject.sw_scheme(), SwScheme::TxbObject);
         assert_eq!(Design::Tvarak.sw_scheme(), SwScheme::None);
         assert_eq!(Design::fig8().len(), 4);
+    }
+
+    #[test]
+    fn all_extends_fig8_with_vilamb() {
+        let all = Design::all();
+        assert_eq!(&all[..4], &Design::fig8()[..]);
+        assert_eq!(
+            all[4],
+            Design::Vilamb {
+                epoch_txs: DEFAULT_VILAMB_EPOCH_TXS
+            }
+        );
+    }
+
+    #[test]
+    fn designs_parse_from_str() {
+        assert_eq!("baseline".parse(), Ok(Design::Baseline));
+        assert_eq!("Tvarak".parse(), Ok(Design::Tvarak));
+        assert_eq!("txb-object".parse(), Ok(Design::TxbObject));
+        assert_eq!("txb-page".parse(), Ok(Design::TxbPage));
+        assert_eq!("vilamb:7".parse(), Ok(Design::Vilamb { epoch_txs: 7 }));
+        assert_eq!(
+            "vilamb".parse(),
+            Ok(Design::Vilamb {
+                epoch_txs: DEFAULT_VILAMB_EPOCH_TXS
+            })
+        );
+        assert_eq!(
+            "naive".parse::<Design>().unwrap().label(),
+            "Tvarak(ablated)"
+        );
+        assert!("tvarak-noverify".parse::<Design>().is_ok());
+        let err = "bogus".parse::<Design>().unwrap_err().to_string();
+        assert!(err.contains("bogus") && err.contains("txb-page"), "{err}");
+        assert!("vilamb:x".parse::<Design>().is_err());
     }
 }

@@ -17,6 +17,7 @@
 
 pub mod alloc;
 pub mod btree;
+pub mod crashcheck;
 pub mod ctree;
 pub mod driver;
 pub mod fio;

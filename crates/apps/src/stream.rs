@@ -132,13 +132,7 @@ impl Stream {
         let total = self.lines_per_thread * self.threads as u64;
         for line in 0..total {
             let core = (line / self.lines_per_thread) as usize % m.sys.num_cores();
-            let mut la = [0u8; 64];
-            let mut lb = [0u8; 64];
-            for e in 0..ELEMS {
-                let i = line * ELEMS as u64 + e as u64;
-                la[e * 8..e * 8 + 8].copy_from_slice(&i.to_le_bytes());
-                lb[e * 8..e * 8 + 8].copy_from_slice(&(2 * i).to_le_bytes());
-            }
+            let (la, lb) = self.init_line(line);
             self.a.write(&mut m.sys, core, line * 64, &la)?;
             self.b.write(&mut m.sys, core, line * 64, &lb)?;
         }
@@ -147,6 +141,35 @@ impl Stream {
             m.reinit_redundancy(&f);
         }
         Ok(())
+    }
+
+    /// The byte offset into `c` and the 64 B value that op `i` of `thread`
+    /// stores under the Copy kernel, assuming `a` still holds its
+    /// [`Self::init`] values (true for a Copy-only run) — the oracle the
+    /// crash-consistency checkers replay.
+    pub fn copy_target(&self, thread: usize, i: u64) -> (u64, [u8; 64]) {
+        let phase = crate::rng::Rng::new(thread as u64).next_u64() % self.lines_per_thread;
+        let line = (i + phase) % self.lines_per_thread;
+        let off = (thread as u64 * self.lines_per_thread + line) * 64;
+        let mut buf = [0u8; 64];
+        for e in 0..ELEMS {
+            let idx = off / 8 + e as u64; // a[idx] = idx after init
+            buf[e * 8..e * 8 + 8].copy_from_slice(&idx.to_le_bytes());
+        }
+        (off, buf)
+    }
+
+    /// The [`Self::init`] contents of line `line` of arrays `a` and `b`
+    /// (array `c` initializes to zeros), for seeding crash checkers.
+    pub fn init_line(&self, line: u64) -> ([u8; 64], [u8; 64]) {
+        let mut la = [0u8; 64];
+        let mut lb = [0u8; 64];
+        for e in 0..ELEMS {
+            let i = line * ELEMS as u64 + e as u64;
+            la[e * 8..e * 8 + 8].copy_from_slice(&i.to_le_bytes());
+            lb[e * 8..e * 8 + 8].copy_from_slice(&(2 * i).to_le_bytes());
+        }
+        (la, lb)
     }
 
     fn read_line(

@@ -42,35 +42,8 @@ fn main() {
     let workload = args.next().expect("usage: probe <workload> <design...>");
     let designs: Vec<Design> = args
         .flat_map(|d| match d.as_str() {
-            "baseline" => vec![Design::Baseline],
-            "tvarak" => vec![Design::Tvarak],
-            "txb-object" => vec![Design::TxbObject],
-            "txb-page" => vec![Design::TxbPage],
-            "naive" => vec![Design::TvarakAblated(
-                tvarak::controller::TvarakConfig::naive(),
-            )],
-            "tvarak-noverify" => {
-                let mut tc = tvarak::controller::TvarakConfig::default();
-                tc.verify_reads = false;
-                vec![Design::TvarakAblated(tc)]
-            }
-            "tvarak-nodiff" => {
-                let mut tc = tvarak::controller::TvarakConfig::default();
-                tc.data_diffs = false;
-                vec![Design::TvarakAblated(tc)]
-            }
-            "tvarak-stall" => {
-                let mut tc = tvarak::controller::TvarakConfig::default();
-                tc.overlapped_verification = false;
-                vec![Design::TvarakAblated(tc)]
-            }
-            "tvarak-nocache" => {
-                let mut tc = tvarak::controller::TvarakConfig::default();
-                tc.redundancy_caching = false;
-                vec![Design::TvarakAblated(tc)]
-            }
             "all" => Design::fig8().to_vec(),
-            other => panic!("unknown design {other}"),
+            other => vec![other.parse().unwrap_or_else(|e| panic!("{e}"))],
         })
         .collect();
     let mut rep = Report::new(&format!("probe — {workload}"));

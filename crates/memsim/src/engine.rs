@@ -59,6 +59,48 @@ impl fmt::Display for CorruptionDetected {
 
 impl Error for CorruptionDetected {}
 
+/// Writeback-budget state for deterministic crash simulation (`crashsim`).
+///
+/// A crash is modeled as "volatile caches lost, NVM keeps exactly the lines
+/// that were written back". Arming a budget of `k` admits exactly the first
+/// `k` NVM media writes issued after the arm point — a strict *prefix* of the
+/// run's NVM write sequence — and suppresses the rest, so the memory image at
+/// the end of the run is precisely the image a power failure after the k-th
+/// write would leave. With no budget armed the state only counts events,
+/// which is how a reference run enumerates the crash points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrashState {
+    /// Number of NVM writes admitted to the media; `None` = unlimited.
+    budget: Option<u64>,
+    /// NVM write events observed since the window started.
+    events: u64,
+    /// NVM write events suppressed (arrived after the budget ran out).
+    suppressed: u64,
+}
+
+impl CrashState {
+    /// Count an NVM media-write event and decide whether it reaches the
+    /// media. With budget `Some(k)`, exactly the first `k` events do.
+    #[inline]
+    fn admit(&mut self) -> bool {
+        self.events += 1;
+        match self.budget {
+            Some(k) if self.events > k => {
+                self.suppressed += 1;
+                false
+            }
+            _ => true,
+        }
+    }
+
+    /// Whether the simulated machine has (logically) lost power: the armed
+    /// budget is exhausted, so no further NVM write can take effect.
+    #[inline]
+    fn crashed(&self) -> bool {
+        matches!(self.budget, Some(k) if self.events >= k)
+    }
+}
+
 /// Environment handed to redundancy hooks: everything the controller hardware
 /// can reach (memory, the LLC partitions, clocks, counters) without the
 /// private caches (which it cannot see).
@@ -71,6 +113,7 @@ pub struct HookEnv<'a> {
     clocks: &'a mut [u64],
     dimms: &'a mut [DimmState],
     counters: &'a mut Counters,
+    crash: &'a mut CrashState,
 }
 
 impl<'a> HookEnv<'a> {
@@ -125,7 +168,11 @@ impl<'a> HookEnv<'a> {
     pub fn nvm_write_red(&mut self, core: usize, line: LineAddr, data: &[u8; CACHE_LINE]) {
         self.counters.nvm_red_writes += 1;
         self.nvm_timing(core, line, true, false);
-        self.mem.write_line(line, data);
+        if self.crash.admit() {
+            self.mem.write_line(line, data);
+        } else {
+            self.counters.nvm_suppressed_writes += 1;
+        }
     }
 
     /// Read a redundancy line from NVM, overlapped with an in-flight demand
@@ -314,7 +361,11 @@ impl<'a> HookEnv<'a> {
     pub fn nvm_write_data(&mut self, core: usize, line: LineAddr, data: &[u8; CACHE_LINE]) {
         self.counters.nvm_data_writes += 1;
         self.nvm_timing(core, line, true, false);
-        self.mem.write_line(line, data);
+        if self.crash.admit() {
+            self.mem.write_line(line, data);
+        } else {
+            self.counters.nvm_suppressed_writes += 1;
+        }
     }
 
     /// Direct access to the memory devices (used by parity recovery).
@@ -365,6 +416,12 @@ pub trait RedundancyHooks {
 
     /// End of run: write back all dirty redundancy state.
     fn flush(&mut self, env: &mut HookEnv<'_>);
+
+    /// The machine lost power: all volatile controller state (on-controller
+    /// caches, in-flight work) is gone. Invoked by
+    /// [`System::lose_volatile_state`]; the default does nothing, which is
+    /// correct for stateless hooks.
+    fn on_crash(&mut self) {}
 
     /// Downcast support so the file-system layer can reach
     /// controller-specific management APIs (DAX-range registration).
@@ -531,6 +588,7 @@ pub struct System {
     hooks: Box<dyn RedundancyHooks>,
     red_region: Option<RedundancyRegion>,
     scrub_accounting: bool,
+    crash: CrashState,
 }
 
 impl fmt::Debug for System {
@@ -574,6 +632,7 @@ impl System {
             hooks,
             red_region: None,
             scrub_accounting: false,
+            crash: CrashState::default(),
         }
     }
 
@@ -641,6 +700,7 @@ impl System {
             clocks: &mut self.clocks,
             dimms: &mut self.dimms,
             counters: &mut self.counters,
+            crash: &mut self.crash,
         };
         f(self.hooks.as_mut(), &mut env)
     }
@@ -959,25 +1019,33 @@ impl System {
                 self.counters.demand_queue_cycles += wait;
                 self.clocks[core] += wait + self.cfg.ns_to_cycles(self.cfg.nvm.read_ns);
                 let data = self.mem.read_line(line);
-                let System {
-                    cfg,
-                    mem,
-                    llc,
-                    clocks,
-                    dimms,
-                    counters,
-                    hooks,
-                    ..
-                } = self;
-                let mut env = HookEnv {
-                    cfg,
-                    mem,
-                    llc,
-                    clocks,
-                    dimms,
-                    counters,
-                };
-                hooks.on_nvm_fill(core, line, &data, &mut env)?;
+                // After the crash budget runs out the machine is logically
+                // powered off; media content may predate suppressed
+                // writebacks, so verifying fills would report phantom
+                // corruption for a run that never actually executes.
+                if !self.crash.crashed() {
+                    let System {
+                        cfg,
+                        mem,
+                        llc,
+                        clocks,
+                        dimms,
+                        counters,
+                        hooks,
+                        crash,
+                        ..
+                    } = self;
+                    let mut env = HookEnv {
+                        cfg,
+                        mem,
+                        llc,
+                        clocks,
+                        dimms,
+                        counters,
+                        crash,
+                    };
+                    hooks.on_nvm_fill(core, line, &data, &mut env)?;
+                }
                 Ok(data)
             }
         }
@@ -1000,7 +1068,13 @@ impl System {
                 let now = self.clocks[core];
                 let occ = self.cfg.ns_to_cycles(self.cfg.nvm.write_occupancy_ns);
                 self.dimms[dimm].posted(now, occ);
-                {
+                let admitted = self.crash.admit();
+                // The redundancy update for the k-th (final) admitted write
+                // is also suppressed: the controller performs it *with* the
+                // media write, and the crash interrupts exactly there. The
+                // post-crash audit must tolerate (and repair) that torn
+                // state.
+                if !self.crash.crashed() {
                     let System {
                         cfg,
                         mem,
@@ -1009,6 +1083,7 @@ impl System {
                         dimms,
                         counters,
                         hooks,
+                        crash,
                         ..
                     } = self;
                     let mut env = HookEnv {
@@ -1018,10 +1093,15 @@ impl System {
                         clocks,
                         dimms,
                         counters,
+                        crash,
                     };
                     hooks.on_nvm_writeback(core, line, data, &mut env);
                 }
-                self.mem.write_line(line, data);
+                if admitted {
+                    self.mem.write_line(line, data);
+                } else {
+                    self.counters.nvm_suppressed_writes += 1;
+                }
             }
         }
     }
@@ -1125,6 +1205,7 @@ impl System {
                         dimms,
                         counters,
                         hooks,
+                        crash,
                         ..
                     } = self;
                     let mut env = HookEnv {
@@ -1134,6 +1215,7 @@ impl System {
                         clocks,
                         dimms,
                         counters,
+                        crash,
                     };
                     hooks.on_llc_clean_to_dirty(core, line, &old_data, &mut env);
                 }
@@ -1211,6 +1293,7 @@ impl System {
             dimms,
             counters,
             hooks,
+            crash,
             ..
         } = self;
         let mut env = HookEnv {
@@ -1220,8 +1303,139 @@ impl System {
             clocks,
             dimms,
             counters,
+            crash,
         };
         hooks.flush(&mut env);
+    }
+
+    /// Start a crash window: reset the NVM-writeback event counter and arm
+    /// a media-write budget. With `Some(k)`, exactly the first `k` NVM media
+    /// writes issued from here on take effect and every later one is
+    /// silently dropped — the memory image then is the image a power failure
+    /// after the k-th writeback would leave. With `None` the window only
+    /// counts events (the reference run that enumerates crash points).
+    pub fn crash_window_start(&mut self, budget: Option<u64>) {
+        self.crash = CrashState {
+            budget,
+            events: 0,
+            suppressed: 0,
+        };
+    }
+
+    /// Whether the armed crash budget has been exhausted (the simulated
+    /// machine has logically lost power).
+    pub fn crashed(&self) -> bool {
+        self.crash.crashed()
+    }
+
+    /// NVM media-write events observed since [`Self::crash_window_start`].
+    pub fn crash_events(&self) -> u64 {
+        self.crash.events
+    }
+
+    /// NVM media writes suppressed because they arrived after the budget.
+    pub fn crash_suppressed(&self) -> u64 {
+        self.crash.suppressed
+    }
+
+    /// Disarm the crash budget (subsequent writes reach the media again).
+    /// Event counts are preserved. The recovery phase runs after this.
+    pub fn crash_disarm(&mut self) {
+        self.crash.budget = None;
+    }
+
+    /// Simulate the power loss itself: every volatile structure — private
+    /// L1/L2 caches, all LLC ways (data, redundancy, and diff partitions),
+    /// and the controller's own caches via [`RedundancyHooks::on_crash`] —
+    /// is dropped *without writeback*. The crash budget is disarmed so the
+    /// recovery code that runs next can write to the media. NVM content and
+    /// DAX-mapping registrations survive (the OS re-registers mappings at
+    /// mount).
+    pub fn lose_volatile_state(&mut self) {
+        for core in &mut self.cores {
+            let w = core.l1d.all_ways();
+            core.l1d.clear(w);
+            let w = core.l2.all_ways();
+            core.l2.clear(w);
+        }
+        for bank in &mut self.llc {
+            let w = bank.all_ways();
+            bank.clear(w);
+        }
+        self.crash.budget = None;
+        self.hooks.on_crash();
+    }
+
+    /// Write back the newest dirty copy of `line` without evicting it (the
+    /// `clwb` instruction): private copies and the LLC copy are marked clean
+    /// and the line's current content is posted to memory, firing the
+    /// redundancy writeback hook as usual. A fully clean (or uncached) line
+    /// is a no-op. Charges one LLC access of latency to `core`.
+    pub fn clwb(&mut self, core: usize, line: LineAddr) {
+        self.clocks[core] += self.cfg.llc.latency_cycles;
+        // Sweep private caches: collect the newest dirty copy (MESI permits
+        // at most one) and mark every copy clean. When the L1 holds the
+        // dirty copy, the same core's L2 may hold a stale clean one — it
+        // must be refreshed, or a later silent eviction of the now-clean L1
+        // line would expose the stale L2 data.
+        let mut private_newest: Option<[u8; CACHE_LINE]> = None;
+        for c in &mut self.cores {
+            let w = c.l1d.all_ways();
+            let l1_dirty = match c.l1d.lookup(line, w) {
+                Some(e) if e.dirty => {
+                    e.dirty = false;
+                    Some(e.data)
+                }
+                _ => None,
+            };
+            let w = c.l2.all_ways();
+            if let Some(e) = c.l2.lookup(line, w) {
+                if let Some(d) = l1_dirty {
+                    e.data = d;
+                    e.dirty = false;
+                } else if e.dirty {
+                    e.dirty = false;
+                    if private_newest.is_none() {
+                        private_newest = Some(e.data);
+                    }
+                }
+            }
+            if let Some(d) = l1_dirty {
+                private_newest = Some(d);
+            }
+        }
+        let bank = self.bank_of(line);
+        let ways = self.data_ways();
+        let mut to_write: Option<[u8; CACHE_LINE]> = None;
+        if let Some(e) = self.llc[bank].lookup(line, ways) {
+            if let Some(d) = private_newest {
+                e.data = d;
+                e.dirty = false;
+                to_write = Some(d);
+            } else if e.dirty {
+                e.dirty = false;
+                to_write = Some(e.data);
+            }
+        } else if private_newest.is_some() {
+            // Not LLC-resident (inclusion says this shouldn't happen);
+            // write the private data straight back.
+            to_write = private_newest;
+        }
+        if let Some(d) = to_write {
+            self.mem_posted_write(core, line, &d);
+        }
+    }
+
+    /// [`Self::clwb`] every line overlapping `[addr, addr + len)`.
+    pub fn clwb_range(&mut self, core: usize, addr: PhysAddr, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = addr.line().0;
+        let last = PhysAddr(addr.0 + len - 1).line().0;
+        for l in first..=last {
+            self.clwb(core, LineAddr(l));
+        }
     }
 
     /// Drop every cached copy of `page`'s lines without writing back (used
@@ -1588,6 +1802,161 @@ mod tests {
         let st = s.stats();
         assert_eq!(st.runtime_cycles(), 0);
         assert_eq!(st.counters.nvm_data_reads, 0);
+    }
+
+    #[test]
+    fn crash_budget_admits_a_strict_prefix_of_writebacks() {
+        // Reference run: count the writeback events of a deterministic
+        // workload. Then replay with every budget k and check the media
+        // holds exactly the first k lines of the flush order.
+        let workload = |s: &mut System| {
+            for i in 0..8u64 {
+                s.write(0, nvm(i * 64), &[i as u8 + 1; 64]).unwrap();
+            }
+        };
+        let mut r = sys();
+        r.crash_window_start(None);
+        workload(&mut r);
+        r.flush();
+        let total = r.crash_events();
+        assert_eq!(total, 8, "8 dirty lines, 8 writeback events");
+        assert_eq!(r.crash_suppressed(), 0);
+        // Flush order on the reference run = media landing order.
+        let landing: Vec<u64> = (0..8).filter(|i| r.memory().peek_line(nvm(i * 64).line())[0] != 0).collect();
+        assert_eq!(landing.len(), 8);
+        for k in 0..=total {
+            let mut s = sys();
+            s.crash_window_start(Some(k));
+            workload(&mut s);
+            s.flush();
+            assert_eq!(s.crash_events(), total, "budget must not change event count");
+            assert_eq!(s.crash_suppressed(), total - k);
+            assert!(s.crashed(), "budget <= event count means crashed");
+            let persisted = (0..8)
+                .filter(|i| s.memory().peek_line(nvm(i * 64).line())[0] != 0)
+                .count() as u64;
+            assert_eq!(persisted, k, "exactly the first k writebacks persist");
+        }
+    }
+
+    #[test]
+    fn lose_volatile_state_drops_caches_and_disarms() {
+        let mut s = sys();
+        s.crash_window_start(Some(0));
+        s.write(0, nvm(0), &[9u8; 64]).unwrap();
+        s.flush();
+        assert!(s.crashed());
+        assert_eq!(s.memory().peek_line(nvm(0).line()), [0u8; 64]);
+        s.lose_volatile_state();
+        assert!(!s.crashed(), "lose_volatile_state disarms the budget");
+        // The dirty cached copy is gone: a fresh read sees media zeros.
+        let mut buf = [0u8; 8];
+        s.read(0, nvm(0), &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    fn clwb_persists_without_evicting() {
+        let mut s = sys();
+        s.write(0, nvm(128), &[5u8; 64]).unwrap();
+        s.clwb(0, nvm(128).line());
+        assert_eq!(s.memory().peek_line(nvm(128).line()), [5u8; 64]);
+        // The line is still cached: re-reading hits the L1.
+        let before = s.stats().counters;
+        let mut buf = [0u8; 8];
+        s.read(0, nvm(128), &mut buf).unwrap();
+        let after = s.stats().counters;
+        assert_eq!(buf, [5u8; 8]);
+        assert_eq!(after.l1d_hits - before.l1d_hits, 1);
+        assert_eq!(after.nvm_data_reads, before.nvm_data_reads);
+        // A second clwb of the (now clean) line writes nothing.
+        let w0 = s.stats().counters.nvm_data_writes;
+        s.clwb(0, nvm(128).line());
+        assert_eq!(s.stats().counters.nvm_data_writes, w0);
+    }
+
+    #[test]
+    fn clwb_refreshes_stale_l2_copies() {
+        // Regression: a written-back line must not strand a newer L1 value
+        // above a stale clean L2 copy. Fill L1+L2 with v1, dirty the L1 with
+        // v2 (the L2 copy goes stale), clwb, then check the L2 copy was
+        // refreshed — a silent eviction of the now-clean L1 line would
+        // otherwise resurrect v1 on the next read.
+        let mut s = sys();
+        s.write(0, nvm(256), &[1u8; 64]).unwrap();
+        s.flush();
+        s.read(0, nvm(256), &mut [0u8; 8]).unwrap(); // refill L1+L2 clean
+        s.write(0, nvm(256), &[2u8; 64]).unwrap(); // dirty in L1, L2 stale
+        s.clwb(0, nvm(256).line());
+        assert_eq!(s.memory().peek_line(nvm(256).line()), [2u8; 64]);
+        let line = nvm(256).line();
+        let core = &mut s.cores[0];
+        let w = core.l2.all_ways();
+        if let Some(e) = core.l2.lookup(line, w) {
+            assert_eq!(e.data, [2u8; 64], "L2 copy must be refreshed");
+            assert!(!e.dirty);
+        }
+        // And a full flush afterwards must not resurrect v1.
+        s.flush();
+        assert_eq!(s.memory().peek_line(nvm(256).line()), [2u8; 64]);
+    }
+
+    #[test]
+    fn clwb_range_covers_straddling_lines() {
+        let mut s = sys();
+        // 100..300 straddles lines 1..=4 (byte 100 is in line 1, 299 in 4).
+        s.write(0, nvm(100), &[7u8; 200]).unwrap();
+        s.clwb_range(0, nvm(100), 200);
+        assert_eq!(s.memory().peek_line(nvm(100).line())[36], 7);
+        assert_eq!(s.memory().peek_line(nvm(299).line())[0], 7);
+        s.clwb_range(0, nvm(0), 0); // len 0 is a no-op
+    }
+
+    #[test]
+    fn crashed_system_skips_fill_verification() {
+        // FailingHooks errors on every fill; once the budget is exhausted
+        // fills must bypass verification (the machine is "off").
+        struct AlwaysFail;
+        impl RedundancyHooks for AlwaysFail {
+            fn on_nvm_fill(
+                &mut self,
+                _core: usize,
+                line: LineAddr,
+                _data: &[u8; CACHE_LINE],
+                _env: &mut HookEnv<'_>,
+            ) -> Result<(), CorruptionDetected> {
+                Err(CorruptionDetected { line })
+            }
+            fn on_nvm_writeback(
+                &mut self,
+                _c: usize,
+                _l: LineAddr,
+                _d: &[u8; CACHE_LINE],
+                _e: &mut HookEnv<'_>,
+            ) {
+            }
+            fn on_llc_clean_to_dirty(
+                &mut self,
+                _c: usize,
+                _l: LineAddr,
+                _d: &[u8; CACHE_LINE],
+                _e: &mut HookEnv<'_>,
+            ) {
+            }
+            fn flush(&mut self, _e: &mut HookEnv<'_>) {}
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+            fn name(&self) -> &'static str {
+                "always-fail"
+            }
+        }
+        let mut s = System::new(SystemConfig::small(), Box::new(AlwaysFail));
+        let mut buf = [0u8; 4];
+        assert!(s.read(0, nvm(0), &mut buf).is_err());
+        s.crash_window_start(Some(0));
+        assert!(s.crashed());
+        s.read(0, nvm(64), &mut buf).expect("crashed fills skip hooks");
     }
 
     #[test]

@@ -257,6 +257,32 @@ impl Memory {
         self.armed.clear();
         n
     }
+
+    /// Canonical FNV-1a digest of the entire media content. All-zero pages
+    /// hash the same whether materialized or absent (unwritten pages read as
+    /// zeros), so two memories with equal *logical* content digest equally —
+    /// the equivalence crashsim's clean-shutdown test relies on.
+    pub fn content_hash(&self) -> u64 {
+        let mut keys: Vec<u64> = self
+            .pages
+            .iter()
+            .filter(|(_, p)| p.iter().any(|&b| b != 0))
+            .map(|(&k, _)| k)
+            .collect();
+        keys.sort_unstable();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for k in keys {
+            mix(&k.to_le_bytes());
+            mix(&self.pages[&k][..]);
+        }
+        h
+    }
 }
 
 /// Kinds of firmware fault a [`FaultPlan`] can schedule. The plan speaks in

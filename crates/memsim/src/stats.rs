@@ -49,6 +49,11 @@ pub struct Counters {
     pub nvm_red_reads: u64,
     /// NVM 64 B writes of redundancy information.
     pub nvm_red_writes: u64,
+    /// NVM writes suppressed by an exhausted crash budget (crashsim runs;
+    /// always 0 in normal simulation). Suppressed writes still count in the
+    /// data/redundancy tallies above — the access was *issued*, it just
+    /// never reached the media.
+    pub nvm_suppressed_writes: u64,
     /// Checksum/parity computations performed by the controller.
     pub controller_computes: u64,
     /// Reads verified against a checksum by the controller.
@@ -135,6 +140,7 @@ impl AddAssign for Counters {
         self.nvm_data_writes += r.nvm_data_writes;
         self.nvm_red_reads += r.nvm_red_reads;
         self.nvm_red_writes += r.nvm_red_writes;
+        self.nvm_suppressed_writes += r.nvm_suppressed_writes;
         self.controller_computes += r.controller_computes;
         self.reads_verified += r.reads_verified;
         self.corruptions_detected += r.corruptions_detected;

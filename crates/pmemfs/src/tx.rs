@@ -208,8 +208,10 @@ impl TxManager {
                 let mut old = vec![0u8; len as usize];
                 self.meta.read(sys, core, data_off, &mut old)?;
                 sys.write(core, memsim::PhysAddr(addr), &old)?;
+                sys.clwb_range(core, memsim::PhysAddr(addr), len);
             }
             self.meta.write_u64(sys, core, so, STATE_ABORTED)?;
+            sys.clwb_range(core, self.meta.addr(so), 8);
             rolled_back.push(core);
         }
         Ok(rolled_back)
@@ -230,13 +232,34 @@ impl TxManager {
         let state_off = self.stride * core as u64;
         self.meta.write_u64(sys, core, state_off, STATE_STARTED)?;
         self.meta.write_u64(sys, core, state_off + 8, 0)?;
+        // Persistence ordering (the libpmemobj discipline): the STARTED
+        // record and the cleared log head are forced to media before any of
+        // this transaction's logging or data writes can land there, so a
+        // crash never finds log entries governed by a stale head.
+        sys.clwb_range(core, self.meta.addr(state_off), 16);
         Ok(Tx {
             mgr: self,
             core,
             log_head: 0,
             dirty: Vec::new(),
+            durable_pending: Vec::new(),
             finished: false,
         })
+    }
+
+    /// Drop volatile bookkeeping after a simulated power loss: Vilamb's
+    /// dirty-page set and epoch counter live in DRAM and do not survive a
+    /// crash — which is exactly the scheme's vulnerability window (pages
+    /// whose redundancy refresh was still owed are no longer even known).
+    pub fn clear_volatile(&mut self) {
+        self.vilamb_dirty.clear();
+        self.vilamb_txs = 0;
+    }
+
+    /// Pages whose redundancy refresh Vilamb still owes (the set a crash
+    /// right now would leave unverifiable). Empty for other schemes.
+    pub fn vilamb_pending_pages(&self) -> Vec<memsim::addr::PageNum> {
+        self.vilamb_dirty.iter().copied().collect()
     }
 }
 
@@ -250,6 +273,10 @@ pub struct Tx<'a> {
     log_head: u64,
     /// (address, length) of every logged write, for commit-time redundancy.
     dirty: Vec<(PhysAddr, u32)>,
+    /// (address, length) of the in-place *data* updates only, which commit
+    /// must force to media before the COMMITTED record (redundancy and log
+    /// ranges are tracked separately in `dirty`).
+    durable_pending: Vec<(PhysAddr, u32)>,
     finished: bool,
 }
 
@@ -321,17 +348,37 @@ impl Tx<'_> {
         // Track log lines + data lines for commit-time redundancy (in
         // page-bounded, physically contiguous chunks).
         let meta = self.mgr.meta;
+        // Persistence ordering: the undo entry, then the head that covers
+        // it, must be durable before the in-place update can reach the
+        // media, so a crash never finds a data write whose undo entry is
+        // torn or missing.
+        self.clwb_file_range(sys, &meta, log_base, entry_bytes);
         self.track_file_range(&meta, log_base, entry_bytes);
         self.log_head += entry_bytes;
         // Persist the log high-water mark so an interrupted transaction can
         // be rolled back on restart (see `TxManager::recover_all`).
         let so = self.state_off();
         self.mgr.meta.write_u64(sys, self.core, so + 8, self.log_head)?;
+        sys.clwb_range(self.core, self.mgr.meta.addr(so + 8), 8);
         self.track(self.mgr.meta.addr(so + 8), 8);
         // In-place update.
         file.write(sys, self.core, offset, data)?;
         self.track(target, data.len() as u32);
+        self.durable_pending.push((target, data.len() as u32));
         Ok(())
+    }
+
+    /// `clwb` a *file* range in page-bounded physically contiguous chunks
+    /// (file pages interleave with parity pages on the media).
+    fn clwb_file_range(&self, sys: &mut System, file: &FileHandle, offset: u64, len: u64) {
+        let mut done = 0u64;
+        while done < len {
+            let off = offset + done;
+            let in_page = PAGE as u64 - off % PAGE as u64;
+            let n = in_page.min(len - done);
+            sys.clwb_range(self.core, file.addr(off), n);
+            done += n;
+        }
     }
 
     /// Transactionally write a little-endian `u64`.
@@ -374,8 +421,16 @@ impl Tx<'_> {
     /// Propagates verification failures ([`TxError::Corruption`]).
     pub fn commit(mut self, sys: &mut System) -> Result<(), TxError> {
         sys.instr(self.core, TX_INSTR);
+        // Persistence ordering: every in-place data update reaches the
+        // media before the COMMITTED record can, so COMMITTED-on-media
+        // implies every committed byte is on media.
+        let pending = std::mem::take(&mut self.durable_pending);
+        for (addr, len) in pending {
+            sys.clwb_range(self.core, addr, len as u64);
+        }
         let so = self.state_off();
         self.mgr.meta.write_u64(sys, self.core, so, STATE_COMMITTED)?;
+        sys.clwb_range(self.core, self.mgr.meta.addr(so), 8);
         let state_addr = self.mgr.meta.addr(so);
         self.track(state_addr, 8);
         self.run_sw_redundancy(sys)?;
@@ -407,9 +462,11 @@ impl Tx<'_> {
                 .meta
                 .read(sys, self.core, log_data_off, &mut old)?;
             sys.write(self.core, target, &old)?;
+            sys.clwb_range(self.core, target, len);
         }
         let so = self.state_off();
         self.mgr.meta.write_u64(sys, self.core, so, STATE_ABORTED)?;
+        sys.clwb_range(self.core, self.mgr.meta.addr(so), 8);
         self.finished = true;
         Ok(())
     }

@@ -478,6 +478,17 @@ impl RedundancyHooks for TvarakController {
         self
     }
 
+    fn on_crash(&mut self) {
+        // Power loss: the on-controller caches are SRAM and vanish (they
+        // hold clean copies only, so nothing is lost beyond what the LLC
+        // partitions already lost). The comparator contents (`mapped`)
+        // survive logically — the OS re-registers DAX ranges at mount.
+        for cache in &mut self.oncache {
+            let all = cache.all_ways();
+            cache.clear(all);
+        }
+    }
+
     fn name(&self) -> &'static str {
         "tvarak"
     }

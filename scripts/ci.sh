@@ -24,6 +24,16 @@ TVARAK_SCALE=quick ./target/release/coverage_campaign
 echo "=== chaos_campaign (quick) ==="
 TVARAK_SCALE=quick ./target/release/chaos_campaign
 
+echo "=== crashsim_campaign (quick) ==="
+# The binary already exits non-zero on any unrecoverable-loss crash point;
+# double-check the CSV it wrote reports zero lost rows (belt and braces —
+# a reporting bug must not read as a clean campaign).
+./target/release/crashsim_campaign --quick
+if awk -F, 'NR > 1 && $10 == "lost"' results/crashsim_campaign.csv | grep -q .; then
+    echo "ci: crashsim_campaign.csv contains unrecoverable-loss rows" >&2
+    exit 1
+fi
+
 echo "=== perf_baseline (quick smoke) ==="
 # Runs the simulator-performance baseline in quick mode and checks that
 # BENCH_perf.json comes out well-formed. The committed BENCH_perf.json is
