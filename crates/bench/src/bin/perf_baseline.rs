@@ -1,15 +1,22 @@
 //! Tracked performance baseline for the simulator itself.
 //!
-//! Times three things and writes `BENCH_perf.json` in the working
+//! Times four things and writes `BENCH_perf.json` in the working
 //! directory so the trajectory is tracked from PR to PR:
 //!
-//! 1. **Checksum microbench** — slice-by-8 CRC32C vs. the byte-wise
-//!    reference, in MiB/s over cache-line and page inputs (the hot
-//!    verification path; the acceptance bar is ≥ 2× for slice-by-8).
+//! 1. **Checksum microbench** — CRC32C throughput in MiB/s over cache-line
+//!    and page inputs. Three kernels: the byte-wise reference, the pinned
+//!    *software* slice-by-8 path (comparable across hosts, so the CI gate
+//!    keys on it), and whatever [`memsim::crc::update`] dispatches to —
+//!    the `crc32` instruction where the host has it (`hw_crc32c` says).
 //! 2. **Engine microbench** — a raw DAX read/write sweep on a small
 //!    machine under the full TVARAK design, reported as simulated cycles
-//!    per wall-clock second.
-//! 3. **Cell grid** — a fixed small fio grid (4 patterns × Baseline/Tvarak
+//!    per wall-clock second. Run N times, best taken: wall-clock minima
+//!    are stable under scheduler noise where single shots swing ±40% on a
+//!    shared box.
+//! 3. **Hot-path microbenches** — `CacheArray` tag-scan and insert-evict
+//!    rates and NVM page-store line read/write rates, isolating the two
+//!    structures the engine spends most of its time in.
+//! 4. **Cell grid** — a fixed small fio grid (4 patterns × Baseline/Tvarak
 //!    at quick scale) through `bench::runner`, reporting per-cell wall
 //!    time, per-cell simulated throughput, and aggregate cells/sec.
 //!
@@ -20,27 +27,38 @@ use apps::driver::{Design, Machine};
 use apps::fio::Pattern;
 use bench::runner::{self, Cell};
 use bench::workloads::{run_fio, Outcome, Scale};
+use memsim::addr::LineAddr;
+use memsim::cache::CacheArray;
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 use tvarak::checksum::{crc32c, crc32c_bytewise};
 
-/// MiB/s of `f` over `iters` passes of a `len`-byte buffer.
+/// The pinned software slice-by-8 kernel, bypassing hardware dispatch, so
+/// the tracked `*_slice8` numbers stay host-comparable.
+fn crc32c_sw(data: &[u8]) -> u32 {
+    !memsim::crc::update_sw(u32::MAX, data)
+}
+
+/// MiB/s of `f` over `iters` passes of a `len`-byte buffer; best of 5.
 fn checksum_throughput(f: fn(&[u8]) -> u32, len: usize, iters: u64) -> f64 {
     let buf: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
     // Warm up tables and cache.
     let mut sink = f(&buf);
-    let start = Instant::now();
-    for _ in 0..iters {
-        sink ^= f(black_box(&buf));
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            sink ^= f(black_box(&buf));
+        }
+        best = best.min(start.elapsed().as_secs_f64().max(1e-9));
     }
-    let secs = start.elapsed().as_secs_f64().max(1e-9);
     black_box(sink);
-    (len as u64 * iters) as f64 / (1024.0 * 1024.0) / secs
+    (len as u64 * iters) as f64 / (1024.0 * 1024.0) / best
 }
 
-/// Simulated cycles and wall seconds for a raw DAX read/write sweep.
-fn engine_microbench(ops: u64) -> (u64, f64) {
+/// One raw-DAX sweep: simulated cycles and wall seconds.
+fn engine_sweep(ops: u64) -> (u64, f64) {
     let mut m = Machine::builder()
         .small()
         .design(Design::Tvarak)
@@ -68,6 +86,57 @@ fn engine_microbench(ops: u64) -> (u64, f64) {
     (m.stats().runtime_cycles(), start.elapsed().as_secs_f64())
 }
 
+/// Best-of-`runs` engine sweep (the sweep is deterministic, so
+/// `sim_cycles` is identical across runs; only wall time varies).
+fn engine_microbench(ops: u64, runs: usize) -> (u64, f64) {
+    let mut best = f64::INFINITY;
+    let mut cycles = 0;
+    for _ in 0..runs {
+        let (cyc, wall) = engine_sweep(ops);
+        cycles = cyc;
+        best = best.min(wall);
+    }
+    (cycles, best)
+}
+
+/// Mops/s over `iters` calls of `op`, best of 3 passes.
+fn best_rate(iters: u64, mut op: impl FnMut(u64)) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for i in 0..iters {
+            op(i);
+        }
+        best = best.min(start.elapsed().as_secs_f64().max(1e-9));
+    }
+    iters as f64 / best / 1e6
+}
+
+/// Isolated rates for the two hottest structures: (cache tag-scan misses,
+/// cache insert-evicts, page-store line reads, page-store line writes),
+/// all in Mops/s.
+fn hotpath_microbench(iters: u64) -> (f64, f64, f64, f64) {
+    // LLC-bank-like geometry; 4096-line footprint so inserts always evict.
+    let mut c = CacheArray::new(64, 8, 1);
+    let data = [0xa5u8; 64];
+    let lookup = best_rate(iters, |i| {
+        black_box(c.lookup(LineAddr(i.wrapping_mul(0x9e37) % 4096), 0..8));
+    });
+    let insert = best_rate(iters, |i| {
+        black_box(c.insert(LineAddr(i.wrapping_mul(0x9e37) % 4096), &data, i % 4 == 0, 0..8));
+    });
+
+    let mut mem = memsim::Memory::new(4);
+    let base = memsim::addr::NVM_BASE / 64;
+    let read = best_rate(iters, |i| {
+        black_box(mem.read_line(LineAddr((i.wrapping_mul(0x9e37) % 4096) + base)));
+    });
+    let write = best_rate(iters, |i| {
+        mem.write_line(LineAddr((i.wrapping_mul(0x9e37) % 4096) + base), &data);
+    });
+    (lookup, insert, read, write)
+}
+
 fn json_f(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.3}")
@@ -79,22 +148,38 @@ fn json_f(v: f64) -> String {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let jobs = runner::jobs();
-    let (csum_iters, engine_ops) = if quick { (2_000, 20_000) } else { (40_000, 200_000) };
+    // Engine sweeps are deliberately short (tens of ms) and repeated many
+    // times: on shared hardware the *minimum* over many short windows is
+    // far more reproducible than any mean, because it only needs one
+    // steal-free window.
+    let (csum_iters, engine_ops, engine_runs, hot_iters) = if quick {
+        (2_000, 20_000, 30, 200_000)
+    } else {
+        (40_000, 200_000, 25, 2_000_000)
+    };
+    let hw = memsim::crc::hw_available();
 
-    eprintln!("# checksum microbench ({csum_iters} iters per input size)");
+    eprintln!("# checksum microbench ({csum_iters} iters per input size, hw_crc32c={hw})");
     let line_by = checksum_throughput(crc32c_bytewise, 64, csum_iters * 8);
-    let line_s8 = checksum_throughput(crc32c, 64, csum_iters * 8);
+    let line_s8 = checksum_throughput(crc32c_sw, 64, csum_iters * 8);
+    let line_hw = checksum_throughput(crc32c, 64, csum_iters * 8);
     let page_by = checksum_throughput(crc32c_bytewise, 4096, csum_iters);
-    let page_s8 = checksum_throughput(crc32c, 4096, csum_iters);
+    let page_s8 = checksum_throughput(crc32c_sw, 4096, csum_iters);
+    let page_hw = checksum_throughput(crc32c, 4096, csum_iters);
     let speedup_line = line_s8 / line_by;
     let speedup_page = page_s8 / page_by;
-    eprintln!("#   64 B line: bytewise {line_by:.0} MiB/s, slice-by-8 {line_s8:.0} MiB/s ({speedup_line:.2}x)");
-    eprintln!("#   4 KB page: bytewise {page_by:.0} MiB/s, slice-by-8 {page_s8:.0} MiB/s ({speedup_page:.2}x)");
+    eprintln!("#   64 B line: bytewise {line_by:.0}, slice-by-8 {line_s8:.0} ({speedup_line:.2}x), dispatched {line_hw:.0} MiB/s");
+    eprintln!("#   4 KB page: bytewise {page_by:.0}, slice-by-8 {page_s8:.0} ({speedup_page:.2}x), dispatched {page_hw:.0} MiB/s");
 
-    eprintln!("# engine microbench ({engine_ops} raw DAX ops under Tvarak)");
-    let (sim_cycles, engine_wall) = engine_microbench(engine_ops);
+    eprintln!("# engine microbench ({engine_ops} raw DAX ops under Tvarak, best of {engine_runs})");
+    let (sim_cycles, engine_wall) = engine_microbench(engine_ops, engine_runs);
     let engine_rate = sim_cycles as f64 / engine_wall.max(1e-9);
     eprintln!("#   {sim_cycles} simulated cycles in {engine_wall:.2}s = {:.2} Mcyc/s", engine_rate / 1e6);
+
+    eprintln!("# hot-path microbenches ({hot_iters} iters, best of 3)");
+    let (hot_lookup, hot_insert, hot_read, hot_write) = hotpath_microbench(hot_iters);
+    eprintln!("#   cache: tag-scan miss {hot_lookup:.1}, insert-evict {hot_insert:.1} Mops/s");
+    eprintln!("#   page store: read_line {hot_read:.1}, write_line {hot_write:.1} Mops/s");
 
     eprintln!("# cell grid (fio 4 patterns x Baseline/Tvarak, quick scale, --jobs {jobs})");
     let scale = Scale::quick();
@@ -115,21 +200,31 @@ fn main() {
     let cells_per_sec = results.len() as f64 / grid_wall.max(1e-9);
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": 1,");
+    let _ = writeln!(json, "  \"schema\": 2,");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"jobs\": {jobs},");
+    let _ = writeln!(json, "  \"hw_crc32c\": {hw},");
     let _ = writeln!(json, "  \"checksum\": {{");
     let _ = writeln!(json, "    \"line_bytewise_mib_s\": {},", json_f(line_by));
     let _ = writeln!(json, "    \"line_slice8_mib_s\": {},", json_f(line_s8));
+    let _ = writeln!(json, "    \"line_dispatched_mib_s\": {},", json_f(line_hw));
     let _ = writeln!(json, "    \"page_bytewise_mib_s\": {},", json_f(page_by));
     let _ = writeln!(json, "    \"page_slice8_mib_s\": {},", json_f(page_s8));
+    let _ = writeln!(json, "    \"page_dispatched_mib_s\": {},", json_f(page_hw));
     let _ = writeln!(json, "    \"line_speedup\": {},", json_f(speedup_line));
     let _ = writeln!(json, "    \"page_speedup\": {}", json_f(speedup_page));
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"engine\": {{");
     let _ = writeln!(json, "    \"sim_cycles\": {sim_cycles},");
+    let _ = writeln!(json, "    \"runs\": {engine_runs},");
     let _ = writeln!(json, "    \"wall_s\": {},", json_f(engine_wall));
     let _ = writeln!(json, "    \"sim_cycles_per_sec\": {}", json_f(engine_rate));
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"hotpath\": {{");
+    let _ = writeln!(json, "    \"cache_lookup_miss_mops\": {},", json_f(hot_lookup));
+    let _ = writeln!(json, "    \"cache_insert_evict_mops\": {},", json_f(hot_insert));
+    let _ = writeln!(json, "    \"store_read_line_mops\": {},", json_f(hot_read));
+    let _ = writeln!(json, "    \"store_write_line_mops\": {}", json_f(hot_write));
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"cells\": [");
     for (i, r) in results.iter().enumerate() {

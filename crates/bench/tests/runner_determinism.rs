@@ -68,6 +68,74 @@ fn parallel_execution_is_bit_identical_to_serial() {
     assert_eq!(rs.to_gnuplot("det"), rp.to_gnuplot("det"));
 }
 
+/// A scale big enough that every cell's access stream spills the private
+/// caches and the LLC, so the eviction-order digest actually observes
+/// victim choices. (The `tiny()` scale above fits entirely in L1 and would
+/// make the digest a constant.)
+fn golden_scale() -> Scale {
+    let mut s = Scale::quick();
+    s.fio_threads = 2;
+    s.fio_region_bytes = 2 * 1024 * 1024;
+    s.fio_ops_per_thread = 8 * 1024;
+    s
+}
+
+fn golden_grid() -> Vec<Cell<(&'static str, Design, Outcome)>> {
+    let mut cells = Vec::new();
+    for pattern in [Pattern::SeqWrite, Pattern::RandRead, Pattern::RandWrite] {
+        for design in [Design::Baseline, Design::Tvarak] {
+            let s = golden_scale();
+            cells.push(Cell::new(
+                format!("fio {} {design}", pattern.label()),
+                move || {
+                    let out = run_fio(design, pattern, &s).expect("workload failed");
+                    (pattern.label(), design, out)
+                },
+            ));
+        }
+    }
+    cells
+}
+
+/// Captured per-cell goldens: (label, eviction-order digest, runtime
+/// cycles) for the golden fio grid, recorded on the pre-SoA `Entry` cache
+/// layout. A cache data-layout refactor must reproduce every digest —
+/// `Stats::evict_hash` folds each array's victim-choice history, so any
+/// change to eviction order or victim selection shows up here even when the
+/// aggregate counters happen to agree.
+const CELL_GOLDENS: [(&str, u64, u64); 6] = [
+    ("fio seq-write Baseline", 6011100812734918193, 1507537),
+    ("fio seq-write Tvarak", 2300232934720110932, 1705915),
+    ("fio rand-read Baseline", 15666639143644649525, 1507321),
+    ("fio rand-read Tvarak", 15666639143644649525, 1764165),
+    ("fio rand-write Baseline", 17216780476607221409, 1507321),
+    ("fio rand-write Tvarak", 747070783379293554, 1764157),
+];
+
+/// The digest a machine reports when no array ever evicted: the fixed-order
+/// fold of each array's FNV basis. Goldens must differ from it, proving the
+/// cells exercised the victim-selection path at all.
+const NO_EVICTIONS: u64 = 18253574493392921649;
+
+#[test]
+fn campaign_cells_match_eviction_goldens() {
+    let results = run_cells(golden_grid(), 1);
+    assert_eq!(results.len(), CELL_GOLDENS.len());
+    for (r, (label, evict, runtime)) in results.iter().zip(CELL_GOLDENS) {
+        let (_, _, out) = &r.value;
+        assert_eq!(r.label, label);
+        assert_ne!(
+            out.stats.evict_hash, NO_EVICTIONS,
+            "cell {label}: stream never evicted; golden would be vacuous"
+        );
+        assert_eq!(
+            (out.stats.evict_hash, out.stats.runtime_cycles()),
+            (evict, runtime),
+            "cell {label}: eviction order or runtime diverged from golden"
+        );
+    }
+}
+
 #[test]
 fn rerunning_the_same_cell_is_deterministic() {
     // The premise behind the pool: a cell owns all of its state, so running

@@ -116,11 +116,24 @@ pub struct HookEnv<'a> {
     crash: &'a mut CrashState,
 }
 
+/// The LLC bank holding `line` under line-granular interleaving. Bank
+/// counts are powers of two in every shipped config, so the modulo usually
+/// reduces to a mask; the division survives only as a fallback.
+#[inline]
+fn bank_interleave(line: LineAddr, banks: usize) -> usize {
+    let n = banks as u64;
+    if n.is_power_of_two() {
+        (line.0 & (n - 1)) as usize
+    } else {
+        (line.0 % n) as usize
+    }
+}
+
 impl<'a> HookEnv<'a> {
     /// The LLC bank holding `line` (lines are bank-interleaved).
     #[inline]
     pub fn bank_of(&self, line: LineAddr) -> usize {
-        (line.0 % self.llc.len() as u64) as usize
+        bank_interleave(line, self.llc.len())
     }
 
     /// LLC way range reserved for application data.
@@ -240,11 +253,15 @@ impl<'a> HookEnv<'a> {
         }
         let bank = self.bank_of(line);
         let ways = self.red_ways();
-        self.llc[bank].lookup(line, ways).map(|e| e.data)
+        self.llc[bank].lookup(line, ways).map(|e| *e.data)
     }
 
     /// Insert a redundancy line into the LLC redundancy partition; a dirty
     /// victim is returned for the hook to write back to NVM.
+    ///
+    /// The line must be absent from the partition — every caller reaches
+    /// this straight after a failed [`Self::llc_red_lookup`] or
+    /// [`Self::llc_red_update`] on the same line (debug-asserted).
     pub fn llc_red_insert(
         &mut self,
         line: LineAddr,
@@ -254,7 +271,7 @@ impl<'a> HookEnv<'a> {
         self.counters.llc_redundancy_accesses += 1;
         let bank = self.bank_of(line);
         let ways = self.red_ways();
-        self.llc[bank].insert(line, data, dirty, ways)
+        self.llc[bank].insert_absent(line, data, dirty, ways)
     }
 
     /// Update a redundancy line in place in the LLC partition if present,
@@ -263,9 +280,9 @@ impl<'a> HookEnv<'a> {
         self.counters.llc_redundancy_accesses += 1;
         let bank = self.bank_of(line);
         let ways = self.red_ways();
-        if let Some(e) = self.llc[bank].lookup(line, ways) {
-            e.data = *data;
-            e.dirty = true;
+        if let Some(mut e) = self.llc[bank].lookup(line, ways) {
+            *e.data = *data;
+            e.set_dirty(true);
             true
         } else {
             false
@@ -279,15 +296,9 @@ impl<'a> HookEnv<'a> {
         self.llc[bank].invalidate(line, ways)
     }
 
-    /// Drain the whole LLC redundancy partition (flush path).
-    pub fn llc_red_drain(&mut self) -> Vec<Evicted> {
-        let mut all = Vec::new();
-        self.llc_red_drain_into(&mut all);
-        all
-    }
-
-    /// [`Self::llc_red_drain`] into a caller-provided buffer (not cleared
-    /// first), so hooks can reuse one allocation across flushes.
+    /// Drain the whole LLC redundancy partition (flush path) into a
+    /// caller-provided buffer (not cleared first), so hooks can reuse one
+    /// allocation across flushes.
     pub fn llc_red_drain_into(&mut self, out: &mut Vec<Evicted>) {
         let ways = self.red_ways();
         for bank in self.llc.iter_mut() {
@@ -300,7 +311,7 @@ impl<'a> HookEnv<'a> {
         self.counters.llc_redundancy_accesses += 1;
         let bank = self.bank_of(data_line);
         let ways = self.diff_ways();
-        self.llc[bank].lookup(data_line, ways).map(|e| e.data)
+        self.llc[bank].lookup(data_line, ways).map(|e| *e.data)
     }
 
     /// Store the pre-modification content of `data_line` in the diff
@@ -324,16 +335,9 @@ impl<'a> HookEnv<'a> {
         self.llc[bank].invalidate(data_line, ways)
     }
 
-    /// Drain the whole diff partition (flush path).
-    pub fn llc_diff_drain(&mut self) -> Vec<Evicted> {
-        let mut all = Vec::new();
-        self.llc_diff_drain_into(&mut all);
-        all
-    }
-
-    /// [`Self::llc_diff_drain`] into a caller-provided buffer (not cleared
-    /// first). Diffs drained at flush are discarded, so the buffer lets the
-    /// controller avoid a per-flush allocation entirely.
+    /// Drain the whole diff partition (flush path) into a caller-provided
+    /// buffer (not cleared first). Diffs drained at flush are discarded, so
+    /// the buffer lets the controller avoid a per-flush allocation entirely.
     pub fn llc_diff_drain_into(&mut self, out: &mut Vec<Evicted>) {
         let ways = self.diff_ways();
         for bank in self.llc.iter_mut() {
@@ -348,9 +352,9 @@ impl<'a> HookEnv<'a> {
         let bank = self.bank_of(line);
         let ways = self.data_ways();
         match self.llc[bank].lookup(line, ways) {
-            Some(e) if e.dirty => {
-                e.dirty = false;
-                Some(e.data)
+            Some(mut e) if e.dirty() => {
+                e.set_dirty(false);
+                Some(*e.data)
             }
             _ => None,
         }
@@ -500,7 +504,14 @@ impl RedundancyRegion {
             return true; // checksum tables sit above the striped region
         }
         // Rotating parity: page `idx` is parity iff slot == stripe % dimms.
-        idx % self.dimms == (idx / self.dimms) % self.dimms
+        // DIMM counts are powers of two in every shipped config; this runs
+        // on every NVM access, so dodge the two hardware divides when so.
+        if self.dimms.is_power_of_two() {
+            let mask = self.dimms - 1;
+            idx & mask == (idx >> self.dimms.trailing_zeros()) & mask
+        } else {
+            idx % self.dimms == (idx / self.dimms) % self.dimms
+        }
     }
 }
 
@@ -589,6 +600,8 @@ pub struct System {
     red_region: Option<RedundancyRegion>,
     scrub_accounting: bool,
     crash: CrashState,
+    /// Victim buffer reused across [`System::flush`] calls (see `flush`).
+    flush_scratch: Vec<Evicted>,
 }
 
 impl fmt::Debug for System {
@@ -633,6 +646,7 @@ impl System {
             red_region: None,
             scrub_accounting: false,
             crash: CrashState::default(),
+            flush_scratch: Vec::new(),
         }
     }
 
@@ -751,15 +765,30 @@ impl System {
 
     /// Snapshot statistics.
     pub fn stats(&self) -> Stats {
+        // Fold every cache array's eviction digest in a fixed order (per
+        // core: L1D then L2, then the LLC banks) so the combined value is a
+        // stable fingerprint of all victim choices made since construction.
+        let mut evict_hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |x: u64| {
+            evict_hash = (evict_hash ^ x).wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for core in &self.cores {
+            fold(core.l1d.evict_hash());
+            fold(core.l2.evict_hash());
+        }
+        for bank in &self.llc {
+            fold(bank.evict_hash());
+        }
         Stats {
             counters: self.counters,
             core_cycles: self.clocks.clone(),
+            evict_hash,
         }
     }
 
     #[inline]
     fn bank_of(&self, line: LineAddr) -> usize {
-        (line.0 % self.llc.len() as u64) as usize
+        bank_interleave(line, self.llc.len())
     }
 
     fn data_ways(&self) -> Range<usize> {
@@ -784,11 +813,8 @@ impl System {
             let line = a.line();
             let lo = a.line_offset();
             let n = (CACHE_LINE - lo).min(buf.len() - off);
-            self.ensure_line(core, line, false)?;
-            let e = self.cores[core]
-                .l1d
-                .probe(line, 0..self.cfg.l1d.ways)
-                .expect("line present after ensure_line");
+            let idx = self.ensure_line(core, line, false)?;
+            let e = self.cores[core].l1d.entry_mut(idx);
             buf[off..off + n].copy_from_slice(&e.data[lo..lo + n]);
             off += n;
         }
@@ -813,56 +839,55 @@ impl System {
             let line = a.line();
             let lo = a.line_offset();
             let n = (CACHE_LINE - lo).min(data.len() - off);
-            self.ensure_line(core, line, true)?;
-            let ways = 0..self.cfg.l1d.ways;
-            let e = self.cores[core]
-                .l1d
-                .lookup(line, ways)
-                .expect("line present after ensure_line");
+            let idx = self.ensure_line(core, line, true)?;
+            let mut e = self.cores[core].l1d.entry_mut(idx);
             e.data[lo..lo + n].copy_from_slice(&data[off..off + n]);
-            e.dirty = true;
+            e.set_dirty(true);
             off += n;
         }
         Ok(())
     }
 
     /// Guarantee `line` is present in `core`'s L1D with write permission if
-    /// `for_write`. This is the full hierarchy walk.
+    /// `for_write`. This is the full hierarchy walk. Returns the line's L1D
+    /// slot index so `read`/`write` can reach the entry without a second tag
+    /// scan.
     fn ensure_line(
         &mut self,
         core: usize,
         line: LineAddr,
         for_write: bool,
-    ) -> Result<(), CorruptionDetected> {
+    ) -> Result<usize, CorruptionDetected> {
         let l1_ways = 0..self.cfg.l1d.ways;
         let l2_ways = 0..self.cfg.l2.ways;
 
         // L1 hit?
-        if let Some(e) = self.cores[core].l1d.lookup(line, l1_ways.clone()) {
+        if let Some(idx) = self.cores[core].l1d.lookup_idx(line, l1_ways.clone()) {
             self.counters.l1d_hits += 1;
             self.clocks[core] += self.cfg.l1d.latency_cycles;
-            if !for_write || e.excl {
-                return Ok(());
+            if !for_write || self.cores[core].l1d.entry_mut(idx).excl() {
+                return Ok(idx);
             }
             // Upgrade: fall through to the LLC for ownership, keeping data.
             self.upgrade_for_write(core, line);
-            return Ok(());
+            return Ok(idx);
         }
         self.counters.l1d_misses += 1;
         self.clocks[core] += self.cfg.l1d.latency_cycles;
 
         // L2 hit?
-        if let Some(e) = self.cores[core].l2.lookup(line, l2_ways.clone()) {
+        if let Some(idx) = self.cores[core].l2.lookup_idx(line, l2_ways.clone()) {
             self.counters.l2_hits += 1;
             self.clocks[core] += self.cfg.l2.latency_cycles;
-            let data = e.data;
-            let excl = e.excl;
+            let (data, excl) = {
+                let e = self.cores[core].l2.entry_mut(idx);
+                (*e.data, e.excl())
+            };
             if for_write && !excl {
                 self.upgrade_for_write(core, line);
             }
             let excl_now = excl || for_write;
-            self.fill_l1(core, line, &data, excl_now);
-            return Ok(());
+            return Ok(self.fill_l1(core, line, &data, excl_now));
         }
         self.counters.l2_misses += 1;
         self.clocks[core] += self.cfg.l2.latency_cycles;
@@ -870,8 +895,7 @@ impl System {
         // LLC.
         let (data, excl) = self.llc_access(core, line, for_write)?;
         self.fill_l2(core, line, &data, excl);
-        self.fill_l1(core, line, &data, excl);
-        Ok(())
+        Ok(self.fill_l1(core, line, &data, excl))
     }
 
     /// Write-permission upgrade for a line the core already caches shared:
@@ -881,38 +905,37 @@ impl System {
         self.counters.llc_hits += 1;
         let bank = self.bank_of(line);
         let ways = self.data_ways();
-        let (sharers, _owner) = match self.llc[bank].lookup(line, ways.clone()) {
-            Some(e) => (e.sharers, e.owner),
-            // Inclusion should make this unreachable; tolerate gracefully.
-            None => (0, NO_OWNER),
+        // Inclusion should make a miss here unreachable; tolerate gracefully.
+        let found = self.llc[bank].lookup_idx(line, ways);
+        let sharers = match found {
+            Some(idx) => *self.llc[bank].entry_mut(idx).sharers,
+            None => 0,
         };
         for other in 0..self.cfg.cores {
             if other != core && (sharers >> other) & 1 == 1 {
                 if let Some((d, dirty)) = self.priv_invalidate(other, line) {
                     if dirty {
                         // Other core's modified data merges into the LLC.
-                        let bank = self.bank_of(line);
-                        let dw = self.data_ways();
-                        if let Some(e) = self.llc[bank].lookup(line, dw) {
-                            e.data = d;
-                            e.dirty = true;
+                        if let Some(idx) = found {
+                            let mut e = self.llc[bank].entry_mut(idx);
+                            *e.data = d;
+                            e.set_dirty(true);
                         }
                     }
                 }
             }
         }
-        let bank = self.bank_of(line);
-        let dw = self.data_ways();
-        if let Some(e) = self.llc[bank].lookup(line, dw) {
-            e.sharers = 1 << core;
-            e.owner = core as u8;
+        if let Some(idx) = found {
+            let e = self.llc[bank].entry_mut(idx);
+            *e.sharers = 1 << core;
+            *e.owner = core as u8;
         }
         // Grant exclusivity in this core's private copies.
-        if let Some(e) = self.cores[core].l1d.lookup(line, 0..self.cfg.l1d.ways) {
-            e.excl = true;
+        if let Some(mut e) = self.cores[core].l1d.lookup(line, 0..self.cfg.l1d.ways) {
+            e.set_excl(true);
         }
-        if let Some(e) = self.cores[core].l2.lookup(line, 0..self.cfg.l2.ways) {
-            e.excl = true;
+        if let Some(mut e) = self.cores[core].l2.lookup(line, 0..self.cfg.l2.ways) {
+            e.set_excl(true);
         }
     }
 
@@ -928,20 +951,25 @@ impl System {
         let bank = self.bank_of(line);
         let ways = self.data_ways();
 
-        let hit = self.llc[bank].lookup(line, ways.clone()).map(|e| {
-            (e.data, e.dirty, e.sharers, e.owner)
-        });
-
-        if let Some((mut data, _dirty, sharers, owner)) = hit {
+        // One tag scan locates the line; every later touch in this call
+        // (directory updates, dirty merges from remote owners) re-borrows
+        // the slot by index. Interleaved hook work only ever inserts into
+        // the redundancy/diff partitions, which cannot displace a
+        // data-partition slot.
+        if let Some(idx) = self.llc[bank].lookup_idx(line, ways) {
             self.counters.llc_hits += 1;
+            let (mut data, sharers, owner) = {
+                let e = self.llc[bank].entry_mut(idx);
+                (*e.data, *e.sharers, *e.owner)
+            };
             // Pull the newest copy from a remote owner.
             if owner != NO_OWNER && owner as usize != core {
                 if let Some((d, dirty)) = self.priv_invalidate(owner as usize, line) {
                     if dirty {
                         data = d;
-                        let e = self.llc[bank].lookup(line, ways.clone()).unwrap();
-                        e.data = d;
-                        e.dirty = true;
+                        let mut e = self.llc[bank].entry_mut(idx);
+                        *e.data = d;
+                        e.set_dirty(true);
                     }
                 }
                 self.clocks[core] += self.cfg.l2.latency_cycles;
@@ -953,42 +981,43 @@ impl System {
                         if let Some((d, dirty)) = self.priv_invalidate(other, line) {
                             if dirty {
                                 data = d;
-                                let e = self.llc[bank].lookup(line, ways.clone()).unwrap();
-                                e.data = d;
-                                e.dirty = true;
+                                let mut e = self.llc[bank].entry_mut(idx);
+                                *e.data = d;
+                                e.set_dirty(true);
                             }
                         }
                     }
                 }
-                let e = self.llc[bank].lookup(line, ways.clone()).unwrap();
-                e.sharers = 1 << core;
-                e.owner = core as u8;
+                let e = self.llc[bank].entry_mut(idx);
+                *e.sharers = 1 << core;
+                *e.owner = core as u8;
                 Ok((data, true))
             } else {
-                let e = self.llc[bank].lookup(line, ways.clone()).unwrap();
-                e.sharers |= 1 << core;
-                e.owner = NO_OWNER;
-                let excl = e.sharers == (1 << core);
+                let e = self.llc[bank].entry_mut(idx);
+                *e.sharers |= 1 << core;
+                *e.owner = NO_OWNER;
+                let excl = *e.sharers == (1 << core);
                 if excl {
-                    e.owner = core as u8;
+                    *e.owner = core as u8;
                 }
                 Ok((data, excl))
             }
         } else {
             self.counters.llc_misses += 1;
-            // Fill from memory.
+            // Fill from memory. The tag scan above just missed, and the
+            // hooks run by the demand read only touch the red/diff
+            // partitions, so the line is provably absent from the data ways.
             let data = self.mem_demand_read(core, line)?;
-            let victim = {
+            let (victim, idx) = {
                 let ways = self.data_ways();
-                self.llc[bank].insert(line, &data, false, ways)
+                self.llc[bank].insert_absent_get(line, &data, false, ways)
             };
             if let Some(v) = victim {
                 self.process_llc_victim(core, v);
             }
-            let ways = self.data_ways();
-            let e = self.llc[bank].lookup(line, ways).unwrap();
-            e.sharers = 1 << core;
-            e.owner = core as u8; // E state: sole sharer.
+            let e = self.llc[bank].entry_mut(idx);
+            *e.sharers = 1 << core;
+            *e.owner = core as u8; // E state: sole sharer.
             Ok((data, true))
         }
     }
@@ -1145,35 +1174,36 @@ impl System {
         }
     }
 
-    /// Insert into L1, spilling a dirty victim into the L2.
-    fn fill_l1(&mut self, core: usize, line: LineAddr, data: &[u8; CACHE_LINE], excl: bool) {
+    /// Insert into L1, spilling a dirty victim into the L2. Returns the
+    /// inserted line's L1D slot index.
+    fn fill_l1(&mut self, core: usize, line: LineAddr, data: &[u8; CACHE_LINE], excl: bool) -> usize {
+        // Only reached after an L1 lookup miss; nothing between it and here
+        // inserts into this L1 (lower-level fills only back-invalidate).
         let ways = 0..self.cfg.l1d.ways;
-        let victim = self.cores[core].l1d.insert(line, data, false, ways.clone());
-        if let Some(e) = self.cores[core].l1d.lookup(line, ways) {
-            e.excl = excl;
-        }
+        let (victim, idx) = self.cores[core].l1d.insert_absent_get(line, data, false, ways);
+        self.cores[core].l1d.entry_mut(idx).set_excl(excl);
         if let Some(v) = victim {
             if v.dirty {
                 // L2 must hold the line (inclusion).
                 let l2_ways = 0..self.cfg.l2.ways;
-                if let Some(e) = self.cores[core].l2.lookup(v.line, l2_ways) {
-                    e.data = v.data;
-                    e.dirty = true;
+                if let Some(mut e) = self.cores[core].l2.lookup(v.line, l2_ways) {
+                    *e.data = v.data;
+                    e.set_dirty(true);
                 } else {
                     // Defensive: push straight to the LLC.
                     self.spill_to_llc(core, v.line, &v.data, true);
                 }
             }
         }
+        idx
     }
 
     /// Insert into L2, spilling the victim into the LLC.
     fn fill_l2(&mut self, core: usize, line: LineAddr, data: &[u8; CACHE_LINE], excl: bool) {
+        // Only reached after an L2 lookup miss (same argument as fill_l1).
         let ways = 0..self.cfg.l2.ways;
-        let victim = self.cores[core].l2.insert(line, data, false, ways.clone());
-        if let Some(e) = self.cores[core].l2.lookup(line, ways) {
-            e.excl = excl;
-        }
+        let (victim, idx) = self.cores[core].l2.insert_absent_get(line, data, false, ways);
+        self.cores[core].l2.entry_mut(idx).set_excl(excl);
         if let Some(v) = victim {
             // L1 copy must go too (L1 ⊆ L2); it may be newer.
             let l1 = self.cores[core].l1d.invalidate(v.line, 0..self.cfg.l1d.ways);
@@ -1191,9 +1221,11 @@ impl System {
     fn spill_to_llc(&mut self, core: usize, line: LineAddr, data: &[u8; CACHE_LINE], dirty: bool) {
         let bank = self.bank_of(line);
         let ways = self.data_ways();
-        let info = self.llc[bank]
-            .lookup(line, ways.clone())
-            .map(|e| (e.data, e.dirty));
+        let found = self.llc[bank].lookup_idx(line, ways);
+        let info = found.map(|idx| {
+            let e = self.llc[bank].entry_mut(idx);
+            (*e.data, e.dirty())
+        });
         match info {
             Some((old_data, was_dirty)) => {
                 if dirty && !was_dirty && line.is_nvm() {
@@ -1219,15 +1251,17 @@ impl System {
                     };
                     hooks.on_llc_clean_to_dirty(core, line, &old_data, &mut env);
                 }
-                let e = self.llc[bank].lookup(line, ways).unwrap();
+                // The diff-capture hook above only touches the diff/red
+                // partitions, so the data-partition slot index still holds.
+                let mut e = self.llc[bank].entry_mut(found.expect("checked above"));
                 if dirty {
-                    e.data = *data;
-                    e.dirty = true;
+                    *e.data = *data;
+                    e.set_dirty(true);
                 }
                 // The core no longer holds the line privately.
-                e.sharers &= !(1u64 << core);
-                if e.owner as usize == core {
-                    e.owner = NO_OWNER;
+                *e.sharers &= !(1u64 << core);
+                if *e.owner as usize == core {
+                    *e.owner = NO_OWNER;
                 }
             }
             None => {
@@ -1244,10 +1278,11 @@ impl System {
     /// redundancy state. Counters and energy are accounted; core clocks are
     /// not advanced (see DESIGN.md §6 "Timing model").
     pub fn flush(&mut self) {
-        // One victim buffer reused across every drain below: flushes run
-        // between measured phases and every FLUSH_EVERY ops in the chaos
-        // campaign, so the per-drain `Vec` allocations add up.
-        let mut victims: Vec<Evicted> = Vec::new();
+        // One victim buffer reused across every drain below — and across
+        // *flushes*: flushes run between measured phases and every
+        // FLUSH_EVERY ops in the chaos campaign, so even one `Vec`
+        // allocation per flush adds up. The buffer lives on the `System`.
+        let mut victims = std::mem::take(&mut self.flush_scratch);
         // Private caches first.
         for core in 0..self.cfg.cores {
             victims.clear();
@@ -1257,9 +1292,9 @@ impl System {
             for v in &victims {
                 if v.dirty {
                     let ways = 0..self.cfg.l2.ways;
-                    if let Some(e) = self.cores[core].l2.lookup(v.line, ways) {
-                        e.data = v.data;
-                        e.dirty = true;
+                    if let Some(mut e) = self.cores[core].l2.lookup(v.line, ways) {
+                        *e.data = v.data;
+                        e.set_dirty(true);
                     } else {
                         self.spill_to_llc(core, v.line, &v.data, true);
                     }
@@ -1306,6 +1341,8 @@ impl System {
             crash,
         };
         hooks.flush(&mut env);
+        victims.clear();
+        self.flush_scratch = victims;
     }
 
     /// Start a crash window: reset the NVM-writeback event counter and arm
@@ -1382,21 +1419,21 @@ impl System {
         for c in &mut self.cores {
             let w = c.l1d.all_ways();
             let l1_dirty = match c.l1d.lookup(line, w) {
-                Some(e) if e.dirty => {
-                    e.dirty = false;
-                    Some(e.data)
+                Some(mut e) if e.dirty() => {
+                    e.set_dirty(false);
+                    Some(*e.data)
                 }
                 _ => None,
             };
             let w = c.l2.all_ways();
-            if let Some(e) = c.l2.lookup(line, w) {
+            if let Some(mut e) = c.l2.lookup(line, w) {
                 if let Some(d) = l1_dirty {
-                    e.data = d;
-                    e.dirty = false;
-                } else if e.dirty {
-                    e.dirty = false;
+                    *e.data = d;
+                    e.set_dirty(false);
+                } else if e.dirty() {
+                    e.set_dirty(false);
                     if private_newest.is_none() {
-                        private_newest = Some(e.data);
+                        private_newest = Some(*e.data);
                     }
                 }
             }
@@ -1407,14 +1444,14 @@ impl System {
         let bank = self.bank_of(line);
         let ways = self.data_ways();
         let mut to_write: Option<[u8; CACHE_LINE]> = None;
-        if let Some(e) = self.llc[bank].lookup(line, ways) {
+        if let Some(mut e) = self.llc[bank].lookup(line, ways) {
             if let Some(d) = private_newest {
-                e.data = d;
-                e.dirty = false;
+                *e.data = d;
+                e.set_dirty(false);
                 to_write = Some(d);
-            } else if e.dirty {
-                e.dirty = false;
-                to_write = Some(e.data);
+            } else if e.dirty() {
+                e.set_dirty(false);
+                to_write = Some(*e.data);
             }
         } else if private_newest.is_some() {
             // Not LLC-resident (inclusion says this shouldn't happen);
@@ -1893,8 +1930,8 @@ mod tests {
         let core = &mut s.cores[0];
         let w = core.l2.all_ways();
         if let Some(e) = core.l2.lookup(line, w) {
-            assert_eq!(e.data, [2u8; 64], "L2 copy must be refreshed");
-            assert!(!e.dirty);
+            assert_eq!(*e.data, [2u8; 64], "L2 copy must be refreshed");
+            assert!(!e.dirty());
         }
         // And a full flush afterwards must not resurrect v1.
         s.flush();

@@ -1,0 +1,116 @@
+//! Division by a runtime-invariant divisor via multiply-shift.
+//!
+//! Address-to-geometry math (stripe index, DIMM of a page, checksum slot)
+//! divides by values fixed at construction time — DIMM counts, stripe
+//! widths — that the compiler must treat as unknown, so every call site
+//! otherwise pays a hardware 64-bit `div` (~25–40 cycles). These run several
+//! times per simulated memory access, which made them one of the engine's
+//! largest single costs. [`FastDiv`] precomputes the standard round-up magic
+//! number once and turns each quotient into one widening multiply.
+//!
+//! Correctness bound: with `m = floor(2^64 / d) + 1 = (2^64 + e) / d` for
+//! some `0 < e <= d`, the computed `floor(n * m / 2^64)` equals
+//! `floor(n / d)` whenever `n * e < 2^64`, for which `n < 2^64 / d` is
+//! sufficient. Simulated physical addresses and page indices stay far below
+//! that for any plausible divisor; a debug assertion enforces it.
+
+/// A precomputed divisor. Copyable, comparable, and hashable by divisor
+/// value (the magic is a pure function of it).
+#[derive(Debug, Clone, Copy)]
+pub struct FastDiv {
+    d: u64,
+    /// `floor(2^64 / d) + 1`; 0 is the sentinel for `d == 1`.
+    m: u64,
+}
+
+impl PartialEq for FastDiv {
+    fn eq(&self, other: &Self) -> bool {
+        self.d == other.d
+    }
+}
+
+impl Eq for FastDiv {}
+
+impl std::hash::Hash for FastDiv {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.d.hash(state);
+    }
+}
+
+impl FastDiv {
+    /// Precompute the magic for divisor `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn new(d: u64) -> Self {
+        assert!(d > 0, "division by zero");
+        let m = if d == 1 { 0 } else { (u64::MAX / d) + 1 };
+        FastDiv { d, m }
+    }
+
+    /// The divisor.
+    pub fn get(self) -> u64 {
+        self.d
+    }
+
+    /// The quotient `n / d`. Exact for `n < 2^64 / d` (debug-asserted).
+    #[inline]
+    pub fn quotient(self, n: u64) -> u64 {
+        if self.m == 0 {
+            return n;
+        }
+        debug_assert!(
+            n.checked_mul(self.d).is_some(),
+            "dividend {n} out of range for FastDiv by {}",
+            self.d
+        );
+        ((self.m as u128 * n as u128) >> 64) as u64
+    }
+
+    /// The remainder `n % d`, via the quotient.
+    #[inline]
+    pub fn remainder(self, n: u64) -> u64 {
+        n - self.quotient(n) * self.d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_hardware_division_exhaustively_for_small_operands() {
+        for d in 1..=70u64 {
+            let f = FastDiv::new(d);
+            for n in 0..4096u64 {
+                assert_eq!(f.quotient(n), n / d, "{n} / {d}");
+                assert_eq!(f.remainder(n), n % d, "{n} % {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_at_large_dividends() {
+        // Line addresses and page indices: up to ~2^52.
+        let divs = [1u64, 2, 3, 4, 5, 7, 8, 15, 16, 63, 255, 1023];
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let n = x >> 12; // < 2^52
+            for &d in &divs {
+                let f = FastDiv::new(d);
+                assert_eq!(f.quotient(n), n / d, "{n} / {d}");
+                assert_eq!(f.remainder(n), n % d, "{n} % {d}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn zero_divisor_panics() {
+        FastDiv::new(0);
+    }
+}

@@ -30,7 +30,9 @@
 pub mod addr;
 pub mod cache;
 pub mod config;
+pub mod crc;
 pub mod engine;
+pub mod fastdiv;
 pub mod hash;
 pub mod mem;
 pub mod stats;

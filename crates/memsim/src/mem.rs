@@ -25,6 +25,7 @@
 //! these faults over an operation timeline for chaos campaigns.
 
 use crate::addr::{LineAddr, PageNum, CACHE_LINE, NVM_BASE, PAGE, PAGE_SHIFT};
+use crate::fastdiv::FastDiv;
 use crate::hash::FxHashMap;
 
 /// Which device a physical line lives on.
@@ -92,12 +93,27 @@ pub struct FiredFault {
 }
 
 /// The simulated memory devices.
+///
+/// Page storage is an arena: materialized pages live contiguously in
+/// `arena`, and a compact Fx-hashed `index` maps page number → arena slot
+/// (`u32`, half the footprint of a boxed-page pointer and no per-page heap
+/// allocation). Pages materialize lazily on first write — reads of
+/// untouched pages return zeros without allocating. `page_order` keeps the
+/// materialized page numbers sorted (binary-insert once per new page), so
+/// [`Memory::content_hash`] iterates in canonical order without the
+/// collect-and-sort it used to pay on every call.
 #[derive(Debug)]
 pub struct Memory {
     nvm_dimms: usize,
-    // Fx-hashed (crate::hash): every simulated access indexes `pages`, and
+    /// Precomputed divider for `nvm_dimms` ([`device_of`](Self::device_of)
+    /// runs on every simulated NVM access).
+    dimm_div: FastDiv,
+    // Fx-hashed (crate::hash): every simulated access indexes `index`, and
     // the fault check hits `armed`; neither map is iterated for output.
-    pages: FxHashMap<u64, Box<[u8; PAGE]>>,
+    index: FxHashMap<u64, u32>,
+    arena: Vec<[u8; PAGE]>,
+    /// Materialized page numbers, ascending; parallel lookup via `index`.
+    page_order: Vec<u64>,
     armed: FxHashMap<LineAddr, FirmwareFault>,
     fired: Vec<FiredFault>,
 }
@@ -112,7 +128,10 @@ impl Memory {
         assert!(nvm_dimms > 0, "need at least one NVM DIMM");
         Memory {
             nvm_dimms,
-            pages: FxHashMap::default(),
+            dimm_div: FastDiv::new(nvm_dimms as u64),
+            index: FxHashMap::default(),
+            arena: Vec::new(),
+            page_order: Vec::new(),
             armed: FxHashMap::default(),
             fired: Vec::new(),
         }
@@ -142,7 +161,7 @@ impl Memory {
         if line.is_nvm() {
             let idx = self.nvm_page_index(line.page());
             Device::Nvm {
-                dimm: (idx % self.nvm_dimms as u64) as usize,
+                dimm: self.dimm_div.remainder(idx) as usize,
             }
         } else {
             Device::Dram
@@ -150,9 +169,19 @@ impl Memory {
     }
 
     fn page_mut(&mut self, page: PageNum) -> &mut [u8; PAGE] {
-        self.pages
-            .entry(page.0)
-            .or_insert_with(|| Box::new([0u8; PAGE]))
+        let slot = match self.index.get(&page.0) {
+            Some(&slot) => slot as usize,
+            None => {
+                let slot = self.arena.len();
+                self.arena.push([0u8; PAGE]);
+                self.index.insert(page.0, slot as u32);
+                // One-time ordered insert, so content_hash never sorts.
+                let pos = self.page_order.partition_point(|&k| k < page.0);
+                self.page_order.insert(pos, page.0);
+                slot
+            }
+        };
+        &mut self.arena[slot]
     }
 
     /// Record a firing and remove the fault unless it is sticky.
@@ -168,6 +197,11 @@ impl Memory {
 
     /// Read a line through the device firmware (faults may fire).
     pub fn read_line(&mut self, line: LineAddr) -> [u8; CACHE_LINE] {
+        // Faults are armed only inside injection campaigns; skip the hash
+        // probe on the overwhelmingly common fault-free path.
+        if self.armed.is_empty() {
+            return self.peek_line(line);
+        }
         let actual = match self.armed.get(&line).copied() {
             Some(
                 f @ (FirmwareFault::MisdirectedRead { actual }
@@ -183,6 +217,9 @@ impl Memory {
 
     /// Write a line through the device firmware (faults may fire).
     pub fn write_line(&mut self, line: LineAddr, data: &[u8; CACHE_LINE]) {
+        if self.armed.is_empty() {
+            return self.poke_line(line, data);
+        }
         match self.armed.get(&line).copied() {
             Some(f @ (FirmwareFault::LostWrite | FirmwareFault::StickyLostWrite)) => {
                 self.fire(line, f);
@@ -207,9 +244,9 @@ impl Memory {
     /// (Used by tests and by documentation examples to inspect ground truth.)
     pub fn peek_line(&self, line: LineAddr) -> [u8; CACHE_LINE] {
         let mut out = [0u8; CACHE_LINE];
-        if let Some(p) = self.pages.get(&line.page().0) {
+        if let Some(&slot) = self.index.get(&line.page().0) {
             let off = line.index_in_page() * CACHE_LINE;
-            out.copy_from_slice(&p[off..off + CACHE_LINE]);
+            out.copy_from_slice(&self.arena[slot as usize][off..off + CACHE_LINE]);
         }
         out
     }
@@ -263,13 +300,6 @@ impl Memory {
     /// zeros), so two memories with equal *logical* content digest equally —
     /// the equivalence crashsim's clean-shutdown test relies on.
     pub fn content_hash(&self) -> u64 {
-        let mut keys: Vec<u64> = self
-            .pages
-            .iter()
-            .filter(|(_, p)| p.iter().any(|&b| b != 0))
-            .map(|(&k, _)| k)
-            .collect();
-        keys.sort_unstable();
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mut mix = |bytes: &[u8]| {
             for &b in bytes {
@@ -277,9 +307,13 @@ impl Memory {
                 h = h.wrapping_mul(0x0000_0100_0000_01b3);
             }
         };
-        for k in keys {
+        for &k in &self.page_order {
+            let page = &self.arena[self.index[&k] as usize];
+            if page.iter().all(|&b| b == 0) {
+                continue;
+            }
             mix(&k.to_le_bytes());
-            mix(&self.pages[&k][..]);
+            mix(&page[..]);
         }
         h
     }

@@ -156,6 +156,12 @@ pub struct Stats {
     pub counters: Counters,
     /// Cycles consumed by each core.
     pub core_cycles: Vec<u64>,
+    /// Combined digest of every cache array's eviction/victim-choice history
+    /// (private L1/L2 caches and LLC banks, in fixed order), cumulative from
+    /// machine construction — `reset_stats` does not clear it. Never written
+    /// to campaign CSVs; it exists so the determinism goldens can prove that
+    /// a cache-layout refactor keeps eviction order bit-identical.
+    pub evict_hash: u64,
 }
 
 impl Stats {
@@ -164,6 +170,7 @@ impl Stats {
         Stats {
             counters: Counters::default(),
             core_cycles: vec![0; cores],
+            evict_hash: 0,
         }
     }
 

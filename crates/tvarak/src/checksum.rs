@@ -1,12 +1,18 @@
-//! System-checksum primitives: CRC32C (Castagnoli) implemented from scratch,
-//! and the paper's *DAX-CL-checksum* packing (one 4-byte checksum per 64 B
-//! cache line, sixteen checksums packed per checksum cache line).
+//! System-checksum primitives: CRC32C (Castagnoli) and the paper's
+//! *DAX-CL-checksum* packing (one 4-byte checksum per 64 B cache line,
+//! sixteen checksums packed per checksum cache line).
 //!
 //! The paper stores per-page system-checksums for all data and cache-line
 //! granular checksums ("DAX-CL-checksums") only while data is DAX-mapped
-//! (§III-C); both use the same checksum function here.
+//! (§III-C); both use the same checksum function here. The CRC kernel
+//! itself (slice-by-8 tables plus the runtime-dispatched hardware `crc32`
+//! path) lives in [`memsim::crc`]; this module adds the standard iSCSI
+//! convention (all-ones init, final inversion) and the packing helpers.
+//! The byte-at-a-time reference below is kept *independent* of that kernel
+//! — it derives its own table — so it stays an honest equivalence oracle.
 
 use memsim::addr::{CACHE_LINE, PAGE};
+use memsim::crc;
 
 /// CRC32C (Castagnoli) polynomial, reflected form.
 const POLY: u32 = 0x82f6_3b78;
@@ -30,37 +36,14 @@ const fn make_table() -> [u32; 256] {
 
 static TABLE: [u32; 256] = make_table();
 
-/// Slice-by-8 lookup tables. `TABLES[0]` is the plain 8-bit table; entry
-/// `TABLES[k][b]` is the CRC of byte `b` followed by `k` zero bytes, so
-/// eight table lookups advance the CRC by eight input bytes at once.
-/// Derived at compile time from the same generator as [`make_table`].
-const fn make_tables() -> [[u32; 256]; 8] {
-    let t0 = make_table();
-    let mut t = [[0u32; 256]; 8];
-    t[0] = t0;
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = t0[i];
-        let mut k = 1;
-        while k < 8 {
-            crc = (crc >> 8) ^ t0[(crc & 0xff) as usize];
-            t[k][i] = crc;
-            k += 1;
-        }
-        i += 1;
-    }
-    t
-}
-
-static TABLES: [[u32; 256]; 8] = make_tables();
-
 /// CRC32C over `data` (initial value all-ones, final inversion — the
 /// standard Castagnoli convention used by iSCSI and storage systems).
 ///
-/// Uses slice-by-8: the hot loop folds eight bytes per iteration through
-/// eight parallel tables, which is what makes per-line verification cheap
-/// enough to run on every simulated NVM fill. Bit-identical to
-/// [`crc32c_bytewise`] (the tests enforce this).
+/// Dispatches through [`memsim::crc`]: the hardware `crc32` instruction
+/// where the host has one, slice-by-8 otherwise — which is what makes
+/// per-line verification cheap enough to run on every simulated NVM fill.
+/// Bit-identical to [`crc32c_bytewise`] either way (the tests enforce
+/// this).
 ///
 /// ```
 /// // Known-answer test vector (RFC 3720 / iSCSI): CRC32C("123456789").
@@ -105,27 +88,10 @@ impl Crc32c {
         Crc32c { state: u32::MAX }
     }
 
-    /// Fold `data` into the running CRC (slice-by-8).
+    /// Fold `data` into the running CRC (hardware path where available).
     #[inline]
     pub fn update(&mut self, data: &[u8]) {
-        let mut crc = self.state;
-        let mut chunks = data.chunks_exact(8);
-        for c in &mut chunks {
-            let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
-            let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
-            crc = TABLES[7][(lo & 0xff) as usize]
-                ^ TABLES[6][((lo >> 8) & 0xff) as usize]
-                ^ TABLES[5][((lo >> 16) & 0xff) as usize]
-                ^ TABLES[4][(lo >> 24) as usize]
-                ^ TABLES[3][(hi & 0xff) as usize]
-                ^ TABLES[2][((hi >> 8) & 0xff) as usize]
-                ^ TABLES[1][((hi >> 16) & 0xff) as usize]
-                ^ TABLES[0][(hi >> 24) as usize];
-        }
-        for &b in chunks.remainder() {
-            crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xff) as usize];
-        }
-        self.state = crc;
+        self.state = crc::update(self.state, data);
     }
 
     /// Final inversion; consumes the hasher.

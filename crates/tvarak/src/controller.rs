@@ -214,7 +214,7 @@ impl TvarakController {
         let all = self.oncache[bank].all_ways();
         if let Some(e) = self.oncache[bank].lookup(line, all) {
             env.counters().tvarak_cache_hits += 1;
-            return e.data;
+            return *e.data;
         }
         env.counters().tvarak_cache_misses += 1;
         let data = if let Some(d) = env.llc_red_lookup(core, line, demand) {
@@ -229,9 +229,10 @@ impl TvarakController {
             d
         };
         // On-controller caches hold clean copies only (write-through to the
-        // LLC partition), so their evictions are silent.
+        // LLC partition), so their evictions are silent. The line is absent
+        // here: the lookup above missed and nothing since touches this bank.
         let all = self.oncache[bank].all_ways();
-        self.oncache[bank].insert(line, &data, false, all);
+        self.oncache[bank].insert_absent(line, &data, false, all);
         data
     }
 

@@ -15,6 +15,7 @@
 
 use crate::parity::StripeGeometry;
 use memsim::addr::{nvm_page, LineAddr, PageNum, CACHE_LINE, LINES_PER_PAGE, PAGE};
+use memsim::fastdiv::FastDiv;
 
 /// Byte size of the DAX-CL-checksum entries for one page (64 lines × 4 B).
 pub const CL_CSUM_BYTES_PER_PAGE: usize = LINES_PER_PAGE * 4;
@@ -23,6 +24,9 @@ pub const CL_CSUM_BYTES_PER_PAGE: usize = LINES_PER_PAGE * 4;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NvmLayout {
     geom: StripeGeometry,
+    /// Precomputed divider for `dimms - 1` (data pages per stripe) —
+    /// [`nth_data_page`](Self::nth_data_page) runs on every file operation.
+    per_div: FastDiv,
     data_pages: u64,
     striped_pages: u64,
     cl_csum_base: u64,
@@ -49,6 +53,7 @@ impl NvmLayout {
         let total_pages = page_csum_base + page_csum_pages;
         NvmLayout {
             geom,
+            per_div: FastDiv::new(geom.data_pages_per_stripe() as u64),
             data_pages,
             striped_pages,
             cl_csum_base,
@@ -86,9 +91,8 @@ impl NvmLayout {
     pub fn nth_data_page(&self, n: u64) -> PageNum {
         assert!(n < self.data_pages, "data page {n} out of range");
         let d = self.geom.dimms() as u64;
-        let per = d - 1;
-        let stripe = n / per;
-        let k = n % per;
+        let stripe = self.per_div.quotient(n);
+        let k = self.per_div.remainder(n);
         let pslot = self.geom.parity_slot(stripe) as u64;
         let slot = if k < pslot { k } else { k + 1 };
         nvm_page(stripe * d + slot)

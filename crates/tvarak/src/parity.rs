@@ -13,11 +13,14 @@
 //! (the *data diff*) at writeback time.
 
 use memsim::addr::CACHE_LINE;
+use memsim::fastdiv::FastDiv;
 
 /// Stripe geometry over `dimms` NVM DIMMs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StripeGeometry {
     dimms: usize,
+    /// Precomputed divider for `dimms`; stripe/slot math runs per access.
+    div: FastDiv,
 }
 
 impl StripeGeometry {
@@ -29,7 +32,10 @@ impl StripeGeometry {
     /// device).
     pub fn new(dimms: usize) -> Self {
         assert!(dimms >= 2, "parity striping needs at least 2 DIMMs");
-        StripeGeometry { dimms }
+        StripeGeometry {
+            dimms,
+            div: FastDiv::new(dimms as u64),
+        }
     }
 
     /// Number of DIMMs.
@@ -45,19 +51,19 @@ impl StripeGeometry {
     /// Stripe index containing region-relative NVM page `idx`.
     #[inline]
     pub fn stripe_of(&self, idx: u64) -> u64 {
-        idx / self.dimms as u64
+        self.div.quotient(idx)
     }
 
     /// Slot of page `idx` within its stripe (`0..dimms`); equals its DIMM.
     #[inline]
     pub fn slot_of(&self, idx: u64) -> usize {
-        (idx % self.dimms as u64) as usize
+        self.div.remainder(idx) as usize
     }
 
     /// The slot holding parity in `stripe` (rotates).
     #[inline]
     pub fn parity_slot(&self, stripe: u64) -> usize {
-        (stripe % self.dimms as u64) as usize
+        self.div.remainder(stripe) as usize
     }
 
     /// Whether region-relative page `idx` is a parity page.

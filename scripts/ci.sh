@@ -48,4 +48,44 @@ for key in '"schema"' '"line_speedup"' '"sim_cycles_per_sec"' '"cells_per_sec"';
         || { echo "ci: BENCH_perf.json missing key $key" >&2; exit 1; }
 done
 
+echo "=== perf gate (>30% regression vs committed BENCH_perf.json fails) ==="
+# Two tracked hot paths: engine simulation rate (first sim_cycles_per_sec in
+# the file is the engine block's; the per-cell ones sit inside one-line cell
+# objects) and the pinned *software* slice-by-8 checksum rate (host
+# comparable — the dispatched kernel depends on what the CPU offers). Both
+# sides of the comparison are best-of-N minima, which are stable under
+# scheduler noise where single shots are not; 30% headroom plus a bounded
+# retry (shared boxes see multi-second steal bursts that depress even the
+# minimum) covers what remains.
+perf_metric() { # file, key -> first value of "key": <float>
+    grep -Eo "\"$2\": [0-9.]+" "$1" | head -1 | awk '{print $2}'
+}
+gate_ok=""
+for attempt in 1 2 3; do
+    [ "$attempt" -gt 1 ] && {
+        echo "ci: perf gate retry $attempt (noise burst suspected)"
+        (cd "$perf_tmp" && "$repo_root/target/release/perf_baseline" --quick > /dev/null)
+    }
+    gate_ok=yes
+    for key in sim_cycles_per_sec line_slice8_mib_s; do
+        committed=$(perf_metric BENCH_perf.json "$key")
+        current=$(perf_metric "$perf_tmp/BENCH_perf.json" "$key")
+        if [ -z "$committed" ] || [ -z "$current" ]; then
+            echo "ci: perf gate could not read $key" >&2
+            exit 1
+        fi
+        if awk -v cur="$current" -v base="$committed" 'BEGIN { exit !(cur >= 0.7 * base) }'; then
+            echo "ci: perf $key ok ($current vs committed $committed)"
+        else
+            echo "ci: perf $key low: $current vs committed $committed (>30% drop)"
+            gate_ok=""
+        fi
+    done
+    [ -n "$gate_ok" ] && break
+done
+if [ -z "$gate_ok" ]; then
+    echo "ci: perf regression persisted across 3 attempts" >&2
+    exit 1
+fi
+
 echo "ci: all gates passed"
