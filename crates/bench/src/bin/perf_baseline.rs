@@ -26,7 +26,7 @@
 use apps::driver::{Design, Machine};
 use apps::fio::Pattern;
 use bench::runner::{self, Cell};
-use bench::workloads::{run_fio, Outcome, Scale};
+use bench::workloads::{run_fio, run_fio_threads, Outcome, Scale};
 use memsim::addr::LineAddr;
 use memsim::cache::CacheArray;
 use std::fmt::Write as _;
@@ -97,6 +97,28 @@ fn engine_microbench(ops: u64, runs: usize) -> (u64, f64) {
         best = best.min(wall);
     }
     (cycles, best)
+}
+
+/// One bound-weave scaling point: a 12-instance fio cell at `threads`
+/// engine threads, best wall time of `runs`. Returns (sim_cycles, wall_s,
+/// weave occupancy of the best run). `sim_cycles` must be identical at
+/// every thread count — the caller asserts it.
+fn scaling_point(scale: &Scale, threads: usize, runs: usize) -> (u64, f64, Option<f64>) {
+    let mut best = f64::INFINITY;
+    let mut cycles = 0;
+    let mut occupancy = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let out = run_fio_threads(Design::Tvarak, Pattern::RandWrite, scale, threads)
+            .expect("scaling cell failed");
+        let wall = start.elapsed().as_secs_f64();
+        cycles = out.stats.runtime_cycles();
+        if wall < best {
+            best = wall;
+            occupancy = out.weave.map(|r| r.occupancy());
+        }
+    }
+    (cycles, best, occupancy)
 }
 
 /// Mops/s over `iters` calls of `op`, best of 3 passes.
@@ -181,6 +203,38 @@ fn main() {
     eprintln!("#   cache: tag-scan miss {hot_lookup:.1}, insert-evict {hot_insert:.1} Mops/s");
     eprintln!("#   page store: read_line {hot_read:.1}, write_line {hot_write:.1} Mops/s");
 
+    // Intra-run scaling: a 12-instance fio cell on the full Table III
+    // machine at 1/2/4/8 requested engine threads. `sim_cycles` must be
+    // bit-identical at every width (the bound-weave hard requirement);
+    // wall time and weave occupancy are the tracked telemetry. Note the
+    // engine currently pipelines bound against one weave thread, so the
+    // ideal speedup is 2x regardless of the requested width; on a 1-core
+    // host even that is unreachable and the curve mostly documents the
+    // overhead.
+    let (scaling_ops, scaling_runs) = if quick { (2_048, 2) } else { (16_384, 3) };
+    let mut scaling_scale = Scale::quick();
+    scaling_scale.fio_threads = 12;
+    scaling_scale.fio_region_bytes = 512 * 1024;
+    scaling_scale.fio_ops_per_thread = scaling_ops;
+    eprintln!("# engine scaling (12-instance fio, {scaling_ops} ops/inst, best of {scaling_runs})");
+    let mut scaling: Vec<(usize, f64, Option<f64>)> = Vec::new();
+    let mut scaling_cycles = 0u64;
+    for threads in [1usize, 2, 4, 8] {
+        let (cyc, wall, occ) = scaling_point(&scaling_scale, threads, scaling_runs);
+        if threads == 1 {
+            scaling_cycles = cyc;
+        } else {
+            assert_eq!(
+                cyc, scaling_cycles,
+                "bound-weave sim_cycles diverged from sequential at {threads} threads"
+            );
+        }
+        let occ_str = occ.map_or("-".to_string(), |o| format!("{o:.2}"));
+        eprintln!("#   threads {threads}: {wall:.2}s wall, weave occupancy {occ_str}");
+        scaling.push((threads, wall, occ));
+    }
+    let scaling_base = scaling[0].1;
+
     eprintln!("# cell grid (fio 4 patterns x Baseline/Tvarak, quick scale, --jobs {jobs})");
     let scale = Scale::quick();
     let mut cells: Vec<Cell<Outcome>> = Vec::new();
@@ -200,7 +254,7 @@ fn main() {
     let cells_per_sec = results.len() as f64 / grid_wall.max(1e-9);
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": 2,");
+    let _ = writeln!(json, "  \"schema\": 3,");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"jobs\": {jobs},");
     let _ = writeln!(json, "  \"hw_crc32c\": {hw},");
@@ -219,6 +273,23 @@ fn main() {
     let _ = writeln!(json, "    \"runs\": {engine_runs},");
     let _ = writeln!(json, "    \"wall_s\": {},", json_f(engine_wall));
     let _ = writeln!(json, "    \"sim_cycles_per_sec\": {}", json_f(engine_rate));
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"engine_scaling\": {{");
+    let _ = writeln!(json, "    \"fio_instances\": {},", scaling_scale.fio_threads);
+    let _ = writeln!(json, "    \"ops_per_instance\": {scaling_ops},");
+    let _ = writeln!(json, "    \"sim_cycles\": {scaling_cycles},");
+    let _ = writeln!(json, "    \"points\": [");
+    for (i, (threads, wall, occ)) in scaling.iter().enumerate() {
+        let comma = if i + 1 < scaling.len() { "," } else { "" };
+        let occ_json = occ.map_or("null".to_string(), json_f);
+        let _ = writeln!(
+            json,
+            "      {{\"threads\": {threads}, \"wall_s\": {}, \"speedup\": {}, \"weave_occupancy\": {occ_json}}}{comma}",
+            json_f(*wall),
+            json_f(scaling_base / wall.max(1e-9)),
+        );
+    }
+    let _ = writeln!(json, "    ]");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"hotpath\": {{");
     let _ = writeln!(json, "    \"cache_lookup_miss_mops\": {},", json_f(hot_lookup));

@@ -68,6 +68,8 @@ fn run(
         design: m.design(),
         stats: m.stats(),
         cfg: m.sys.config().clone(),
+        weave: None,
+        content_hash: m.sys.memory().content_hash(),
     })
 }
 

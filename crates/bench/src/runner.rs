@@ -68,6 +68,18 @@ pub fn jobs() -> usize {
     jobs_from(std::env::args().skip(1))
 }
 
+/// Bound-weave engine threads per cell: `MEMSIM_ENGINE_THREADS`, default 1
+/// (pure sequential — the reference oracle). The intra-run analogue of
+/// [`jobs`]'s cross-cell parallelism; results are bit-identical at any
+/// value because diverging cells fall back to the sequential path.
+pub fn engine_threads() -> usize {
+    std::env::var("MEMSIM_ENGINE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
 fn jobs_from(args: impl Iterator<Item = String>) -> usize {
     if let Some(n) = parse_jobs_args(args) {
         return n;

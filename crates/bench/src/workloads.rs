@@ -11,7 +11,7 @@
 use apps::btree::BTree;
 use apps::ctree::CTree;
 use apps::rbtree::RbTree;
-use apps::driver::{AppError, Design, Machine};
+use apps::driver::{AppError, Design, Machine, ThreadedRun};
 use apps::fio::{Fio, Pattern};
 use apps::kv::PersistentKv;
 use apps::nstore::NStore;
@@ -134,6 +134,13 @@ pub struct Outcome {
     pub stats: Stats,
     /// The machine configuration (for energy pricing).
     pub cfg: SystemConfig,
+    /// Bound-weave report when the measured phase ran on the parallel
+    /// engine (`None`: sequential path). Stats are identical either way;
+    /// this only carries wall-clock/occupancy telemetry.
+    pub weave: Option<memsim::weave::WeaveReport>,
+    /// Canonical digest of the final media content, for determinism
+    /// differentials (sequential vs bound-weave, any `--jobs` width).
+    pub content_hash: u64,
 }
 
 /// A design plus machine-parameter overrides: the Fig. 10 way-partition
@@ -238,6 +245,45 @@ fn finish(m: &Machine) -> Outcome {
         design: m.design(),
         stats: m.stats(),
         cfg: m.sys.config().clone(),
+        weave: None,
+        content_hash: m.sys.memory().content_hash(),
+    }
+}
+
+/// Close out a cell whose measured phase ran under
+/// [`apps::driver::run_clocked_threads`]: `None` means the bound-weave
+/// attempt diverged and the whole cell (setup included) must be redone
+/// sequentially.
+fn finish_threaded(m: &Machine, mode: ThreadedRun) -> Option<Outcome> {
+    if matches!(mode, ThreadedRun::Diverged) {
+        return None;
+    }
+    let mut out = finish(m);
+    if let ThreadedRun::Woven(r) = mode {
+        out.weave = Some(r);
+    }
+    Some(out)
+}
+
+/// Run a cell at the requested bound-weave width, falling back to a fresh
+/// sequential run when the parallel attempt diverges, errors, or panics:
+/// any of those may stem from mispredicted fill data, so the attempt is
+/// discarded wholesale and the sequential oracle is authoritative (it
+/// reproduces genuine failures deterministically). `cell(t)` must build the
+/// machine and all application state from scratch each call.
+fn retry_sequential<T>(
+    threads: usize,
+    mut cell: impl FnMut(usize) -> Result<Option<T>, AppError>,
+) -> Result<T, AppError> {
+    if threads >= 2 {
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cell(threads)));
+        if let Ok(Ok(Some(out))) = attempt {
+            return Ok(out);
+        }
+    }
+    match cell(1)? {
+        Some(out) => Ok(out),
+        None => unreachable!("sequential cell cannot diverge"),
     }
 }
 
@@ -266,7 +312,32 @@ impl RedisWorkload {
 ///
 /// Propagates [`AppError`] from the workload.
 pub fn run_redis(v: impl Into<Variant>, wl: RedisWorkload, s: &Scale) -> Result<Outcome, AppError> {
+    run_redis_threads(v, wl, s, crate::runner::engine_threads())
+}
+
+/// [`run_redis`] with an explicit bound-weave engine-thread request (see
+/// `memsim::weave`). Results are bit-identical to `threads == 1`.
+///
+/// # Errors
+///
+/// Propagates [`AppError`] from the workload.
+pub fn run_redis_threads(
+    v: impl Into<Variant>,
+    wl: RedisWorkload,
+    s: &Scale,
+    threads: usize,
+) -> Result<Outcome, AppError> {
     let v = v.into();
+    retry_sequential(threads, |t| redis_cell(&v, wl, s, t))
+}
+
+fn redis_cell(
+    v: &Variant,
+    wl: RedisWorkload,
+    s: &Scale,
+    threads: usize,
+) -> Result<Option<Outcome>, AppError> {
+    let v = v.clone();
     // Entry ≈ 24 B header + value; tables grow to ~2×keys slots.
     let heap_bytes =
         (s.redis_keys * (24 + s.redis_val as u64 + 16) * 2 + s.redis_keys * 64).max(1 << 20);
@@ -299,19 +370,25 @@ pub fn run_redis(v: impl Into<Variant>, wl: RedisWorkload, s: &Scale) -> Result<
     let mut rngs: Vec<Rng> = (0..s.redis_instances)
         .map(|i| Rng::new(0xbeef + i as u64))
         .collect();
-    apps::driver::run_clocked(&mut m, s.redis_instances, s.redis_ops, |m, i, _op| {
-        let key = rngs[i].below(s.redis_keys).wrapping_mul(0x9e37) ^ i as u64;
-        match wl {
-            RedisWorkload::SetOnly => instances[i].set(m, &mut txm, key, &val)?,
-            RedisWorkload::GetOnly => {
-                let mut out = Vec::new();
-                instances[i].get(m, &mut txm, key, &mut out)?;
+    let mode = apps::driver::run_clocked_threads(
+        &mut m,
+        s.redis_instances,
+        s.redis_ops,
+        threads,
+        |m, i, _op| {
+            let key = rngs[i].below(s.redis_keys).wrapping_mul(0x9e37) ^ i as u64;
+            match wl {
+                RedisWorkload::SetOnly => instances[i].set(m, &mut txm, key, &val)?,
+                RedisWorkload::GetOnly => {
+                    let mut out = Vec::new();
+                    instances[i].get(m, &mut txm, key, &mut out)?;
+                }
             }
-        }
-        Ok(())
-    })?;
+            Ok(())
+        },
+    )?;
     m.flush();
-    Ok(finish(&m))
+    Ok(finish_threaded(&m, mode))
 }
 
 /// Which key-value structure (§IV-C).
@@ -393,7 +470,34 @@ pub fn run_kv(
     wl: KvWorkload,
     s: &Scale,
 ) -> Result<Outcome, AppError> {
+    run_kv_threads(v, kind, wl, s, crate::runner::engine_threads())
+}
+
+/// [`run_kv`] with an explicit bound-weave engine-thread request (see
+/// `memsim::weave`). Results are bit-identical to `threads == 1`.
+///
+/// # Errors
+///
+/// Propagates [`AppError`] from the workload.
+pub fn run_kv_threads(
+    v: impl Into<Variant>,
+    kind: KvKind,
+    wl: KvWorkload,
+    s: &Scale,
+    threads: usize,
+) -> Result<Outcome, AppError> {
     let v = v.into();
+    retry_sequential(threads, |t| kv_cell(&v, kind, wl, s, t))
+}
+
+fn kv_cell(
+    v: &Variant,
+    kind: KvKind,
+    wl: KvWorkload,
+    s: &Scale,
+    threads: usize,
+) -> Result<Option<Outcome>, AppError> {
+    let v = v.clone();
     // Upper bound across structures: rbtree nodes are 48 B, btree amortizes
     // ~20 B/key, ctree ~40 B/key (leaf+internal).
     let heap_bytes = (s.kv_keys * 96 + s.kv_ops * 96).max(1 << 20);
@@ -426,26 +530,32 @@ pub fn run_kv(
     let mut rngs: Vec<Rng> = (0..s.kv_instances)
         .map(|i| Rng::new(0xfeed + i as u64))
         .collect();
-    apps::driver::run_clocked(&mut m, s.kv_instances, s.kv_ops, |m, i, op| {
-        match wl {
-            KvWorkload::InsertOnly => {
-                // Fresh keys beyond the preloaded range.
-                let key = (s.kv_keys + op).wrapping_mul(0x9e37_79b9) ^ i as u64;
-                instances[i].insert(m, &mut txm, key, op)?;
-            }
-            _ => {
-                let key = rngs[i].below(s.kv_keys).wrapping_mul(0x9e37);
-                if rngs[i].unit_f64() < wl.update_fraction() {
+    let mode = apps::driver::run_clocked_threads(
+        &mut m,
+        s.kv_instances,
+        s.kv_ops,
+        threads,
+        |m, i, op| {
+            match wl {
+                KvWorkload::InsertOnly => {
+                    // Fresh keys beyond the preloaded range.
+                    let key = (s.kv_keys + op).wrapping_mul(0x9e37_79b9) ^ i as u64;
                     instances[i].insert(m, &mut txm, key, op)?;
-                } else {
-                    instances[i].get(m, key)?;
+                }
+                _ => {
+                    let key = rngs[i].below(s.kv_keys).wrapping_mul(0x9e37);
+                    if rngs[i].unit_f64() < wl.update_fraction() {
+                        instances[i].insert(m, &mut txm, key, op)?;
+                    } else {
+                        instances[i].get(m, key)?;
+                    }
                 }
             }
-        }
-        Ok(())
-    })?;
+            Ok(())
+        },
+    )?;
     m.flush();
-    Ok(finish(&m))
+    Ok(finish_threaded(&m, mode))
 }
 
 /// N-Store YCSB mixes (§IV-D).
@@ -493,7 +603,35 @@ impl NstoreWorkload {
 ///
 /// Propagates [`AppError`] from the workload.
 pub fn run_nstore(v: impl Into<Variant>, wl: NstoreWorkload, s: &Scale) -> Result<Outcome, AppError> {
+    run_nstore_threads(v, wl, s, crate::runner::engine_threads())
+}
+
+/// [`run_nstore`] with an explicit bound-weave engine-thread request (see
+/// `memsim::weave`). Results are bit-identical to `threads == 1`. N-Store
+/// clients share the table and WAL, so parallel attempts typically detect
+/// cache-line sharing and fall back — the knob is still honoured for
+/// uniformity and future sharding.
+///
+/// # Errors
+///
+/// Propagates [`AppError`] from the workload.
+pub fn run_nstore_threads(
+    v: impl Into<Variant>,
+    wl: NstoreWorkload,
+    s: &Scale,
+    threads: usize,
+) -> Result<Outcome, AppError> {
     let v = v.into();
+    retry_sequential(threads, |t| nstore_cell(&v, wl, s, t))
+}
+
+fn nstore_cell(
+    v: &Variant,
+    wl: NstoreWorkload,
+    s: &Scale,
+    threads: usize,
+) -> Result<Option<Outcome>, AppError> {
+    let v = v.clone();
     let wal_bytes = s.nstore_txs * 160 + (1 << 20);
     let data_pages =
         s.nstore_tuples * 64 / PAGE as u64 + wal_bytes / PAGE as u64 + 1500;
@@ -505,22 +643,28 @@ pub fn run_nstore(v: impl Into<Variant>, wl: NstoreWorkload, s: &Scale) -> Resul
         .map(|i| YcsbMix::new(s.nstore_tuples, wl.update_fraction(), 0xace + i as u64))
         .collect();
     let per_client = s.nstore_txs / s.nstore_clients as u64;
-    apps::driver::run_clocked(&mut m, s.nstore_clients, per_client, |m, c, op| {
-        match mixes[c].next_op() {
-            Op::Update(k) => {
-                let payload = [(op ^ k) as u8; 64];
-                store.update(m, &mut txm, c, k, &payload)?;
+    let mode = apps::driver::run_clocked_threads(
+        &mut m,
+        s.nstore_clients,
+        per_client,
+        threads,
+        |m, c, op| {
+            match mixes[c].next_op() {
+                Op::Update(k) => {
+                    let payload = [(op ^ k) as u8; 64];
+                    store.update(m, &mut txm, c, k, &payload)?;
+                }
+                Op::Read(k) => {
+                    store.read(m, c, k)?;
+                }
+                // YcsbMix emits only reads and updates.
+                _ => unreachable!("unexpected YCSB op"),
             }
-            Op::Read(k) => {
-                store.read(m, c, k)?;
-            }
-            // YcsbMix emits only reads and updates.
-            _ => unreachable!("unexpected YCSB op"),
-        }
-        Ok(())
-    })?;
+            Ok(())
+        },
+    )?;
     m.flush();
-    Ok(finish(&m))
+    Ok(finish_threaded(&m, mode))
 }
 
 /// Run an fio workload (Fig. 8(m–p) cells).
@@ -529,7 +673,32 @@ pub fn run_nstore(v: impl Into<Variant>, wl: NstoreWorkload, s: &Scale) -> Resul
 ///
 /// Propagates [`AppError`] from the workload.
 pub fn run_fio(v: impl Into<Variant>, pattern: Pattern, s: &Scale) -> Result<Outcome, AppError> {
+    run_fio_threads(v, pattern, s, crate::runner::engine_threads())
+}
+
+/// [`run_fio`] with an explicit bound-weave engine-thread request (see
+/// `memsim::weave`). Results are bit-identical to `threads == 1`.
+///
+/// # Errors
+///
+/// Propagates [`AppError`] from the workload.
+pub fn run_fio_threads(
+    v: impl Into<Variant>,
+    pattern: Pattern,
+    s: &Scale,
+    threads: usize,
+) -> Result<Outcome, AppError> {
     let v = v.into();
+    retry_sequential(threads, |t| fio_cell(&v, pattern, s, t))
+}
+
+fn fio_cell(
+    v: &Variant,
+    pattern: Pattern,
+    s: &Scale,
+    threads: usize,
+) -> Result<Option<Outcome>, AppError> {
+    let v = v.clone();
     let data_pages = s.fio_region_bytes / PAGE as u64 * s.fio_threads as u64 + 1024;
     let mut m = machine(v.clone(), data_pages);
     let mut fio = Fio::create(&mut m, s.fio_threads, s.fio_region_bytes)?;
@@ -539,11 +708,15 @@ pub fn run_fio(v: impl Into<Variant>, pattern: Pattern, s: &Scale) -> Result<Out
         _ => Some(m.tx_manager(64 * 1024)?),
     };
     m.reset_stats();
-    apps::driver::run_clocked(&mut m, s.fio_threads, s.fio_ops_per_thread, |m, t, i| {
-        fio.op(m, txm.as_mut(), t, pattern, i)
-    })?;
+    let mode = apps::driver::run_clocked_threads(
+        &mut m,
+        s.fio_threads,
+        s.fio_ops_per_thread,
+        threads,
+        |m, t, i| fio.op(m, txm.as_mut(), t, pattern, i),
+    )?;
     m.flush();
-    Ok(finish(&m))
+    Ok(finish_threaded(&m, mode))
 }
 
 /// Run one stream kernel (Fig. 8(q–t) cells).
@@ -552,7 +725,32 @@ pub fn run_fio(v: impl Into<Variant>, pattern: Pattern, s: &Scale) -> Result<Out
 ///
 /// Propagates [`AppError`] from the workload.
 pub fn run_stream(v: impl Into<Variant>, kernel: Kernel, s: &Scale) -> Result<Outcome, AppError> {
+    run_stream_threads(v, kernel, s, crate::runner::engine_threads())
+}
+
+/// [`run_stream`] with an explicit bound-weave engine-thread request (see
+/// `memsim::weave`). Results are bit-identical to `threads == 1`.
+///
+/// # Errors
+///
+/// Propagates [`AppError`] from the workload.
+pub fn run_stream_threads(
+    v: impl Into<Variant>,
+    kernel: Kernel,
+    s: &Scale,
+    threads: usize,
+) -> Result<Outcome, AppError> {
     let v = v.into();
+    retry_sequential(threads, |t| stream_cell(&v, kernel, s, t))
+}
+
+fn stream_cell(
+    v: &Variant,
+    kernel: Kernel,
+    s: &Scale,
+    threads: usize,
+) -> Result<Option<Outcome>, AppError> {
+    let v = v.clone();
     let data_pages = 3 * s.stream_array_bytes / PAGE as u64 + 1024;
     let mut m = machine(v.clone(), data_pages);
     let mut st = Stream::create(&mut m, s.stream_threads, s.stream_array_bytes)?;
@@ -564,9 +762,9 @@ pub fn run_stream(v: impl Into<Variant>, kernel: Kernel, s: &Scale) -> Result<Ou
     m.flush();
     m.reset_stats();
     let lines = st.lines_per_thread();
-    apps::driver::run_clocked(&mut m, s.stream_threads, lines, |m, t, i| {
+    let mode = apps::driver::run_clocked_threads(&mut m, s.stream_threads, lines, threads, |m, t, i| {
         st.op(m, txm.as_mut(), t, kernel, i)
     })?;
     m.flush();
-    Ok(finish(&m))
+    Ok(finish_threaded(&m, mode))
 }

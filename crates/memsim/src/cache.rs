@@ -516,6 +516,28 @@ impl CacheArray {
         }
     }
 
+    /// Visit every valid line in `ways` without disturbing any state (no
+    /// LRU ticks, no invalidation) — set-major, way-minor order. Used to
+    /// seed the bound phase's dirty-line overlay ([`crate::weave`]).
+    pub fn for_each_valid(
+        &self,
+        ways: Range<usize>,
+        mut f: impl FnMut(LineAddr, bool, &[u8; CACHE_LINE]),
+    ) {
+        for set in 0..self.sets {
+            for way in ways.clone() {
+                let idx = self.slot(set, way);
+                if self.lines[idx] != INVALID_LINE {
+                    f(
+                        LineAddr(self.lines[idx]),
+                        self.flags[idx] & FLAG_DIRTY != 0,
+                        &self.data[idx],
+                    );
+                }
+            }
+        }
+    }
+
     /// Count valid lines in `ways`.
     pub fn occupancy(&self, ways: Range<usize>) -> usize {
         let mut n = 0;

@@ -596,12 +596,20 @@ pub struct System {
     clocks: Vec<u64>,
     dimms: Vec<DimmState>,
     counters: Counters,
-    hooks: Box<dyn RedundancyHooks>,
+    hooks: Box<dyn RedundancyHooks + Send>,
     red_region: Option<RedundancyRegion>,
     scrub_accounting: bool,
     crash: CrashState,
     /// Victim buffer reused across [`System::flush`] calls (see `flush`).
     flush_scratch: Vec<Evicted>,
+    /// Bound-phase context while a bound-weave session is active (see
+    /// [`crate::weave`]): shared-state accesses are predicted locally and
+    /// emitted as events instead of touching the (moved-out) LLC/memory.
+    bound: Option<crate::weave::BoundCtx>,
+    /// Set when replay discovers the bound phase's single-owner assumption
+    /// was wrong (cross-core sharing, inclusion back-invalidation, …); the
+    /// whole run is discarded and redone on the sequential oracle.
+    weave_divergence: bool,
 }
 
 impl fmt::Debug for System {
@@ -620,7 +628,7 @@ impl System {
     /// # Panics
     ///
     /// Panics if `cfg` is inconsistent (see [`SystemConfig::validate`]).
-    pub fn new(cfg: SystemConfig, hooks: Box<dyn RedundancyHooks>) -> Self {
+    pub fn new(cfg: SystemConfig, hooks: Box<dyn RedundancyHooks + Send>) -> Self {
         cfg.validate();
         let cores = (0..cfg.cores)
             .map(|_| PrivCaches {
@@ -647,6 +655,8 @@ impl System {
             scrub_accounting: false,
             crash: CrashState::default(),
             flush_scratch: Vec::new(),
+            bound: None,
+            weave_divergence: false,
         }
     }
 
@@ -685,13 +695,27 @@ impl System {
         self.cfg.cores
     }
 
+    /// Assert that no bound-weave session is active: during the bound phase
+    /// the LLC, memory, DIMMs, and hooks live on the weave thread, so any
+    /// path that needs them whole must not run (see [`crate::weave`]).
+    #[inline]
+    fn assert_unbound(&self, what: &str) {
+        assert!(
+            self.bound.is_none(),
+            "System::{what} is not available during the bound phase of a \
+             bound-weave session"
+        );
+    }
+
     /// Direct access to the memory devices (fault injection, ground truth).
     pub fn memory_mut(&mut self) -> &mut Memory {
+        self.assert_unbound("memory_mut");
         &mut self.mem
     }
 
     /// Shared access to the memory devices.
     pub fn memory(&self) -> &Memory {
+        self.assert_unbound("memory");
         &self.mem
     }
 
@@ -707,6 +731,7 @@ impl System {
         &mut self,
         f: impl FnOnce(&mut dyn RedundancyHooks, &mut HookEnv<'_>) -> T,
     ) -> T {
+        self.assert_unbound("with_hooks_env");
         let mut env = HookEnv {
             cfg: &self.cfg,
             mem: &mut self.mem,
@@ -739,6 +764,7 @@ impl System {
 
     /// Synchronize all core clocks to the maximum (a barrier).
     pub fn barrier(&mut self) {
+        self.assert_unbound("barrier");
         let m = self.clocks.iter().copied().max().unwrap_or(0);
         for c in &mut self.clocks {
             *c = m;
@@ -749,6 +775,7 @@ impl System {
     /// call this after warmup/setup so measurements cover only the timed
     /// phase.
     pub fn reset_stats(&mut self) {
+        self.assert_unbound("reset_stats");
         self.counters = Counters::default();
         for c in &mut self.clocks {
             *c = 0;
@@ -765,6 +792,7 @@ impl System {
 
     /// Snapshot statistics.
     pub fn stats(&self) -> Stats {
+        self.assert_unbound("stats");
         // Fold every cache array's eviction digest in a fixed order (per
         // core: L1D then L2, then the LLC banks) so the combined value is a
         // stable fingerprint of all victim choices made since construction.
@@ -893,14 +921,77 @@ impl System {
         self.clocks[core] += self.cfg.l2.latency_cycles;
 
         // LLC.
+        if self.bound.is_some() {
+            // Bound phase: predict the fill locally, emit the event, and
+            // grant exclusivity outright (the weave replay verifies both).
+            let data = self.bound_fill(core, line, for_write);
+            self.fill_l2(core, line, &data, true);
+            return Ok(self.fill_l1(core, line, &data, true));
+        }
         let (data, excl) = self.llc_access(core, line, for_write)?;
         self.fill_l2(core, line, &data, excl);
         Ok(self.fill_l1(core, line, &data, excl))
     }
 
+    /// Bound-phase fill: sequential execution would walk the shared LLC and
+    /// (on a miss) the NVM here. Instead, predict the data the walk would
+    /// return — the dirty-line overlay ∪ the media snapshot is exactly the
+    /// LLC-or-media content for every line not privately dirty elsewhere —
+    /// and emit a [`crate::weave::Event::Fill`] carrying the prediction for
+    /// the weave thread to verify against the real walk.
+    ///
+    /// The prediction (and the granted exclusivity) is wrong exactly when
+    /// some *other* core still caches the line privately, so probe every
+    /// other core's L1/L2 first (probes mutate nothing) and flag divergence
+    /// on any foreign copy. Bound order equals sequential order, so the
+    /// probe sees precisely the private state sequential execution would
+    /// consult through the directory.
+    fn bound_fill(&mut self, core: usize, line: LineAddr, for_write: bool) -> [u8; CACHE_LINE] {
+        let mut foreign = false;
+        for other in 0..self.cfg.cores {
+            if other != core
+                && (self.cores[other]
+                    .l1d
+                    .probe(line, 0..self.cfg.l1d.ways)
+                    .is_some()
+                    || self.cores[other].l2.probe(line, 0..self.cfg.l2.ways).is_some())
+            {
+                foreign = true;
+            }
+        }
+        let ts = self.clocks[core];
+        let b = self.bound.as_mut().expect("bound_fill outside bound phase");
+        if foreign {
+            b.flag_divergence();
+        }
+        let predicted = b.predict(line);
+        b.send(crate::weave::Event::Fill {
+            core,
+            line,
+            for_write,
+            ts,
+            predicted,
+        });
+        predicted
+    }
+
     /// Write-permission upgrade for a line the core already caches shared:
     /// probe the LLC directory, invalidate other sharers, take ownership.
     fn upgrade_for_write(&mut self, core: usize, line: LineAddr) {
+        if let Some(b) = self.bound.as_ref() {
+            // A shared (non-exclusive) private copy predates the bound
+            // phase; sequential execution would negotiate ownership through
+            // the LLC directory, which the bound phase cannot see. Grant
+            // exclusivity benignly and bail to the sequential oracle.
+            b.flag_divergence();
+            if let Some(mut e) = self.cores[core].l1d.lookup(line, 0..self.cfg.l1d.ways) {
+                e.set_excl(true);
+            }
+            if let Some(mut e) = self.cores[core].l2.lookup(line, 0..self.cfg.l2.ways) {
+                e.set_excl(true);
+            }
+            return;
+        }
         self.clocks[core] += self.cfg.l2.latency_cycles + self.cfg.llc.latency_cycles;
         self.counters.llc_hits += 1;
         let bank = self.bank_of(line);
@@ -1158,6 +1249,15 @@ impl System {
     /// Remove `line` from `core`'s L1 and L2, returning the newest private
     /// data and whether it was dirty.
     fn priv_invalidate(&mut self, core: usize, line: LineAddr) -> Option<([u8; CACHE_LINE], bool)> {
+        if self.cores.is_empty() {
+            // Weave-side replay: the private caches live on the bound
+            // thread, so a back-invalidation here (remote-owner pull,
+            // cross-core sharer shootdown, or an inclusion victim still
+            // held privately) cannot be applied. Flag divergence; the run
+            // is redone on the sequential oracle.
+            self.weave_divergence = true;
+            return None;
+        }
         let l1 = self.cores[core].l1d.invalidate(line, 0..self.cfg.l1d.ways);
         let l2 = self.cores[core].l2.invalidate(line, 0..self.cfg.l2.ways);
         match (l1, l2) {
@@ -1219,6 +1319,24 @@ impl System {
     /// LLC copy, firing the clean→dirty diff-capture hook when appropriate,
     /// and clear this core's directory presence.
     fn spill_to_llc(&mut self, core: usize, line: LineAddr, data: &[u8; CACHE_LINE], dirty: bool) {
+        if let Some(b) = self.bound.as_mut() {
+            // Bound phase: a dirty spill makes the LLC copy the line's
+            // newest below-private content, so the fill-prediction overlay
+            // must learn it; clean spills leave content untouched but still
+            // clear the directory presence bit, so every spill is replayed.
+            let ts = self.clocks[core];
+            if dirty {
+                b.overlay_insert(line, *data);
+            }
+            b.send(crate::weave::Event::Spill {
+                core,
+                line,
+                data: *data,
+                dirty,
+                ts,
+            });
+            return;
+        }
         let bank = self.bank_of(line);
         let ways = self.data_ways();
         let found = self.llc[bank].lookup_idx(line, ways);
@@ -1278,6 +1396,7 @@ impl System {
     /// redundancy state. Counters and energy are accounted; core clocks are
     /// not advanced (see DESIGN.md §6 "Timing model").
     pub fn flush(&mut self) {
+        self.assert_unbound("flush");
         // One victim buffer reused across every drain below — and across
         // *flushes*: flushes run between measured phases and every
         // FLUSH_EVERY ops in the chaos campaign, so even one `Vec`
@@ -1375,6 +1494,14 @@ impl System {
         self.crash.suppressed
     }
 
+    /// Whether a crash-window media-write budget is currently armed
+    /// (bound-weave eligibility check: an armed budget means this run exists
+    /// to reproduce a precise crash image, so it stays on the sequential
+    /// oracle).
+    pub fn crash_armed(&self) -> bool {
+        self.crash.budget.is_some()
+    }
+
     /// Disarm the crash budget (subsequent writes reach the media again).
     /// Event counts are preserved. The recovery phase runs after this.
     pub fn crash_disarm(&mut self) {
@@ -1409,7 +1536,6 @@ impl System {
     /// redundancy writeback hook as usual. A fully clean (or uncached) line
     /// is a no-op. Charges one LLC access of latency to `core`.
     pub fn clwb(&mut self, core: usize, line: LineAddr) {
-        self.clocks[core] += self.cfg.llc.latency_cycles;
         // Sweep private caches: collect the newest dirty copy (MESI permits
         // at most one) and mark every copy clean. When the L1 holds the
         // dirty copy, the same core's L2 may hold a stale clean one — it
@@ -1441,6 +1567,39 @@ impl System {
                 private_newest = Some(d);
             }
         }
+        if let Some(b) = self.bound.as_mut() {
+            // Bound phase: the private sweep above is clock-independent and
+            // already done; the shared half (LLC latency, LLC refresh, the
+            // posted media write and its redundancy hook) replays on the
+            // weave thread. After a clwb the line's below-private content is
+            // the swept value, so the overlay learns it.
+            let ts = self.clocks[core];
+            if let Some(d) = private_newest {
+                b.overlay_insert(line, d);
+            }
+            b.send(crate::weave::Event::Clwb {
+                core,
+                line,
+                newest: private_newest,
+                ts,
+            });
+            return;
+        }
+        self.clwb_shared(core, line, private_newest);
+    }
+
+    /// The shared half of [`Self::clwb`]: charge the LLC access, refresh or
+    /// clean the LLC copy, and post the newest content to memory. Runs
+    /// inline sequentially and on the weave thread under bound-weave. The
+    /// latency charge moved here from the head of `clwb` — the private sweep
+    /// never reads clocks, so the final state is identical.
+    pub(crate) fn clwb_shared(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        private_newest: Option<[u8; CACHE_LINE]>,
+    ) {
+        self.clocks[core] += self.cfg.llc.latency_cycles;
         let bank = self.bank_of(line);
         let ways = self.data_ways();
         let mut to_write: Option<[u8; CACHE_LINE]> = None;
@@ -1479,6 +1638,7 @@ impl System {
     /// after a detected corruption, before parity recovery repairs the
     /// media).
     pub fn invalidate_page(&mut self, page: PageNum) {
+        self.assert_unbound("invalidate_page");
         for i in 0..LINES_PER_PAGE {
             let line = page.line(i);
             for core in 0..self.cfg.cores {
@@ -1489,6 +1649,158 @@ impl System {
             let ways = self.data_ways();
             self.llc[bank].invalidate(line, ways);
         }
+    }
+
+    /// Enter the bound phase of a bound-weave session (see [`crate::weave`]
+    /// for the architecture and the determinism argument).
+    ///
+    /// The shared state — LLC banks, memory devices, DIMM bandwidth model,
+    /// redundancy hooks, crash window, and the shared-side counters — moves
+    /// onto a freshly spawned weave thread wrapped in a skeleton `System`
+    /// (no cores: its `priv_invalidate` flags divergence instead). This
+    /// system keeps the private caches and runs the application; every
+    /// shared access is predicted from a dirty-line overlay ∪ media snapshot
+    /// and emitted as an event the weave thread replays, verifies, and
+    /// times.
+    ///
+    /// Call [`Self::weave_end`] to close the session and fold the shared
+    /// state (and corrected clocks) back in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a session is already active.
+    pub fn weave_begin(&mut self) -> crate::weave::WeaveSession {
+        assert!(self.bound.is_none(), "bound-weave session already active");
+        // Predict fills from LLC-or-media content: for every line not
+        // privately dirty, a clean LLC copy equals the media and a clean
+        // private copy equals the LLC copy, so seeding the overlay with the
+        // *dirty* lines only (LLC data ways, then per-core L2 then L1 so
+        // newer levels override) makes overlay ∪ snapshot exact.
+        let snapshot = self.mem.snapshot();
+        let mut overlay = crate::hash::FxHashMap::default();
+        let data_ways = self.data_ways();
+        for bank in &self.llc {
+            bank.for_each_valid(data_ways.clone(), |line, dirty, data| {
+                if dirty {
+                    overlay.insert(line.0, *data);
+                }
+            });
+        }
+        for core in &self.cores {
+            core.l2.for_each_valid(0..self.cfg.l2.ways, |line, dirty, data| {
+                if dirty {
+                    overlay.insert(line.0, *data);
+                }
+            });
+            core.l1d.for_each_valid(0..self.cfg.l1d.ways, |line, dirty, data| {
+                if dirty {
+                    overlay.insert(line.0, *data);
+                }
+            });
+        }
+        let weave_sys = System {
+            cfg: self.cfg.clone(),
+            cores: Vec::new(),
+            llc: std::mem::take(&mut self.llc),
+            mem: std::mem::replace(&mut self.mem, Memory::new(self.cfg.nvm.dimms)),
+            clocks: self.clocks.clone(),
+            dimms: std::mem::take(&mut self.dimms),
+            counters: std::mem::take(&mut self.counters),
+            hooks: std::mem::replace(&mut self.hooks, Box::new(NullHooks)),
+            red_region: self.red_region,
+            scrub_accounting: self.scrub_accounting,
+            crash: std::mem::take(&mut self.crash),
+            flush_scratch: Vec::new(),
+            bound: None,
+            weave_divergence: false,
+        };
+        let (session, ctx) = crate::weave::WeaveSession::spawn(weave_sys, self.cfg.cores, snapshot, overlay);
+        self.bound = Some(ctx);
+        self.weave_divergence = false;
+        session
+    }
+
+    /// Close a bound-weave session: drop the event channel (the weave
+    /// thread drains and exits), join it, move the shared state back into
+    /// this system, correct every core clock by its final stall offset, and
+    /// sum the bound-side counters (private-cache hits/misses, instruction
+    /// fetches) with the weave-side ones.
+    ///
+    /// If the returned report says the session diverged, this system's
+    /// state is unspecified beyond being safe to drop — discard it and
+    /// rerun the cell on the sequential oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no session is active.
+    pub fn weave_end(&mut self, session: crate::weave::WeaveSession) -> crate::weave::WeaveReport {
+        let ctx = self.bound.take().expect("no bound-weave session active");
+        drop(ctx); // closes the event channel; the weave thread exits
+        let (weave_sys, stalls, report) = session.join();
+        let bound_counters = std::mem::replace(&mut self.counters, weave_sys.counters);
+        self.counters += bound_counters;
+        self.llc = weave_sys.llc;
+        self.mem = weave_sys.mem;
+        self.dimms = weave_sys.dimms;
+        self.hooks = weave_sys.hooks;
+        self.crash = weave_sys.crash;
+        for (clock, stall) in self.clocks.iter_mut().zip(stalls) {
+            *clock += stall;
+        }
+        self.weave_divergence = false;
+        report
+    }
+
+    /// Replay one bound-phase event on the weave side: reconstruct the true
+    /// core clock from the event's bound-local timestamp plus the core's
+    /// accumulated stall offset, apply the shared-state operation exactly as
+    /// sequential execution would, and fold the newly charged shared cycles
+    /// back into the stall offset. Returns `true` while the replay is
+    /// consistent with the bound phase's predictions.
+    pub(crate) fn weave_apply(&mut self, ev: crate::weave::Event, stall: &mut u64) -> bool {
+        use crate::weave::Event;
+        match ev {
+            Event::Fill {
+                core,
+                line,
+                for_write,
+                ts,
+                predicted,
+            } => {
+                self.clocks[core] = ts + *stall;
+                match self.llc_access(core, line, for_write) {
+                    Ok((data, excl)) => {
+                        if data != predicted || !excl {
+                            self.weave_divergence = true;
+                        }
+                    }
+                    Err(_) => self.weave_divergence = true,
+                }
+                *stall = self.clocks[core] - ts;
+            }
+            Event::Spill {
+                core,
+                line,
+                data,
+                dirty,
+                ts,
+            } => {
+                self.clocks[core] = ts + *stall;
+                self.spill_to_llc(core, line, &data, dirty);
+                *stall = self.clocks[core] - ts;
+            }
+            Event::Clwb {
+                core,
+                line,
+                newest,
+                ts,
+            } => {
+                self.clocks[core] = ts + *stall;
+                self.clwb_shared(core, line, newest);
+                *stall = self.clocks[core] - ts;
+            }
+        }
+        !self.weave_divergence
     }
 }
 

@@ -37,6 +37,7 @@ pub mod hash;
 pub mod mem;
 pub mod stats;
 pub mod trace;
+pub mod weave;
 
 pub use addr::{LineAddr, PageNum, PhysAddr, CACHE_LINE, LINES_PER_PAGE, NVM_BASE, PAGE};
 pub use config::SystemConfig;

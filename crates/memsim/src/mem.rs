@@ -295,6 +295,17 @@ impl Memory {
         n
     }
 
+    /// Snapshot the current media content for bound-phase data prediction
+    /// (see [`crate::weave`]). The snapshot is immutable and read-only: the
+    /// bound thread predicts NVM fill data from it (plus its dirty-line
+    /// overlay) while the weave thread owns the live `Memory`.
+    pub fn snapshot(&self) -> MemSnapshot {
+        MemSnapshot {
+            index: self.index.clone(),
+            arena: self.arena.clone(),
+        }
+    }
+
     /// Canonical FNV-1a digest of the entire media content. All-zero pages
     /// hash the same whether materialized or absent (unwritten pages read as
     /// zeros), so two memories with equal *logical* content digest equally —
@@ -316,6 +327,30 @@ impl Memory {
             mix(&page[..]);
         }
         h
+    }
+}
+
+/// An immutable copy of the media content at one instant, used by the
+/// bound phase of bound-weave execution ([`crate::weave`]): the bound thread
+/// predicts what an NVM fill will return without touching the live
+/// [`Memory`]. Fault-free by construction — bound-weave is only eligible
+/// when no firmware faults are armed.
+#[derive(Debug, Clone)]
+pub struct MemSnapshot {
+    index: FxHashMap<u64, u32>,
+    arena: Vec<[u8; PAGE]>,
+}
+
+impl MemSnapshot {
+    /// Read a line from the snapshot (zeros for never-written pages),
+    /// mirroring [`Memory::peek_line`].
+    pub fn read_line(&self, line: LineAddr) -> [u8; CACHE_LINE] {
+        let mut out = [0u8; CACHE_LINE];
+        if let Some(&slot) = self.index.get(&line.page().0) {
+            let off = line.index_in_page() * CACHE_LINE;
+            out.copy_from_slice(&self.arena[slot as usize][off..off + CACHE_LINE]);
+        }
+        out
     }
 }
 

@@ -1,0 +1,295 @@
+//! Bound-weave parallel execution (zsim-style) for [`crate::engine::System`].
+//!
+//! Sequential simulation interleaves private-cache work (L1/L2 hits, the
+//! vast majority of accesses) with shared-state work (LLC, redundancy hooks,
+//! NVM devices and DIMM timing) on one thread. Bound-weave splits them:
+//!
+//! - **Bound phase** (caller's thread): the application instances run against
+//!   their private L1/L2 only. Every shared-state access — an LLC fill, a
+//!   private-cache spill, a `clwb` reaching the LLC — is *predicted* from a
+//!   dirty-line overlay ∪ media snapshot and emitted as an [`Event`] carrying
+//!   the core's bound-local timestamp.
+//! - **Weave phase** (one dedicated thread): events are replayed against the
+//!   real shared state in emission order. For each event the true core clock
+//!   is reconstructed as `bound_local_ts + stall_offset[core]`, the operation
+//!   is applied exactly as sequential execution would apply it, and the newly
+//!   charged shared-state cycles are folded back into the core's stall
+//!   offset, published for the bound-side scheduler to read.
+//!
+//! # Determinism
+//!
+//! The bound-side scheduler (see `apps::driver`) only advances the instance
+//! that the sequential clock-driven scheduler would have picked, using
+//! published stall offsets that are *exact* (all of that core's events woven)
+//! for the candidate and monotone lower bounds for its competitors. Events
+//! are therefore emitted in exactly the sequential shared-access order, and
+//! the weave thread replays them in that order against state that only it
+//! mutates — so every LLC eviction, hook invocation, DIMM queue transition,
+//! and stall cycle is bit-identical to the sequential oracle, at any thread
+//! count. If a prediction is ever wrong (private-cache sharing between
+//! instances, an exclusivity upgrade, a hook fault), the session flags
+//! *divergence* and the caller reruns the cell sequentially — correctness
+//! never depends on the predictions, only the speedup does.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::addr::{LineAddr, CACHE_LINE};
+use crate::engine::System;
+use crate::hash::FxHashMap;
+use crate::mem::MemSnapshot;
+
+/// One shared-state access emitted by the bound phase, replayed by the
+/// weave thread in emission order.
+#[derive(Debug)]
+pub(crate) enum Event {
+    /// A private-cache miss that must be served by the LLC/NVM.
+    /// `predicted` is what the bound phase told the application the line
+    /// contains; the weave replay verifies it.
+    Fill {
+        /// Requesting core.
+        core: usize,
+        /// Line being filled.
+        line: LineAddr,
+        /// Whether the access wants write (exclusive) permission.
+        for_write: bool,
+        /// Bound-local clock of `core` at emission.
+        ts: u64,
+        /// Line content served to the application by the bound phase.
+        predicted: [u8; CACHE_LINE],
+    },
+    /// A line evicted from a private cache into the LLC (clean spills are
+    /// replayed too: they clear LLC sharer bits).
+    Spill {
+        /// Evicting core.
+        core: usize,
+        /// Line being spilled.
+        line: LineAddr,
+        /// Line content.
+        data: [u8; CACHE_LINE],
+        /// Whether the private copy was dirty.
+        dirty: bool,
+        /// Bound-local clock of `core` at emission.
+        ts: u64,
+    },
+    /// The shared-side half of a `clwb`: the private sweep already ran on
+    /// the bound thread; `newest` carries the freshest private copy (if any)
+    /// for the LLC/NVM writeback.
+    Clwb {
+        /// Flushing core.
+        core: usize,
+        /// Line being flushed.
+        line: LineAddr,
+        /// Freshest dirty private copy found by the bound-side sweep.
+        newest: Option<[u8; CACHE_LINE]>,
+        /// Bound-local clock of `core` at emission.
+        ts: u64,
+    },
+}
+
+impl Event {
+    /// The core this event charges cycles to.
+    pub(crate) fn core(&self) -> usize {
+        match self {
+            Event::Fill { core, .. } | Event::Spill { core, .. } | Event::Clwb { core, .. } => *core,
+        }
+    }
+}
+
+/// Bound-phase state owned by the [`System`] while a session is active:
+/// the event channel, the fill predictor (overlay ∪ snapshot), and the
+/// shared atomics used to publish divergence back to the scheduler.
+#[derive(Debug)]
+pub(crate) struct BoundCtx {
+    tx: Sender<Event>,
+    /// Freshest content of every line that is dirty somewhere in the
+    /// hierarchy, keyed by raw line address. Lines absent here are clean
+    /// everywhere, so the media snapshot is exact for them.
+    overlay: FxHashMap<u64, [u8; CACHE_LINE]>,
+    snapshot: MemSnapshot,
+    unwoven: Arc<Vec<AtomicUsize>>,
+    diverged: Arc<AtomicBool>,
+}
+
+impl BoundCtx {
+    /// Predict the content an LLC/NVM fill of `line` will return.
+    pub(crate) fn predict(&self, line: LineAddr) -> [u8; CACHE_LINE] {
+        match self.overlay.get(&line.0) {
+            Some(d) => *d,
+            None => self.snapshot.read_line(line),
+        }
+    }
+
+    /// Record the freshest dirty content of `line` (on spill or clwb) so
+    /// later fills predict it.
+    pub(crate) fn overlay_insert(&mut self, line: LineAddr, data: [u8; CACHE_LINE]) {
+        self.overlay.insert(line.0, data);
+    }
+
+    /// Emit an event to the weave thread. The unwoven counter is bumped
+    /// *before* the send so the scheduler can never observe the event as
+    /// woven while it is still in flight.
+    pub(crate) fn send(&self, ev: Event) {
+        let core = ev.core();
+        self.unwoven[core].fetch_add(1, Ordering::Relaxed);
+        if self.tx.send(ev).is_err() {
+            // Weave thread is gone (panic); undo the bump so the scheduler
+            // does not wait forever for exactness, and flag divergence so it
+            // stops and the caller falls back to the sequential oracle.
+            self.unwoven[core].fetch_sub(1, Ordering::Relaxed);
+            self.diverged.store(true, Ordering::Release);
+        }
+    }
+
+    /// Flag bound-side divergence (private-cache sharing, write upgrade).
+    pub(crate) fn flag_divergence(&self) {
+        self.diverged.store(true, Ordering::Release);
+    }
+}
+
+/// Handle to a running weave thread, returned by
+/// [`System::weave_begin`](crate::engine::System::weave_begin). The
+/// bound-side scheduler polls [`Self::core_view`] and [`Self::diverged`];
+/// [`System::weave_end`](crate::engine::System::weave_end) consumes it.
+pub struct WeaveSession {
+    handle: JoinHandle<(System, Vec<u64>, WeaveReport)>,
+    unwoven: Arc<Vec<AtomicUsize>>,
+    stall_offs: Arc<Vec<AtomicU64>>,
+    diverged: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for WeaveSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WeaveSession")
+            .field("diverged", &self.diverged.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl WeaveSession {
+    /// Spawn the weave thread over the moved-out shared-state system and
+    /// return the session handle plus the bound-phase context the live
+    /// system keeps.
+    pub(crate) fn spawn(
+        mut sys: System,
+        cores: usize,
+        snapshot: MemSnapshot,
+        overlay: FxHashMap<u64, [u8; CACHE_LINE]>,
+    ) -> (WeaveSession, BoundCtx) {
+        let (tx, rx): (Sender<Event>, Receiver<Event>) = std::sync::mpsc::channel();
+        let unwoven: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..cores).map(|_| AtomicUsize::new(0)).collect());
+        let stall_offs: Arc<Vec<AtomicU64>> =
+            Arc::new((0..cores).map(|_| AtomicU64::new(0)).collect());
+        let diverged = Arc::new(AtomicBool::new(false));
+
+        let t_unwoven = Arc::clone(&unwoven);
+        let t_stall = Arc::clone(&stall_offs);
+        let t_diverged = Arc::clone(&diverged);
+        let handle = std::thread::spawn(move || {
+            let mut stall = vec![0u64; cores];
+            let mut report = WeaveReport {
+                diverged: false,
+                events: 0,
+                busy_s: 0.0,
+                wall_s: 0.0,
+            };
+            let start = Instant::now();
+            let mut busy = Duration::ZERO;
+            for ev in rx {
+                let core = ev.core();
+                report.events += 1;
+                if !report.diverged {
+                    let t0 = Instant::now();
+                    let ok = sys.weave_apply(ev, &mut stall[core]);
+                    busy += t0.elapsed();
+                    if !ok {
+                        report.diverged = true;
+                        t_diverged.store(true, Ordering::Release);
+                    }
+                }
+                // Publish the stall offset before marking the event woven:
+                // a scheduler that observes unwoven == 0 (Acquire) is then
+                // guaranteed to read a stall offset at least this fresh.
+                t_stall[core].store(stall[core], Ordering::Release);
+                t_unwoven[core].fetch_sub(1, Ordering::Release);
+            }
+            report.busy_s = busy.as_secs_f64();
+            report.wall_s = start.elapsed().as_secs_f64();
+            (sys, stall, report)
+        });
+
+        let ctx = BoundCtx {
+            tx,
+            overlay,
+            snapshot,
+            unwoven: Arc::clone(&unwoven),
+            diverged: Arc::clone(&diverged),
+        };
+        (
+            WeaveSession {
+                handle,
+                unwoven,
+                stall_offs,
+                diverged,
+            },
+            ctx,
+        )
+    }
+
+    /// Whether the session has diverged from the sequential oracle
+    /// (bound-side sharing detected, or weave-side replay mismatch). Once
+    /// true, the caller should stop scheduling, end the session, and rerun
+    /// the cell sequentially.
+    pub fn diverged(&self) -> bool {
+        self.diverged.load(Ordering::Acquire)
+    }
+
+    /// Snapshot one core's published stall offset and whether it is
+    /// *exact* (every event that core emitted has been woven). When not
+    /// exact, the returned offset is still a valid monotone lower bound on
+    /// the true offset, because weave replay only ever adds stall cycles.
+    pub fn core_view(&self, core: usize) -> (u64, bool) {
+        // Read unwoven first: if it says zero, the matching Release
+        // decrement ordered the final stall store before it.
+        let exact = self.unwoven[core].load(Ordering::Acquire) == 0;
+        let stall = self.stall_offs[core].load(Ordering::Acquire);
+        (stall, exact)
+    }
+
+    /// Join the weave thread, returning the shared-state system, the final
+    /// per-core stall offsets, and the session report.
+    pub(crate) fn join(self) -> (System, Vec<u64>, WeaveReport) {
+        self.handle.join().expect("weave thread panicked")
+    }
+}
+
+/// Outcome of a bound-weave session, returned by
+/// [`System::weave_end`](crate::engine::System::weave_end).
+#[derive(Debug, Clone, Copy)]
+pub struct WeaveReport {
+    /// The session diverged; its results were discarded and the caller must
+    /// rerun sequentially.
+    pub diverged: bool,
+    /// Shared-state events replayed.
+    pub events: u64,
+    /// Seconds the weave thread spent applying events.
+    pub busy_s: f64,
+    /// Seconds the weave thread was alive.
+    pub wall_s: f64,
+}
+
+impl WeaveReport {
+    /// Fraction of the weave thread's lifetime spent applying events —
+    /// the pipeline-occupancy figure reported by `perf_baseline`.
+    pub fn occupancy(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.busy_s / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! controller): the live TVARAK pipeline keeps the paper's single-parity
 //! geometry so the reproduced numbers stay faithful.
 
+use crate::parity::xor_into;
 use memsim::addr::CACHE_LINE;
 
 /// The AES/Rijndael field polynomial x⁸ + x⁴ + x³ + x + 1 is *not* used
@@ -84,8 +85,8 @@ pub fn encode(data: &[[u8; CACHE_LINE]]) -> ([u8; CACHE_LINE], [u8; CACHE_LINE])
     let mut q = [0u8; CACHE_LINE];
     for (i, d) in data.iter().enumerate() {
         let g = gf_pow2(i as u32);
+        xor_into(&mut p, d);
         for k in 0..CACHE_LINE {
-            p[k] ^= d[k];
             q[k] ^= gf_mul(g, d[k]);
         }
     }
@@ -109,9 +110,7 @@ pub fn recover_one_with_p(
     for (i, d) in data.iter().enumerate() {
         if i != x {
             let d = d.expect("only member x may be missing");
-            for k in 0..CACHE_LINE {
-                rec[k] ^= d[k];
-            }
+            xor_into(&mut rec, &d);
         }
     }
     rec
@@ -169,8 +168,8 @@ pub fn recover_two(
         if i != x && i != y {
             let d = d.expect("only members x and y may be missing");
             let g = gf_pow2(i as u32);
+            xor_into(&mut pxy, &d);
             for k in 0..CACHE_LINE {
-                pxy[k] ^= d[k];
                 qxy[k] ^= gf_mul(g, d[k]);
             }
         }

@@ -48,6 +48,23 @@ for key in '"schema"' '"line_speedup"' '"sim_cycles_per_sec"' '"cells_per_sec"';
         || { echo "ci: BENCH_perf.json missing key $key" >&2; exit 1; }
 done
 
+echo "=== bound-weave CSV differential (fig8_fio at 4 engine threads) ==="
+# The bound-weave hard requirement: campaign output is byte-identical at any
+# MEMSIM_ENGINE_THREADS. Run one fio campaign sequentially and once at 4
+# engine threads and byte-diff the CSVs.
+weave_tmp="$(mktemp -d)"
+trap 'rm -rf "$perf_tmp" "$weave_tmp"' EXIT
+mkdir -p "$weave_tmp/seq" "$weave_tmp/par"
+(cd "$weave_tmp/seq" && TVARAK_SCALE=quick MEMSIM_ENGINE_THREADS=1 \
+    "$repo_root/target/release/fig8_fio" --jobs 1 > /dev/null)
+(cd "$weave_tmp/par" && TVARAK_SCALE=quick MEMSIM_ENGINE_THREADS=4 \
+    "$repo_root/target/release/fig8_fio" --jobs 1 > /dev/null)
+if ! diff -q "$weave_tmp/seq/results/fig8_fio.csv" "$weave_tmp/par/results/fig8_fio.csv"; then
+    echo "ci: fig8_fio.csv differs between sequential and 4 engine threads" >&2
+    exit 1
+fi
+echo "ci: fig8_fio.csv byte-identical at 1 and 4 engine threads"
+
 echo "=== perf gate (>30% regression vs committed BENCH_perf.json fails) ==="
 # Two tracked hot paths: engine simulation rate (first sim_cycles_per_sec in
 # the file is the engine block's; the per-cell ones sit inside one-line cell
