@@ -6,12 +6,16 @@ use memsim::addr::{PageNum, PhysAddr};
 use memsim::config::SystemConfig;
 use memsim::engine::{CorruptionDetected, NullHooks, System};
 use memsim::stats::Stats;
+use memsim::RaidLevel;
 use pmemfs::fs::{DaxFs, FileHandle, FsError, RecoveryError};
+use pmemfs::rebuild::{PoolState, ReplacementManager};
 use pmemfs::recover::{Poisoned, RecoveryOrchestrator};
 use pmemfs::tx::{SwScheme, TxManager};
 use tvarak::controller::{TvarakConfig, TvarakController};
 use tvarak::layout::NvmLayout;
-use tvarak::scrub::{ScrubDaemon, ScrubFindingKind, ScrubGranularity, Scrubber};
+use tvarak::qos::{MaintGrant, QosConfig};
+use tvarak::rebuild::RebuildStep;
+use tvarak::scrub::{ScrubDaemon, ScrubFinding, ScrubFindingKind, ScrubGranularity, Scrubber};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::error::Error;
@@ -364,6 +368,7 @@ impl MachineBuilder {
             orchestrator: None,
             daemon: None,
             scrub_strikes: None,
+            replacement: None,
         }
     }
 }
@@ -381,6 +386,9 @@ pub struct Machine {
     /// Consecutive scrub-time detections on the same page, for bounding
     /// repeat offenders (see [`Machine::tick_scrub`]).
     scrub_strikes: Option<(PageNum, u32)>,
+    /// Device-replacement lifecycle + maintenance QoS, if
+    /// [`Machine::enable_raid`] was called.
+    replacement: Option<ReplacementManager>,
 }
 
 impl Machine {
@@ -731,10 +739,112 @@ impl Machine {
         Ok(())
     }
 
+    /// Configure firmware shadow-RAID over the whole NVM region — data,
+    /// design-level parity, and checksum tables alike, since a failed
+    /// device takes its share of all three — and install the
+    /// device-replacement lifecycle with maintenance QoS `qos`. Call after
+    /// all setup writes are flushed so the syndromes cover the initial
+    /// content.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice, or with fewer than 3 NVM DIMMs.
+    pub fn enable_raid(&mut self, level: RaidLevel, qos: QosConfig) {
+        let d = self.sys.memory().nvm_dimms() as u64;
+        let striped = self.fs.layout().total_pages().div_ceil(d) * d;
+        self.sys.memory_mut().configure_raid(striped, level);
+        self.replacement = Some(ReplacementManager::new(qos));
+    }
+
+    /// Fail NVM device `bank` cleanly: the hierarchy is flushed (quiesce),
+    /// the bank's media erased, and the pool serves on degraded from then
+    /// on (reconstruct-on-read, syndrome-absorbed writes).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Self::enable_raid`] ran and the bank is Healthy.
+    pub fn fail_device(&mut self, bank: usize) {
+        self.replacement
+            .as_mut()
+            .expect("fail_device requires enable_raid")
+            .fail_device(&mut self.sys, bank);
+    }
+
+    /// Attach a hot spare to failed `bank` and start the online resilver,
+    /// paced against foreground traffic by the maintenance scheduler (see
+    /// [`Self::tick_maintenance`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Self::enable_raid`] ran and the bank is Failed.
+    pub fn attach_spare(&mut self, bank: usize) {
+        self.replacement
+            .as_mut()
+            .expect("attach_spare requires enable_raid")
+            .attach_spare(&mut self.sys, bank);
+    }
+
+    /// The replacement manager, if [`Self::enable_raid`] was called.
+    pub fn replacement(&self) -> Option<&ReplacementManager> {
+        self.replacement.as_ref()
+    }
+
+    /// Pool redundancy state ([`PoolState::Healthy`] when RAID is off).
+    pub fn pool_state(&self) -> PoolState {
+        self.replacement
+            .as_ref()
+            .map_or(PoolState::Healthy, |m| m.pool_state())
+    }
+
+    /// Whether no resilver is currently pending (idle or RAID off).
+    pub fn rebuild_idle(&self) -> bool {
+        self.replacement
+            .as_ref()
+            .is_none_or(|m| !m.rebuild_pending())
+    }
+
+    /// Per-operation maintenance hook, called by the run drivers after
+    /// every operation. Without a replacement manager this is exactly
+    /// [`Self::tick_scrub`]. With one, the op feeds the QoS token bucket
+    /// and a granted step runs: a rebuild grant resilvers one page (an
+    /// abandoned page is quarantined with the orchestrator — fail closed),
+    /// a scrub grant runs one budgeted scrub step through the same finding
+    /// routing as interval scrubbing.
+    ///
+    /// # Errors
+    ///
+    /// [`AppError::Corruption`] from a granted scrub step with no
+    /// orchestrator enabled, as with [`Self::tick_scrub`].
+    pub fn tick_maintenance(&mut self, core: usize) -> Result<(), AppError> {
+        if self.replacement.is_none() {
+            return self.tick_scrub(core);
+        }
+        let scrub_pending = self.daemon.is_some();
+        let mgr = self.replacement.as_mut().unwrap();
+        match mgr.on_op(scrub_pending) {
+            Some(MaintGrant::Rebuild) => {
+                if let Some(RebuildStep::Abandoned(page)) = mgr.step_rebuild(&mut self.sys, core)
+                {
+                    if let Some(orch) = self.orchestrator.as_mut() {
+                        orch.quarantine_page(&mut self.sys, page);
+                    }
+                }
+                Ok(())
+            }
+            Some(MaintGrant::Scrub) => {
+                let daemon = self.daemon.as_mut().unwrap();
+                let outcome = daemon.step_now(&mut self.sys, core).map(Some);
+                self.route_scrub(outcome)
+            }
+            None => Ok(()),
+        }
+    }
+
     /// Advance the scrub daemon by one application operation on `core`.
     /// Detections are routed through the orchestrator; a quarantined page is
     /// skipped so the daemon keeps covering the rest of the file. The run
-    /// drivers call this automatically after every operation.
+    /// drivers call this automatically after every operation (via
+    /// [`Self::tick_maintenance`]).
     ///
     /// # Errors
     ///
@@ -745,7 +855,19 @@ impl Machine {
         let Some(daemon) = self.daemon.as_mut() else {
             return Ok(());
         };
-        match daemon.tick(&mut self.sys, core) {
+        let outcome = daemon.tick(&mut self.sys, core);
+        self.route_scrub(outcome)
+    }
+
+    /// Route one scrub outcome (an interval tick's or a QoS-granted
+    /// step's) through the orchestrator: checksum findings recover or
+    /// quarantine, parity findings re-silver, mid-step trips retry with a
+    /// strike bound.
+    fn route_scrub(
+        &mut self,
+        outcome: Result<Option<Vec<ScrubFinding>>, CorruptionDetected>,
+    ) -> Result<(), AppError> {
+        match outcome {
             // Off-interval tick: no scrubbing happened, leave the strike
             // record of the page under the cursor untouched.
             Ok(None) => Ok(()),
@@ -855,7 +977,7 @@ where
     for op in 0..ops {
         for inst in 0..instances {
             f(m, inst, op)?;
-            m.tick_scrub(inst % cores)?;
+            m.tick_maintenance(inst % cores)?;
         }
     }
     m.flush();
@@ -898,7 +1020,7 @@ where
             continue;
         }
         f(m, inst, done[inst])?;
-        m.tick_scrub(inst % cores)?;
+        m.tick_maintenance(inst % cores)?;
         done[inst] += 1;
         if done[inst] < ops {
             heap.push(Reverse((m.sys.clock(inst % cores), inst)));
@@ -929,7 +1051,8 @@ pub enum ThreadedRun {
 ///
 /// Eligibility: hardware-offload designs only (software checksum schemes
 /// mutate shared file metadata inline), no scrub daemon, no armed firmware
-/// faults, no armed crash window. Instances must not share writable cache
+/// faults, no armed crash window, no firmware shadow-RAID (degraded-mode
+/// reconstruction state is engine-global). Instances must not share writable cache
 /// lines; if they do, the engine detects it and the run reports
 /// [`ThreadedRun::Diverged`] — the caller rebuilds the machine and reruns
 /// sequentially, so correctness never depends on the predictions.
@@ -954,7 +1077,8 @@ where
         && m.design().sw_scheme() == SwScheme::None
         && m.scrub_daemon().is_none()
         && !m.sys.crash_armed()
-        && m.sys.memory().armed_faults() == 0;
+        && m.sys.memory().armed_faults() == 0
+        && !m.sys.memory().raid_enabled();
     if !eligible {
         run_clocked(m, instances, ops, f)?;
         return Ok(ThreadedRun::Sequential);
@@ -991,7 +1115,7 @@ where
             std::thread::yield_now();
             continue;
         }
-        if f(m, inst, done[inst]).is_err() || m.tick_scrub(inst % cores).is_err() {
+        if f(m, inst, done[inst]).is_err() || m.tick_maintenance(inst % cores).is_err() {
             diverged = true;
             break;
         }
@@ -1070,7 +1194,7 @@ mod tests {
             }
             let Some((inst, _)) = next else { break };
             f(m, inst, done[inst])?;
-            m.tick_scrub(inst % cores)?;
+            m.tick_maintenance(inst % cores)?;
             done[inst] += 1;
         }
         Ok(())

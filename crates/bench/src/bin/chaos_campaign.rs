@@ -665,7 +665,8 @@ fn main() {
     // same bytes.
     let mut csv = String::from(
         "app,design,fault,ops,armed,fired,media_fired,detections,recoveries,quarantines,\
-         wrong_data,degraded_miss,fail_closed,crashed,first_detect_latency_ops,final_bad_pages\n",
+         wrong_data,degraded_miss,fail_closed,crashed,first_detect_latency_ops,final_bad_pages,\
+         seed,repro\n",
     );
     let mut log = String::new();
     let mut violations: Vec<String> = Vec::new();
@@ -691,9 +692,19 @@ fn main() {
             out.crashed as u8,
             latency
         );
+        // Provenance: the plan seed plus a one-command repro. The filter
+        // string pins app, design, and fault, and the seed is a pure
+        // function of that cell, so the single command re-runs this exact
+        // row (single-quoted, comma-free — CSV-safe unescaped).
+        let repro = format!(
+            "CHAOS_FILTER='app={} design={} fault={}' ./target/release/chaos_campaign",
+            app,
+            design.label(),
+            kind.label()
+        );
         let _ = writeln!(
             csv,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:#018x},{}",
             app,
             design.label(),
             kind.label(),
@@ -709,7 +720,9 @@ fn main() {
             out.fail_closed,
             out.crashed as u8,
             latency,
-            out.final_bad_pages
+            out.final_bad_pages,
+            seed_for(app, *design, *kind),
+            repro
         );
         for line in run_log {
             log.push_str(line);

@@ -1,0 +1,853 @@
+//! Degraded-mode campaign: drive every design × fio/kv under sustained
+//! foreground load through whole-device fault storms and measure what
+//! broken-and-serving actually costs.
+//!
+//! Each cell walks the device-replacement lifecycle through four phases —
+//! **healthy → degraded** (a DIMM fails, reads reconstruct from firmware
+//! shadow parity) **→ rebuilding** (a hot spare attaches and the online
+//! resilver races foreground traffic under the maintenance QoS token
+//! bucket) **→ recovered** — and reports per-phase throughput, degraded
+//! read amplification, and rebuild/QoS counters. Scenarios:
+//!
+//! - `rebuild`: single fault at RAID-P; the baseline lifecycle.
+//! - `double-pq`: RAID-P+Q with a *second* device failing mid-resilver —
+//!   two-erasure reconstruction carries the rebuild through.
+//! - `double-p`: the same storm at P-only, where the second fault makes
+//!   stripes unreconstructible — pages are abandoned, poisoned, and
+//!   quarantined (fail closed), never fabricated.
+//!
+//! Invariants, enforced per cell and fatal to the campaign:
+//!
+//! 1. The resilver completes under load (within a generous op cap) in every
+//!    scenario, for every design.
+//! 2. No silent wrong data: in the clean-recovery scenarios (`rebuild`,
+//!    `double-pq`) *no* design may return a byte that differs from the
+//!    acknowledged write stream; under `double-p`, designs with inline
+//!    cache-line verification must still never be silently wrong (poisoned
+//!    pages fail closed), while page-granular and Baseline exposure is
+//!    measured and reported.
+//! 3. Oracle bit-identity: after the final resilver and flush, the NVM
+//!    media `content_hash` equals a never-faulted oracle run of the same
+//!    design, seed, and op count (`rebuild`, `double-pq`; `double-p`
+//!    declares data loss, so its hash is reported, not asserted).
+//!
+//! `DEGRADED_FILTER=substring` runs matching cells only;
+//! `DEGRADED_FAULTS='lost-write@128,misdir-write@256->512'` (parsed via
+//! `pmemfs::fault::Fault`'s `FromStr`) arms an extra firmware-fault mix
+//! against the fio file at the start of the degraded phase. Emits
+//! `results/degraded_campaign.csv` (byte-identical at any `--jobs`) and
+//! exits non-zero on any invariant violation.
+
+use apps::btree::BTree;
+use apps::driver::{AppError, Design, Machine};
+use apps::kv::PersistentKv;
+use apps::rng::Rng;
+use bench::runner::{self, Cell};
+use memsim::addr::PAGE;
+use memsim::RaidLevel;
+use pmemfs::fault::{self, Fault};
+use pmemfs::fs::FileHandle;
+use pmemfs::rebuild::PoolState;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use tvarak::controller::TvarakConfig;
+use tvarak::qos::QosConfig;
+
+thread_local! {
+    /// Most recent panic message on this worker thread (fabricated bytes can
+    /// legitimately send an index structure chasing garbage under Baseline
+    /// in the data-loss scenario; the quiet process-wide hook records it
+    /// here instead of spamming stderr).
+    static LAST_PANIC: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+fn install_quiet_panic_hook() {
+    std::panic::set_hook(Box::new(|info| {
+        LAST_PANIC.with(|p| *p.borrow_mut() = Some(info.to_string()));
+    }));
+}
+
+fn take_last_panic() -> Option<String> {
+    LAST_PANIC.with(|p| p.borrow_mut().take())
+}
+
+/// Ops per steady phase (healthy / degraded / recovered), from `TVARAK_SCALE`.
+fn phase_ops() -> u64 {
+    match std::env::var("TVARAK_SCALE").as_deref() {
+        Ok("quick") => 60,
+        Ok("reduced") => 150,
+        _ => 300,
+    }
+}
+
+const FLUSH_EVERY: u64 = 16;
+const MAX_RETRIES: u32 = 3;
+const SCRUB_PAGES: u64 = 1;
+const SCRUB_INTERVAL: u64 = 4;
+/// First device to fail; the mid-rebuild second fault takes the next one.
+const FAIL_BANK: usize = 1;
+const SECOND_BANK: usize = 2;
+
+/// Maintenance pacing: one resilvered page (or scrub step) per two
+/// foreground ops at steady state — fast enough that the rebuilding phase
+/// stays a bounded fraction of a cell, slow enough that it visibly
+/// interleaves with (and is paced by) foreground traffic.
+fn qos() -> QosConfig {
+    QosConfig {
+        refill_per_op: 1,
+        burst: 8,
+        rebuild_page_cost: 2,
+        scrub_step_cost: 2,
+        starvation_ops: 64,
+        scrub_every_grants: 4,
+    }
+}
+
+fn designs() -> [Design; 5] {
+    [
+        Design::Baseline,
+        Design::Tvarak,
+        Design::TvarakAblated(TvarakConfig::naive()),
+        Design::TxbObject,
+        Design::TxbPage,
+    ]
+}
+
+/// Inline cache-line-granular verification — the designs that promise "no
+/// silent wrong data" even across declared data loss (poison fails closed
+/// at first consumption).
+fn inline_cl_verified(design: Design) -> bool {
+    design.has_controller()
+        && design.checksum_granularity() == Some(tvarak::scrub::ScrubGranularity::CacheLine)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scenario {
+    /// Single device failure, P parity, clean resilver.
+    Rebuild,
+    /// Second device fails mid-resilver; P+Q carries the rebuild through.
+    DoublePq,
+    /// Second device fails mid-resilver at P-only: declared data loss,
+    /// abandoned pages quarantined, serving fails closed.
+    DoubleP,
+}
+
+impl Scenario {
+    fn all() -> [Scenario; 3] {
+        [Scenario::Rebuild, Scenario::DoublePq, Scenario::DoubleP]
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Scenario::Rebuild => "rebuild",
+            Scenario::DoublePq => "double-pq",
+            Scenario::DoubleP => "double-p",
+        }
+    }
+
+    fn level(self) -> RaidLevel {
+        match self {
+            Scenario::DoublePq => RaidLevel::PQ,
+            _ => RaidLevel::P,
+        }
+    }
+
+    fn second_fault(self) -> bool {
+        !matches!(self, Scenario::Rebuild)
+    }
+
+    /// Whether the post-resilver media must bit-match the never-faulted
+    /// oracle. `double-p` declares data loss (abandoned pages are poisoned
+    /// by design), so only its *behaviour* is asserted, not its bytes.
+    fn oracle_strict(self) -> bool {
+        !matches!(self, Scenario::DoubleP)
+    }
+}
+
+/// Per-phase measurement: foreground ops, simulated cycles on the serving
+/// core, and degraded reconstruct-on-read fills charged in the window.
+#[derive(Debug, Clone, Copy, Default)]
+struct Phase {
+    ops: u64,
+    cycles: u64,
+    degraded_fills: u64,
+}
+
+impl Phase {
+    /// Throughput in ops per kilocycle (the per-phase cost headline).
+    fn ops_per_kcycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ops as f64 * 1000.0 / self.cycles as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Outcome {
+    phases: [Phase; 4],
+    total_ops: u64,
+    wrong_data: u64,
+    fail_closed: u64,
+    crashed: bool,
+    detections: u64,
+    recoveries: u64,
+    quarantines: u64,
+    pages_resilvered: u64,
+    pages_abandoned: u64,
+    lines_reconstructed: u64,
+    write_intent_lines: u64,
+    dropped_writes: u64,
+    reconstructed_reads: u64,
+    backpressure_events: u64,
+    rebuilds_completed: u64,
+    faults_armed: u64,
+    content_hash: u64,
+    oracle_hash: u64,
+    violations: Vec<String>,
+}
+
+/// One foreground workload: a deterministic op stream over a machine,
+/// replayable op-for-op for the oracle run.
+trait Workload {
+    fn file(&self) -> &FileHandle;
+    /// Run op `op`; account wrong data / fail-closed into `out`. Returns
+    /// `false` if the application crashed (loud failure; the cell aborts).
+    fn step(&mut self, m: &mut Machine, op: u64, out: &mut Outcome) -> bool;
+}
+
+/// fio-style raw file I/O: 64 B reads/writes at seeded random line offsets
+/// with a per-line shadow of the acknowledged value.
+struct FioWorkload {
+    file: FileHandle,
+    txm: Option<pmemfs::tx::TxManager>,
+    shadow: Vec<Option<u64>>,
+    rng: Rng,
+    nlines: u64,
+}
+
+fn fio_pattern(l: u64, v: u64) -> [u8; 64] {
+    let mut p = [0u8; 64];
+    p[..8].copy_from_slice(&l.to_le_bytes());
+    p[8..16].copy_from_slice(&v.to_le_bytes());
+    p[16] = (l ^ v) as u8;
+    p
+}
+
+impl FioWorkload {
+    fn new(m: &mut Machine, seed: u64) -> Self {
+        let txm = match m.design().sw_scheme() {
+            pmemfs::tx::SwScheme::None => None,
+            _ => Some(m.tx_manager(64 * 1024).expect("pool fits tx log")),
+        };
+        let file = m.create_dax_file("fio", 16 * PAGE as u64).expect("pool fits");
+        let nlines = file.pages() * memsim::LINES_PER_PAGE as u64;
+        for l in 0..nlines {
+            m.sys
+                .memory_mut()
+                .poke_line(file.addr(l * 64).line(), &fio_pattern(l, 0));
+        }
+        m.reinit_redundancy(&file);
+        FioWorkload {
+            file,
+            txm,
+            shadow: vec![Some(0); nlines as usize],
+            rng: Rng::new(0xf10_0000 ^ seed),
+            nlines,
+        }
+    }
+}
+
+impl Workload for FioWorkload {
+    fn file(&self) -> &FileHandle {
+        &self.file
+    }
+
+    fn step(&mut self, m: &mut Machine, op: u64, out: &mut Outcome) -> bool {
+        let l = self.rng.below(self.nlines);
+        let off = l * 64;
+        let file = self.file;
+        if self.rng.below(2) == 0 {
+            let data = fio_pattern(l, op + 1);
+            let result = match self.txm.as_mut() {
+                Some(txm) => match m.check_poison(&file, off, 64) {
+                    Ok(()) => {
+                        let mut tx = txm.begin(&mut m.sys, 0).expect("tx");
+                        tx.write(&mut m.sys, &file, off, &data).expect("tx write");
+                        tx.commit(&mut m.sys).expect("commit");
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                },
+                None => m.write_file(&file, 0, off, &data),
+            };
+            match result {
+                Ok(()) => self.shadow[l as usize] = Some(op + 1),
+                Err(AppError::Poisoned(_)) => {
+                    out.fail_closed += 1;
+                    self.shadow[l as usize] = None;
+                }
+                Err(e) => panic!("unexpected app error: {e}"),
+            }
+        } else {
+            let mut buf = [0u8; 64];
+            match m.read_file(&file, 0, off, &mut buf) {
+                Ok(()) => {
+                    if let Some(v) = self.shadow[l as usize] {
+                        if buf != fio_pattern(l, v) {
+                            out.wrong_data += 1;
+                        }
+                    }
+                }
+                Err(AppError::Poisoned(_)) => out.fail_closed += 1,
+                Err(e) => panic!("unexpected app error: {e}"),
+            }
+        }
+        true
+    }
+}
+
+/// Key-value load: a persistent B-tree under a 60:40 overwrite:lookup mix
+/// with a shadow map; keys whose op failed closed are tainted (their
+/// durable value is legitimately unknown).
+struct KvWorkload {
+    kv: Box<BTree>,
+    txm: pmemfs::tx::TxManager,
+    file: FileHandle,
+    shadow: HashMap<u64, u64>,
+    tainted: HashMap<u64, ()>,
+    rng: Rng,
+    degraded: bool,
+}
+
+const KV_KEYSPACE: u64 = 240;
+
+impl KvWorkload {
+    fn new(m: &mut Machine, seed: u64) -> Self {
+        let mut txm = m.tx_manager(64 * 1024).expect("pool fits tx log");
+        let mut kv = Box::new(BTree::create(m, 0, 32 * 1024).expect("pool fits"));
+        let mut shadow = HashMap::new();
+        for k in 0..160u64 {
+            kv.insert(m, &mut txm, k, k ^ 0xa5a5).expect("preload");
+            shadow.insert(k, k ^ 0xa5a5);
+        }
+        let file = *kv.file();
+        KvWorkload {
+            kv,
+            txm,
+            file,
+            shadow,
+            tainted: HashMap::new(),
+            rng: Rng::new(0xdead_0000 ^ seed),
+            degraded: false,
+        }
+    }
+}
+
+impl Workload for KvWorkload {
+    fn file(&self) -> &FileHandle {
+        &self.file
+    }
+
+    fn step(&mut self, m: &mut Machine, op: u64, out: &mut Outcome) -> bool {
+        let key = self.rng.below(KV_KEYSPACE);
+        let write = self.rng.below(10) < 6;
+        let d_before = m.orchestrator().map_or(0, |o| o.detections());
+        let kv = &mut self.kv;
+        let txm = &mut self.txm;
+        let file = self.file;
+        let shadow = &mut self.shadow;
+        let tainted = &mut self.tainted;
+        let degraded = self.degraded;
+        let mut wrong = 0u64;
+        let mut closed = 0u64;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if write {
+                match m.with_recovery(|m| kv.insert(m, txm, key, op)) {
+                    Ok(()) => {
+                        shadow.insert(key, op);
+                        tainted.remove(&key);
+                        false
+                    }
+                    Err(AppError::Poisoned(_)) => {
+                        closed += 1;
+                        tainted.insert(key, ());
+                        true
+                    }
+                    Err(e) => panic!("unexpected app error: {e}"),
+                }
+            } else if !m.design().has_controller()
+                && m.check_poison(&file, 0, (file.pages() * PAGE as u64) as usize)
+                    .is_err()
+            {
+                closed += 1;
+                true
+            } else {
+                match m.with_recovery(|m| kv.get(m, key)) {
+                    Ok(got) => {
+                        if let (Some(v), Some(&want)) = (got, shadow.get(&key)) {
+                            if v != want && !tainted.contains_key(&key) && !degraded {
+                                wrong += 1;
+                            }
+                        }
+                        false
+                    }
+                    Err(AppError::Poisoned(_)) => {
+                        closed += 1;
+                        true
+                    }
+                    Err(e) => panic!("unexpected app error: {e}"),
+                }
+            }
+        }));
+        out.wrong_data += wrong;
+        out.fail_closed += closed;
+        match outcome {
+            Ok(poisoned_now) => {
+                self.degraded |= poisoned_now;
+                let d_after = m.orchestrator().map_or(0, |o| o.detections());
+                if write && d_after > d_before {
+                    // A mutation was interrupted and retried; the index may
+                    // be structurally disturbed from here on.
+                    self.degraded = true;
+                    self.tainted.insert(key, ());
+                }
+                true
+            }
+            Err(_) => {
+                out.crashed = true;
+                let _ = take_last_panic();
+                false
+            }
+        }
+    }
+}
+
+fn seed_for(app: &str, scenario: Scenario) -> u64 {
+    // Design-independent: every design faces the identical op stream and
+    // fault schedule for a given (app, scenario) cell.
+    let mut s: u64 = 0x00de_64ad_u64;
+    for b in app.bytes().chain(scenario.label().bytes()) {
+        s = s.wrapping_mul(31).wrapping_add(b as u64);
+    }
+    s
+}
+
+/// Extra firmware-fault mix from `DEGRADED_FAULTS` (comma/space-separated
+/// `Fault` specs), armed against the fio file when the degraded phase
+/// opens. Exits with usage on a malformed spec.
+fn env_faults() -> Vec<Fault> {
+    let Ok(spec) = std::env::var("DEGRADED_FAULTS") else {
+        return Vec::new();
+    };
+    spec.split([',', ' '])
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| match s.trim().parse::<Fault>() {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("DEGRADED_FAULTS: {e}");
+                std::process::exit(2);
+            }
+        })
+        .collect()
+}
+
+fn build_machine(design: Design) -> Machine {
+    Machine::builder()
+        .small()
+        .design(design)
+        .data_pages(256)
+        .build()
+}
+
+fn enable_pipeline(m: &mut Machine, file: &FileHandle) {
+    if m.design() != Design::Baseline {
+        m.enable_recovery(MAX_RETRIES).expect("poison store fits");
+        m.enable_scrub_daemon(file, SCRUB_PAGES, SCRUB_INTERVAL);
+    }
+}
+
+fn make_workload(app: &str, m: &mut Machine, seed: u64) -> Box<dyn Workload> {
+    match app {
+        "fio" => Box::new(FioWorkload::new(m, seed)),
+        _ => Box::new(KvWorkload::new(m, seed)),
+    }
+}
+
+/// Drive `n` foreground ops (or until a predicate or crash stops the
+/// phase), ticking maintenance after every op and flushing on the global
+/// cadence. Returns the ops actually run.
+fn drive<F: FnMut(&Machine, u64) -> bool>(
+    m: &mut Machine,
+    w: &mut dyn Workload,
+    out: &mut Outcome,
+    op: &mut u64,
+    limit: u64,
+    mut stop: F,
+) -> u64 {
+    let mut ran = 0;
+    while ran < limit && !stop(m, ran) {
+        if !w.step(m, *op, out) {
+            break; // crashed (already recorded)
+        }
+        let _ = m.tick_maintenance(0);
+        *op += 1;
+        ran += 1;
+        if *op % FLUSH_EVERY == 0 {
+            m.flush();
+        }
+    }
+    ran
+}
+
+/// Run one faulted cell end to end; `ctx` labels violations.
+fn run_faulted(
+    app: &str,
+    design: Design,
+    scenario: Scenario,
+    ctx: &str,
+    faults: &[Fault],
+) -> Outcome {
+    let n = phase_ops();
+    let seed = seed_for(app, scenario);
+    let mut out = Outcome::default();
+    let mut m = build_machine(design);
+    let mut w = make_workload(app, &mut m, seed);
+    let file = *w.file();
+    m.flush();
+    enable_pipeline(&mut m, &file);
+    m.flush();
+    m.enable_raid(scenario.level(), qos());
+
+    let striped = m.sys.memory().striped_pages();
+    let pages_per_bank = striped / m.sys.memory().nvm_dimms() as u64;
+    // The second fault lands about halfway through the first resilver.
+    let second_at = pages_per_bank * qos().rebuild_page_cost as u64 / 2;
+    // Generous completion cap: a resilver needs ~cost ops per page; 16×
+    // covers both banks, QoS debt, and scrub's minimum share many times
+    // over. Exceeding it means the rebuild did not complete under load.
+    let cap = 64 + 16 * striped * qos().rebuild_page_cost as u64;
+
+    let mut op = 0u64;
+
+    // Phase 0: healthy.
+    let (c0, f0) = (m.sys.clock(0), m.stats().counters.degraded_fills);
+    let ran = drive(&mut m, w.as_mut(), &mut out, &mut op, n, |_, _| false);
+    out.phases[0] = Phase {
+        ops: ran,
+        cycles: m.sys.clock(0) - c0,
+        degraded_fills: m.stats().counters.degraded_fills - f0,
+    };
+
+    // Phase 1: degraded — the device dies, serving continues from parity.
+    m.fail_device(FAIL_BANK);
+    if app == "fio" {
+        for f in faults {
+            fault::inject(&mut m.sys, &file, *f);
+            out.faults_armed += 1;
+        }
+    }
+    let (c0, f0) = (m.sys.clock(0), m.stats().counters.degraded_fills);
+    let ran = drive(&mut m, w.as_mut(), &mut out, &mut op, n, |_, _| false);
+    out.phases[1] = Phase {
+        ops: ran,
+        cycles: m.sys.clock(0) - c0,
+        degraded_fills: m.stats().counters.degraded_fills - f0,
+    };
+
+    // Phase 2: rebuilding — hot spare attached, resilver races foreground
+    // traffic; the storm scenarios fail a second device mid-resilver.
+    m.attach_spare(FAIL_BANK);
+    let (c0, f0) = (m.sys.clock(0), m.stats().counters.degraded_fills);
+    let mut rebuilding_ops = 0u64;
+    let mut second_fired = !scenario.second_fault();
+    loop {
+        if !second_fired && rebuilding_ops >= second_at {
+            m.fail_device(SECOND_BANK);
+            second_fired = true;
+        }
+        if m.rebuild_idle() {
+            let next = m.replacement().and_then(|r| r.failed_banks().first().copied());
+            match next {
+                // Second spare only once the storm has fired; until then an
+                // idle manager with no failed banks means we are done.
+                Some(b) => m.attach_spare(b),
+                None if second_fired => break,
+                None => {}
+            }
+        }
+        if out.crashed || rebuilding_ops >= cap {
+            break;
+        }
+        let ran = drive(&mut m, w.as_mut(), &mut out, &mut op, 1, |_, _| false);
+        if ran == 0 {
+            break;
+        }
+        rebuilding_ops += ran;
+    }
+    out.phases[2] = Phase {
+        ops: rebuilding_ops,
+        cycles: m.sys.clock(0) - c0,
+        degraded_fills: m.stats().counters.degraded_fills - f0,
+    };
+    if !(m.rebuild_idle() && m.pool_state() == PoolState::Healthy) {
+        out.violations.push(format!(
+            "{ctx}: resilver did not complete under load ({rebuilding_ops} ops, cap {cap})"
+        ));
+    }
+
+    // Phase 3: recovered.
+    let (c0, f0) = (m.sys.clock(0), m.stats().counters.degraded_fills);
+    let ran = drive(&mut m, w.as_mut(), &mut out, &mut op, n, |_, _| false);
+    out.phases[3] = Phase {
+        ops: ran,
+        cycles: m.sys.clock(0) - c0,
+        degraded_fills: m.stats().counters.degraded_fills - f0,
+    };
+
+    m.flush();
+    out.total_ops = op;
+    out.content_hash = m.sys.memory().content_hash();
+    let rs = m.sys.memory().raid_stats();
+    out.reconstructed_reads = rs.reconstructed_reads;
+    out.dropped_writes = rs.dropped_writes;
+    out.write_intent_lines = rs.write_intent_lines;
+    if let Some(r) = m.replacement() {
+        out.pages_resilvered = r.pages_resilvered();
+        out.pages_abandoned = r.pages_abandoned();
+        out.lines_reconstructed = r.lines_reconstructed();
+        out.backpressure_events = r.backpressure_events();
+        out.rebuilds_completed = r.rebuilds_completed();
+    }
+    if let Some(orch) = m.orchestrator() {
+        out.detections = orch.detections();
+        out.recoveries = orch.recoveries();
+        out.quarantines = orch.quarantines();
+    }
+    out
+}
+
+/// Replay the identical op stream on a never-faulted machine (no firmware
+/// RAID, no device failures) and return its final media hash.
+fn run_oracle(app: &str, design: Design, scenario: Scenario, total_ops: u64) -> u64 {
+    let seed = seed_for(app, scenario);
+    let mut m = build_machine(design);
+    let mut w = make_workload(app, &mut m, seed);
+    let file = *w.file();
+    m.flush();
+    enable_pipeline(&mut m, &file);
+    m.flush();
+    let mut out = Outcome::default();
+    let mut op = 0u64;
+    let _ = drive(&mut m, w.as_mut(), &mut out, &mut op, total_ops, |_, _| false);
+    m.flush();
+    m.sys.memory().content_hash()
+}
+
+fn check_invariants(ctx: &str, design: Design, scenario: Scenario, out: &mut Outcome) {
+    let strict = scenario.oracle_strict();
+    if strict {
+        // Clean recovery: nothing may diverge from the acknowledged write
+        // stream for ANY design — there is no data loss to excuse.
+        if out.wrong_data > 0 {
+            out.violations.push(format!(
+                "{ctx}: {} wrong-data reads in a clean-recovery scenario",
+                out.wrong_data
+            ));
+        }
+        if out.crashed {
+            out.violations
+                .push(format!("{ctx}: app crash in a clean-recovery scenario"));
+        }
+        if out.content_hash != out.oracle_hash {
+            out.violations.push(format!(
+                "{ctx}: post-resilver media diverges from never-faulted oracle \
+                 ({:#018x} != {:#018x})",
+                out.content_hash, out.oracle_hash
+            ));
+        }
+        if out.pages_abandoned > 0 {
+            out.violations.push(format!(
+                "{ctx}: {} pages abandoned in a clean-recovery scenario",
+                out.pages_abandoned
+            ));
+        }
+    } else {
+        // Declared data loss: inline-verified designs must still never be
+        // silently wrong — poison fails closed at first consumption.
+        if inline_cl_verified(design) && out.wrong_data > 0 {
+            out.violations.push(format!(
+                "{ctx}: {} silent wrong-data reads under a verifying design",
+                out.wrong_data
+            ));
+        }
+        // The P-only storm must actually declare the loss, not paper over
+        // it: unreconstructible pages are abandoned and (when an
+        // orchestrator exists) quarantined.
+        if out.pages_abandoned == 0 {
+            out.violations.push(format!(
+                "{ctx}: mid-rebuild double fault at P-only abandoned nothing \
+                 (expected fail-closed data loss)"
+            ));
+        } else if design != Design::Baseline && out.quarantines == 0 {
+            out.violations.push(format!(
+                "{ctx}: {} abandoned pages but no quarantines (poison not routed)",
+                out.pages_abandoned
+            ));
+        }
+    }
+    let expected_rebuilds = if scenario.second_fault() { 2 } else { 1 };
+    if out.rebuilds_completed != expected_rebuilds {
+        out.violations.push(format!(
+            "{ctx}: {} rebuilds completed, expected {expected_rebuilds}",
+            out.rebuilds_completed
+        ));
+    }
+}
+
+fn main() {
+    let n = phase_ops();
+    let faults = env_faults();
+    println!(
+        "# Degraded-mode campaign — scenario × design × app, {n} ops/steady phase"
+    );
+    println!(
+        "{:<4} {:<17} {:<10} {:>7} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6} {:>5} {:>6} {:>5}",
+        "app", "design", "scenario", "ops",
+        "h_op/kc", "d_op/kc", "r_op/kc", "ok_op/kc",
+        "resilv", "aband", "dfill", "quar", "closed", "hash"
+    );
+    if std::env::var("DEGRADED_LOUD").is_err() { install_quiet_panic_hook(); }
+    let filter = std::env::var("DEGRADED_FILTER").unwrap_or_default();
+    let mut cells: Vec<Cell<(&'static str, Design, Scenario, Outcome)>> = Vec::new();
+    for app in ["fio", "kv"] {
+        for design in designs() {
+            for scenario in Scenario::all() {
+                let ctx = format!(
+                    "app={app} design={} scenario={}",
+                    design.label(),
+                    scenario.label()
+                );
+                if !filter.is_empty() && !ctx.contains(&filter) {
+                    continue;
+                }
+                let faults = faults.clone();
+                cells.push(Cell::new(ctx.clone(), move || {
+                    let mut out = run_faulted(app, design, scenario, &ctx, &faults);
+                    out.oracle_hash = if scenario.oracle_strict() && !out.crashed {
+                        run_oracle(app, design, scenario, out.total_ops)
+                    } else {
+                        0
+                    };
+                    check_invariants(&ctx, design, scenario, &mut out);
+                    (app, design, scenario, out)
+                }));
+            }
+        }
+    }
+    if cells.is_empty() {
+        eprintln!("DEGRADED_FILTER={filter:?} matched no cells — nothing was checked");
+        std::process::exit(2);
+    }
+    let results = runner::run_cells(cells, runner::jobs());
+    // Table and CSV are assembled from the in-input-order results after the
+    // pool drains, so every --jobs setting emits the same bytes.
+    let mut csv = String::from(
+        "app,design,scenario,level,ops,\
+         healthy_ops,healthy_cycles,degraded_ops,degraded_cycles,\
+         rebuilding_ops,rebuilding_cycles,recovered_ops,recovered_cycles,\
+         degraded_fills,reconstructed_reads,dropped_writes,write_intent_lines,\
+         pages_resilvered,pages_abandoned,lines_reconstructed,backpressure_events,\
+         rebuilds_completed,detections,recoveries,quarantines,wrong_data,\
+         fail_closed,crashed,faults_armed,content_hash,oracle_hash,hash_match,\
+         seed,repro\n",
+    );
+    let mut violations: Vec<String> = Vec::new();
+    for r in &results {
+        let (app, design, scenario, out) = &r.value;
+        let hash_match = scenario.oracle_strict() && out.content_hash == out.oracle_hash;
+        println!(
+            "{:<4} {:<17} {:<10} {:>7} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>6} {:>6} {:>6} {:>5} {:>6} {:>5}",
+            app,
+            design.label(),
+            scenario.label(),
+            out.total_ops,
+            out.phases[0].ops_per_kcycle(),
+            out.phases[1].ops_per_kcycle(),
+            out.phases[2].ops_per_kcycle(),
+            out.phases[3].ops_per_kcycle(),
+            out.pages_resilvered,
+            out.pages_abandoned,
+            out.phases[1].degraded_fills + out.phases[2].degraded_fills,
+            out.quarantines,
+            out.fail_closed,
+            if scenario.oracle_strict() {
+                if hash_match { "ok" } else { "FAIL" }
+            } else {
+                "-"
+            }
+        );
+        let repro = format!(
+            "DEGRADED_FILTER='app={} design={} scenario={}' ./target/release/degraded_campaign",
+            app,
+            design.label(),
+            scenario.label()
+        );
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:#018x},{:#018x},{},{:#018x},{}",
+            app,
+            design.label(),
+            scenario.label(),
+            match scenario.level() {
+                RaidLevel::P => "P",
+                RaidLevel::PQ => "PQ",
+            },
+            out.total_ops,
+            out.phases[0].ops,
+            out.phases[0].cycles,
+            out.phases[1].ops,
+            out.phases[1].cycles,
+            out.phases[2].ops,
+            out.phases[2].cycles,
+            out.phases[3].ops,
+            out.phases[3].cycles,
+            out.phases.iter().map(|p| p.degraded_fills).sum::<u64>(),
+            out.reconstructed_reads,
+            out.dropped_writes,
+            out.write_intent_lines,
+            out.pages_resilvered,
+            out.pages_abandoned,
+            out.lines_reconstructed,
+            out.backpressure_events,
+            out.rebuilds_completed,
+            out.detections,
+            out.recoveries,
+            out.quarantines,
+            out.wrong_data,
+            out.fail_closed,
+            out.crashed as u8,
+            out.faults_armed,
+            out.content_hash,
+            out.oracle_hash,
+            hash_match as u8,
+            seed_for(app, *scenario),
+            repro
+        );
+        violations.extend(out.violations.iter().cloned());
+    }
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/degraded_campaign.csv", csv);
+    eprintln!("[saved results/degraded_campaign.csv]");
+    if !violations.is_empty() {
+        eprintln!("INVARIANT VIOLATIONS ({}):", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("all degraded-mode invariants held");
+}

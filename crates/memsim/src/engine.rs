@@ -1138,6 +1138,14 @@ impl System {
                 let wait = self.dimms[dimm].demand(self.clocks[core], occ);
                 self.counters.demand_queue_cycles += wait;
                 self.clocks[core] += wait + self.cfg.ns_to_cycles(self.cfg.nvm.read_ns);
+                // Degraded-mode amplification: a dead line is served by
+                // reconstructing from the surviving stripe members, costing
+                // that many extra media reads before the fill can complete.
+                let amp = self.mem.degraded_read_width(line);
+                if amp > 0 {
+                    self.counters.degraded_fills += 1;
+                    self.clocks[core] += amp as u64 * self.cfg.ns_to_cycles(self.cfg.nvm.read_ns);
+                }
                 let data = self.mem.read_line(line);
                 // After the crash budget runs out the machine is logically
                 // powered off; media content may predate suppressed

@@ -33,6 +33,7 @@ pub mod config;
 pub mod crc;
 pub mod engine;
 pub mod fastdiv;
+pub mod gf256;
 pub mod hash;
 pub mod mem;
 pub mod stats;
@@ -42,5 +43,8 @@ pub mod weave;
 pub use addr::{LineAddr, PageNum, PhysAddr, CACHE_LINE, LINES_PER_PAGE, NVM_BASE, PAGE};
 pub use config::SystemConfig;
 pub use engine::{CorruptionDetected, HookEnv, NullHooks, RedundancyHooks, System};
-pub use mem::{Device, FaultKind, FaultPlan, FirmwareFault, Memory, PlannedFault};
+pub use mem::{
+    BankState, Device, FaultKind, FaultPlan, FirmwareFault, Memory, PlannedFault, RaidLevel,
+    RaidStats,
+};
 pub use stats::{Counters, Stats};

@@ -64,6 +64,10 @@ pub struct Counters {
     pub pages_recovered: u64,
     /// Cycles demand reads spent queued behind DIMM traffic (diagnostics).
     pub demand_queue_cycles: u64,
+    /// Demand NVM fills served by degraded-mode reconstruction (the line was
+    /// on a failed/rebuilding bank; the read paid `dimms - 1` extra member
+    /// reads to solve from the shadow syndromes).
+    pub degraded_fills: u64,
 }
 
 impl Counters {
@@ -146,6 +150,7 @@ impl AddAssign for Counters {
         self.corruptions_detected += r.corruptions_detected;
         self.pages_recovered += r.pages_recovered;
         self.demand_queue_cycles += r.demand_queue_cycles;
+        self.degraded_fills += r.degraded_fills;
     }
 }
 

@@ -38,6 +38,11 @@ use tvarak::scrub::ScrubGranularity;
 use std::error::Error;
 use std::fmt;
 
+// Whole-device fault handling is the other half of OS-side recovery: the
+// page-granular orchestrator below degrades single pages, the replacement
+// manager degrades (and resilvers) whole devices.
+pub use crate::rebuild::{PoolState, ReplacementManager};
+
 /// Structured degraded-mode error: the page is quarantined and accesses to
 /// it fail closed. Everything else in the file keeps working.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -299,14 +304,22 @@ impl RecoveryOrchestrator {
     /// orchestrator's granularity — the post-repair acceptance test. A
     /// repair dropped by a sticky device fault fails this even though
     /// reconstruction itself verified.
+    ///
+    /// Lines that are not live under firmware shadow-RAID (their device
+    /// failed, or the spare has not resilvered them yet) are skipped: their
+    /// media is not the logical value, and their durability is delegated to
+    /// the shadow syndromes — reads reconstruct and verify on consumption.
     fn media_consistent(&self, sys: &System, page: PageNum) -> bool {
         let mem = sys.memory();
         match self.granularity {
             ScrubGranularity::CacheLine => {
                 for i in 0..LINES_PER_PAGE {
                     let line = page.line(i);
-                    let data = mem.peek_line(line);
                     let (cs_line, slot) = self.layout.cl_csum_loc(line);
+                    if !mem.line_live(line) || !mem.line_live(cs_line) {
+                        continue;
+                    }
+                    let data = mem.peek_line(line);
                     if csum_slot(&mem.peek_line(cs_line), slot) != line_checksum(&data) {
                         return false;
                     }
@@ -314,15 +327,54 @@ impl RecoveryOrchestrator {
                 true
             }
             ScrubGranularity::Page => {
+                let (cs_line, slot) = self.layout.page_csum_loc(page);
+                if !mem.page_fully_live(page) || !mem.line_live(cs_line) {
+                    return true;
+                }
                 let mut bytes = vec![0u8; PAGE];
                 for i in 0..LINES_PER_PAGE {
                     bytes[i * CACHE_LINE..(i + 1) * CACHE_LINE]
                         .copy_from_slice(&mem.peek_line(page.line(i)));
                 }
-                let (cs_line, slot) = self.layout.page_csum_loc(page);
                 csum_slot(&mem.peek_line(cs_line), slot) == page_checksum(&bytes)
             }
         }
+    }
+
+    /// Whether every line the peek-based repair paths around `page` would
+    /// read or recompute from — the page itself, its design-parity lines,
+    /// its stripe siblings, and its checksum lines — is live under firmware
+    /// shadow-RAID. Trivially true with RAID unconfigured. Dead lines'
+    /// media is not the logical value: voting on or re-silvering from them
+    /// would process garbage, so repairs refuse and fail closed instead.
+    fn page_repair_lines_live(&self, sys: &System, page: PageNum) -> bool {
+        let mem = sys.memory();
+        if !mem.raid_enabled() {
+            return true;
+        }
+        // Quarantine also routes abandoned *non-data* pages (design parity,
+        // checksum regions) here; they have no design stripe or checksum
+        // coverage to repair from, so peek-based repair always refuses.
+        if !self.layout.is_data_line(page.line(0)) {
+            return false;
+        }
+        for i in 0..LINES_PER_PAGE {
+            let line = page.line(i);
+            let (cs_line, _) = self.layout.cl_csum_loc(line);
+            if !mem.line_live(line)
+                || !mem.line_live(self.layout.parity_line_of(line))
+                || !mem.line_live(cs_line)
+                || self
+                    .layout
+                    .sibling_lines_of(line)
+                    .into_iter()
+                    .any(|sib| !mem.line_live(sib))
+            {
+                return false;
+            }
+        }
+        let (pcs_line, _) = self.layout.page_csum_loc(page);
+        mem.line_live(pcs_line)
     }
 
     /// Software parity reconstruction for designs without a hardware
@@ -377,6 +429,12 @@ impl RecoveryOrchestrator {
     /// update). Rebuild the checksums from media instead of quarantining
     /// intact data. Returns whether the vote carried and the repair ran.
     fn try_csum_repair(&mut self, sys: &mut System, page: PageNum) -> bool {
+        // The vote peeks media; with any involved line dead the ballot is
+        // garbage and the recompute could clobber live checksum slots.
+        // Refuse — the page falls through to quarantine (fail closed).
+        if !self.page_repair_lines_live(sys, page) {
+            return false;
+        }
         let mem = sys.memory();
         for i in 0..LINES_PER_PAGE {
             let line = page.line(i);
@@ -403,13 +461,20 @@ impl RecoveryOrchestrator {
     /// two-of-three vote would later count stale media twice). Poisoned
     /// members are excluded: their data is already declared lost.
     fn stripe_resilver_safe(&self, sys: &System, page: PageNum) -> bool {
+        // Under firmware shadow-RAID, re-silvering peeks member media; a
+        // dead member's media is not its logical value, so the rebuild is
+        // deferred until the bank resilvers.
+        if !self.page_repair_lines_live(sys, page) {
+            return false;
+        }
         let geom = self.layout.geometry();
         let stripe = geom.stripe_of(page.nvm_index());
+        let mem = sys.memory();
         geom.data_pages_of_stripe(stripe)
             .into_iter()
             .map(memsim::addr::nvm_page)
             .filter(|m| !self.is_poisoned(*m))
-            .all(|m| self.media_consistent(sys, m))
+            .all(|m| mem.page_fully_live(m) && self.media_consistent(sys, m))
     }
 
     /// Repair a scrub parity-audit finding: the page's data and checksums

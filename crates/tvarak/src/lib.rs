@@ -47,11 +47,15 @@ pub mod controller;
 pub mod init;
 pub mod layout;
 pub mod parity;
+pub mod qos;
 pub mod raid6;
+pub mod rebuild;
 pub mod recovery;
 pub mod scrub;
 
 pub use controller::{TvarakConfig, TvarakController};
 pub use layout::NvmLayout;
+pub use qos::{MaintGrant, MaintenanceScheduler, OpBudget, QosConfig};
+pub use rebuild::{RebuildStep, Rebuilder};
 pub use recovery::RecoveryFailed;
 pub use scrub::{ScrubDaemon, ScrubFinding, ScrubGranularity, Scrubber};

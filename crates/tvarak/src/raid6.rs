@@ -283,6 +283,83 @@ mod tests {
     }
 
     #[test]
+    fn any_two_lost_devices_reconstruct_exactly() {
+        // Property: treating P and Q as losable *devices* alongside the
+        // data members, every pair of losses reconstructs the stripe (and
+        // its syndromes) exactly — the guarantee the degraded-mode rebuild
+        // leans on when a second fault lands mid-resilver.
+        for members in [3usize, 4, 6, 8] {
+            for seed in [3u8, 11, 97] {
+                let stripe = sample_stripe(members, seed);
+                let (p, q) = encode(&stripe);
+                let holes_except = |lost: &[usize]| -> Vec<Option<[u8; CACHE_LINE]>> {
+                    stripe
+                        .iter()
+                        .enumerate()
+                        .map(|(i, d)| if lost.contains(&i) { None } else { Some(*d) })
+                        .collect()
+                };
+                // data + data: the full two-erasure solve.
+                for x in 0..members {
+                    for y in x + 1..members {
+                        let (dx, dy) = recover_two(&holes_except(&[x, y]), &p, &q, x, y);
+                        assert_eq!(dx, stripe[x], "m={members} seed={seed} pair=({x},{y})");
+                        assert_eq!(dy, stripe[y], "m={members} seed={seed} pair=({x},{y})");
+                    }
+                }
+                // data + P: solve the data from Q, then recompute P.
+                // data + Q: solve the data from P, then recompute Q.
+                for x in 0..members {
+                    let via_q = recover_one_with_q(&holes_except(&[x]), &q, x);
+                    let via_p = recover_one_with_p(&holes_except(&[x]), &p, x);
+                    assert_eq!(via_q, stripe[x], "data+P loss, member {x}");
+                    assert_eq!(via_p, stripe[x], "data+Q loss, member {x}");
+                    let mut rebuilt = stripe.clone();
+                    rebuilt[x] = via_q;
+                    let (p2, q2) = encode(&rebuilt);
+                    assert_eq!(p2, p, "P regenerates after data+P loss");
+                    assert_eq!(q2, q, "Q regenerates after data+Q loss");
+                }
+                // P + Q: both syndromes regenerate from the intact data.
+                assert_eq!(encode(&stripe), (p, q), "P+Q loss regenerates");
+            }
+        }
+    }
+
+    #[test]
+    fn three_concurrent_erasures_fail_closed() {
+        // Negative: three missing members leave P+Q underdetermined. A
+        // solver fed a wrong guess for the third member returns *wrong*
+        // data for the other two — and the fabricated stripe is still
+        // syndrome-consistent, so P/Q verification cannot catch it either.
+        // This is exactly why the system-level policy must refuse to solve
+        // (reconstruction returns `None`, readers get the checksum-failing
+        // poison pattern) rather than guess-and-verify: no fabricated data
+        // may ever be served as if reconstructed.
+        let stripe = sample_stripe(6, 7);
+        let (p, q) = encode(&stripe);
+        // Members 1, 2, 4 lost; guess zeros for member 4 (wrong — its real
+        // content is non-zero) and run the two-erasure solve for 1 and 2.
+        let mut guessed: Vec<Option<[u8; CACHE_LINE]>> =
+            stripe.iter().map(|d| Some(*d)).collect();
+        guessed[4] = Some([0u8; CACHE_LINE]);
+        guessed[1] = None;
+        guessed[2] = None;
+        let (d1, d2) = recover_two(&guessed, &p, &q, 1, 2);
+        assert_ne!(d1, stripe[1], "wrong guess poisons the solve");
+        assert_ne!(d2, stripe[2], "wrong guess poisons the solve");
+        let mut fabricated = stripe.clone();
+        fabricated[1] = d1;
+        fabricated[2] = d2;
+        fabricated[4] = [0u8; CACHE_LINE];
+        assert!(
+            verify(&fabricated, &p, &q),
+            "the fabrication is syndrome-consistent — P/Q alone cannot vouch \
+             for content at three erasures, so the caller must fail closed"
+        );
+    }
+
+    #[test]
     fn same_stripe_misdirected_write_is_recoverable_with_pq() {
         // The exact failure the single-parity design cannot handle
         // (`recovery::tests::same_stripe_misdirect_is_unrecoverable`):

@@ -66,6 +66,8 @@ pub struct Scrubber {
     passes: u64,
     /// Pages checked in total.
     pages_checked: u64,
+    /// Pages skipped (quarantined under the cursor) in total.
+    pages_skipped: u64,
     /// Also audit each page's parity stripe (media-level XOR comparison).
     audit_parity: bool,
 }
@@ -87,6 +89,7 @@ impl Scrubber {
             cursor: 0,
             passes: 0,
             pages_checked: 0,
+            pages_skipped: 0,
             audit_parity: false,
         }
     }
@@ -109,9 +112,15 @@ impl Scrubber {
         self.passes
     }
 
-    /// Total pages checked so far.
+    /// Total pages checked so far. Skipped (quarantined) pages are *not*
+    /// counted here — see [`pages_skipped`](Self::pages_skipped).
     pub fn pages_checked(&self) -> u64 {
         self.pages_checked
+    }
+
+    /// Total pages skipped (quarantined under the cursor) so far.
+    pub fn pages_skipped(&self) -> u64 {
+        self.pages_skipped
     }
 
     /// Scrub the next `pages` pages (wrapping), reading data and checksums
@@ -153,8 +162,16 @@ impl Scrubber {
     /// Advance past the current page without checking it. Drivers use this
     /// when the page under the cursor is quarantined — reads of it fail
     /// closed, so the scrubber would otherwise wedge on it forever.
+    ///
+    /// A skipped page counts toward [`pages_skipped`](Self::pages_skipped),
+    /// *not* [`pages_checked`](Self::pages_checked): the erroring
+    /// [`step`](Self::step) already bailed out before counting it, and a
+    /// permanently quarantined page would otherwise be re-counted as
+    /// "checked" on every pass without ever being read. The cursor still
+    /// advances and wraps, so a skip at the region boundary completes the
+    /// pass instead of stalling it.
     pub fn skip_current(&mut self) {
-        self.pages_checked += 1;
+        self.pages_skipped += 1;
         self.cursor += 1;
         if self.cursor == self.len {
             self.cursor = 0;
@@ -217,6 +234,20 @@ impl Scrubber {
         let mem = sys.memory();
         for i in 0..LINES_PER_PAGE {
             let line = page.line(i);
+            // Degraded mode: a dead stripe member peeks as zeros (or
+            // mid-resilver content), which is not its logical value — the
+            // audit would report phantom parity rot. Skip lines whose
+            // stripe is not fully live; the resilver restores them.
+            if !mem.line_live(line)
+                || !mem.line_live(self.layout.parity_line_of(line))
+                || self
+                    .layout
+                    .sibling_lines_of(line)
+                    .iter()
+                    .any(|&sib| !mem.line_live(sib))
+            {
+                continue;
+            }
             let mut x = mem.peek_line(line);
             for sib in self.layout.sibling_lines_of(line) {
                 let d = mem.peek_line(sib);
@@ -287,6 +318,26 @@ impl ScrubDaemon {
         let result = self.scrubber.step(sys, core, self.pages);
         sys.set_scrub_accounting(false);
         result.map(Some)
+    }
+
+    /// Run one budgeted scrub step immediately, regardless of the interval
+    /// clock. Degraded-mode drivers use this when the maintenance scheduler
+    /// grants the scrubber a bandwidth token (scrub QoS) instead of pacing
+    /// by raw op count. Reads are bracketed with scrub accounting exactly
+    /// like on-interval [`tick`](Self::tick) steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hardware-verification errors like [`Scrubber::step`].
+    pub fn step_now(
+        &mut self,
+        sys: &mut System,
+        core: usize,
+    ) -> Result<Vec<ScrubFinding>, memsim::engine::CorruptionDetected> {
+        sys.set_scrub_accounting(true);
+        let result = self.scrubber.step(sys, core, self.pages);
+        sys.set_scrub_accounting(false);
+        result
     }
 
     /// The wrapped scrubber (pass counts, pages checked).
@@ -399,6 +450,54 @@ mod tests {
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].page, victim);
         assert!(!sys.scrub_accounting());
+    }
+
+    #[test]
+    fn skip_counts_separately_and_completes_pass_at_boundary() {
+        // Regression: skipping a quarantined page used to count it as
+        // *checked*, so a permanently poisoned page inflated pages_checked
+        // by one on every pass. It must land in pages_skipped instead, and
+        // a skip at the last page of the range must complete the pass.
+        let (mut sys, layout) = setup(4);
+        let mut s = Scrubber::new(layout, ScrubGranularity::Page, 0, 4);
+        s.step(&mut sys, 0, 3).unwrap(); // pages 0..3 checked
+        s.skip_current(); // page 3 quarantined: skip at the boundary
+        assert_eq!(s.pages_checked(), 3, "skipped page not counted as checked");
+        assert_eq!(s.pages_skipped(), 1);
+        assert_eq!(s.passes(), 1, "skip at the boundary completes the pass");
+        // Second pass: same split, no drift.
+        s.step(&mut sys, 0, 3).unwrap();
+        s.skip_current();
+        assert_eq!(s.pages_checked(), 6);
+        assert_eq!(s.pages_skipped(), 2);
+        assert_eq!(s.passes(), 2);
+    }
+
+    #[test]
+    fn daemon_step_now_runs_off_interval() {
+        let (mut sys, layout) = setup(8);
+        sys.reset_stats();
+        let s = Scrubber::new(layout, ScrubGranularity::Page, 0, 8);
+        let mut d = ScrubDaemon::new(s, 2, 1_000_000);
+        let findings = d.step_now(&mut sys, 0).unwrap();
+        assert!(findings.is_empty());
+        assert_eq!(d.scrubber().pages_checked(), 2, "budgeted step ran now");
+        assert!(sys.stats().counters.scrub_reads > 0, "scrub accounting on");
+        assert!(!sys.scrub_accounting(), "flag restored");
+    }
+
+    #[test]
+    fn parity_audit_skips_non_live_stripes() {
+        let (mut sys, layout) = setup(8);
+        let striped = layout.geometry().total_pages_for(8);
+        sys.memory_mut().configure_raid(striped, memsim::RaidLevel::P);
+        sys.memory_mut().fail_bank(1);
+        // With a dead member in (almost) every stripe, a peek-based audit
+        // would see zeros and cry parity rot everywhere; the gated audit
+        // must stay quiet. (Checksum checks still run — reads reconstruct.)
+        let mut s = Scrubber::new(layout, ScrubGranularity::Page, 0, 8).with_parity_audit();
+        let findings = s.step(&mut sys, 0, 8).unwrap();
+        assert!(findings.is_empty(), "no phantom findings while degraded: {findings:?}");
     }
 
     #[test]

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 gate: build, unit/integration tests, and quick-scale smokes of the
-# two fault-injection campaigns. The campaigns exit non-zero on any survival
+# fault-injection campaigns. The campaigns exit non-zero on any survival
 # invariant violation (silent wrong data under a verifying design, an
-# unsettled media inconsistency after convergence, or a poisoned page that
-# fails open), so this script fails CI on them.
+# unsettled media inconsistency after convergence, a poisoned page that
+# fails open, or a resilver that fails to complete / diverges from the
+# never-faulted oracle), so this script fails CI on them.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -23,6 +24,12 @@ TVARAK_SCALE=quick ./target/release/coverage_campaign
 
 echo "=== chaos_campaign (quick) ==="
 TVARAK_SCALE=quick ./target/release/chaos_campaign
+
+echo "=== degraded_campaign (quick) ==="
+# Exits non-zero on any degraded-mode invariant violation: resilver fails
+# to complete under load, silent wrong data, or post-rebuild media that
+# diverges from the never-faulted oracle (DESIGN.md §13).
+TVARAK_SCALE=quick ./target/release/degraded_campaign
 
 echo "=== crashsim_campaign (quick) ==="
 # The binary already exits non-zero on any unrecoverable-loss crash point;
@@ -64,6 +71,22 @@ if ! diff -q "$weave_tmp/seq/results/fig8_fio.csv" "$weave_tmp/par/results/fig8_
     exit 1
 fi
 echo "ci: fig8_fio.csv byte-identical at 1 and 4 engine threads"
+
+echo "=== degraded_campaign --jobs determinism ==="
+# The campaign assembles its CSV from in-input-order results, so any
+# --jobs setting must emit the same bytes.
+deg_tmp="$(mktemp -d)"
+trap 'rm -rf "$perf_tmp" "$weave_tmp" "$deg_tmp"' EXIT
+mkdir -p "$deg_tmp/j1" "$deg_tmp/j4"
+(cd "$deg_tmp/j1" && TVARAK_SCALE=quick \
+    "$repo_root/target/release/degraded_campaign" --jobs 1 > /dev/null)
+(cd "$deg_tmp/j4" && TVARAK_SCALE=quick \
+    "$repo_root/target/release/degraded_campaign" --jobs 4 > /dev/null)
+if ! diff -q "$deg_tmp/j1/results/degraded_campaign.csv" "$deg_tmp/j4/results/degraded_campaign.csv"; then
+    echo "ci: degraded_campaign.csv differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
+echo "ci: degraded_campaign.csv byte-identical at --jobs 1 and 4"
 
 echo "=== perf gate (>30% regression vs committed BENCH_perf.json fails) ==="
 # Two tracked hot paths: engine simulation rate (first sim_cycles_per_sec in
