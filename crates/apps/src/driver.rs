@@ -6,6 +6,7 @@ use memsim::addr::{PageNum, PhysAddr};
 use memsim::config::SystemConfig;
 use memsim::engine::{CorruptionDetected, NullHooks, System};
 use memsim::stats::Stats;
+use memsim::weave::{DivergenceKind, WeaveEligibility};
 use memsim::RaidLevel;
 use pmemfs::fs::{DaxFs, FileHandle, FsError, RecoveryError};
 use pmemfs::rebuild::{PoolState, ReplacementManager};
@@ -1030,29 +1031,52 @@ where
 }
 
 /// How [`run_clocked_threads`] executed a workload.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub enum ThreadedRun {
-    /// The cell was ineligible for bound-weave (single thread requested,
-    /// software redundancy scheme, scrub daemon, armed faults, or an armed
-    /// crash window) and ran on the sequential path. Results authoritative.
-    Sequential,
+    /// The cell ran on the sequential path: either a single thread was
+    /// requested, or the configuration was ineligible for bound-weave (the
+    /// carried [`WeaveEligibility`] says which). Results authoritative.
+    Sequential(WeaveEligibility),
     /// Bound-weave ran to completion; results are bit-identical to the
     /// sequential oracle by construction (see `memsim::weave`).
     Woven(memsim::weave::WeaveReport),
-    /// Bound-weave detected divergence (cross-instance cache-line sharing, a
-    /// mispredicted fill, or a workload error) and was abandoned. The
-    /// machine's state is unspecified: rebuild it and rerun sequentially.
-    Diverged,
+    /// Bound-weave detected divergence and was abandoned; the carried
+    /// [`DivergenceKind`] (when known) says why — cross-instance cache-line
+    /// sharing, a mispredicted fill, a workload error. The machine's state
+    /// is unspecified: rebuild it and rerun sequentially.
+    Diverged(Option<DivergenceKind>),
+}
+
+/// Classify a machine's bound-weave configuration eligibility. Depends only
+/// on the machine (never the requested thread count): software checksum
+/// schemes mutate shared file metadata inline, a scrub daemon keeps
+/// engine-global scan state, crashsim arms a crash window, chaos arms
+/// firmware faults, and degraded-mode RAID keeps reconstruction state
+/// engine-global — each forces the sequential path.
+pub fn weave_eligibility(m: &Machine) -> WeaveEligibility {
+    if m.design().sw_scheme() != SwScheme::None {
+        WeaveEligibility::SwScheme
+    } else if m.scrub_daemon().is_some() {
+        WeaveEligibility::ScrubDaemon
+    } else if m.sys.crash_armed() {
+        WeaveEligibility::CrashWindow
+    } else if m.sys.memory().armed_faults() != 0 {
+        WeaveEligibility::ArmedFaults
+    } else if m.sys.memory().raid_enabled() {
+        WeaveEligibility::Raid
+    } else {
+        WeaveEligibility::Eligible
+    }
 }
 
 /// Clock-driven run of `instances` workload instances on the bound-weave
 /// parallel engine when `threads >= 2` and the cell is eligible; otherwise
 /// falls back to the sequential [`run_clocked`] (trivially identical).
 ///
-/// Eligibility: hardware-offload designs only (software checksum schemes
-/// mutate shared file metadata inline), no scrub daemon, no armed firmware
-/// faults, no armed crash window, no firmware shadow-RAID (degraded-mode
-/// reconstruction state is engine-global). Instances must not share writable cache
+/// Eligibility is classified by [`WeaveEligibility`] (hardware-offload
+/// designs only, no scrub daemon, no armed firmware faults, no armed crash
+/// window, no firmware shadow-RAID) and recorded in the per-cause stats
+/// counters at every thread count. Instances must not share writable cache
 /// lines; if they do, the engine detects it and the run reports
 /// [`ThreadedRun::Diverged`] — the caller rebuilds the machine and reruns
 /// sequentially, so correctness never depends on the predictions.
@@ -1073,15 +1097,14 @@ pub fn run_clocked_threads<F>(
 where
     F: FnMut(&mut Machine, usize, u64) -> Result<(), AppError>,
 {
-    let eligible = threads >= 2
-        && m.design().sw_scheme() == SwScheme::None
-        && m.scrub_daemon().is_none()
-        && !m.sys.crash_armed()
-        && m.sys.memory().armed_faults() == 0
-        && !m.sys.memory().raid_enabled();
-    if !eligible {
+    // The eligibility check (and its per-cause counters) runs at every
+    // thread count, so campaign stats and CSVs stay byte-identical across
+    // MEMSIM_ENGINE_THREADS values.
+    let eligibility = weave_eligibility(m);
+    m.sys.note_weave_eligibility(eligibility);
+    if threads < 2 || eligibility != WeaveEligibility::Eligible {
         run_clocked(m, instances, ops, f)?;
-        return Ok(ThreadedRun::Sequential);
+        return Ok(ThreadedRun::Sequential(eligibility));
     }
     let cores = m.sys.num_cores();
     let session = m.sys.weave_begin();
@@ -1116,14 +1139,17 @@ where
             continue;
         }
         if f(m, inst, done[inst]).is_err() || m.tick_maintenance(inst % cores).is_err() {
+            session.flag_step_error();
             diverged = true;
             break;
         }
         done[inst] += 1;
+        // Step boundary: publish this step's batched events as one epoch.
+        m.sys.weave_epoch_close();
     }
     let report = m.sys.weave_end(session);
     if diverged || report.diverged {
-        return Ok(ThreadedRun::Diverged);
+        return Ok(ThreadedRun::Diverged(report.divergence));
     }
     Ok(ThreadedRun::Woven(report))
 }
@@ -1280,7 +1306,10 @@ mod tests {
             (m.stats(), m.sys.memory().content_hash(), outcome)
         };
         let (seq_stats, seq_hash, seq_mode) = run(1);
-        assert!(matches!(seq_mode, ThreadedRun::Sequential));
+        assert!(matches!(
+            seq_mode,
+            ThreadedRun::Sequential(WeaveEligibility::Eligible)
+        ));
         let (par_stats, par_hash, par_mode) = run(4);
         assert!(
             matches!(par_mode, ThreadedRun::Woven(_)),
@@ -1308,7 +1337,7 @@ mod tests {
         })
         .unwrap();
         assert!(
-            matches!(outcome, ThreadedRun::Diverged),
+            matches!(outcome, ThreadedRun::Diverged(_)),
             "expected divergence on a shared line, got {outcome:?}"
         );
     }
@@ -1327,7 +1356,10 @@ mod tests {
             Ok(())
         })
         .unwrap();
-        assert!(matches!(outcome, ThreadedRun::Sequential));
+        assert!(matches!(
+            outcome,
+            ThreadedRun::Sequential(WeaveEligibility::SwScheme)
+        ));
     }
 
     #[test]

@@ -636,7 +636,8 @@ fn main() {
     install_quiet_panic_hook();
     // CHAOS_FILTER=substring runs only matching cells (e.g. "rbtree design=Tvarak fault=sticky").
     let filter = std::env::var("CHAOS_FILTER").unwrap_or_default();
-    let mut cells: Vec<Cell<(&'static str, Design, FaultKind, Outcome, Vec<String>)>> = Vec::new();
+    type ChaosCell = (&'static str, Design, FaultKind, Outcome, Vec<String>);
+    let mut cells: Vec<Cell<ChaosCell>> = Vec::new();
     for app in ["btree", "rbtree", "fio"] {
         for design in designs() {
             for kind in FaultKind::all() {

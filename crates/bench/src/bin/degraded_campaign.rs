@@ -496,7 +496,7 @@ fn drive<F: FnMut(&Machine, u64) -> bool>(
         let _ = m.tick_maintenance(0);
         *op += 1;
         ran += 1;
-        if *op % FLUSH_EVERY == 0 {
+        if (*op).is_multiple_of(FLUSH_EVERY) {
             m.flush();
         }
     }

@@ -27,7 +27,7 @@ fn main() {
         Report::new("Fig. 8(e-h) — Key-value structures (runtime, energy, NVM & cache accesses)");
     for r in &results {
         let (label, design, out) = &r.value;
-        rep.push(Row::new(label, *design, &out.stats, &out.cfg));
+        rep.push(Row::new(label, *design, &out.stats, &out.cfg).weave(out.weave_eligibility));
     }
     rep.emit("fig8_kv");
 }

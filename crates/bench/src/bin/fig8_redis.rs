@@ -25,7 +25,7 @@ fn main() {
     let mut rep = Report::new("Fig. 8(a-d) — Redis (runtime, energy, NVM & cache accesses)");
     for r in &results {
         let (label, design, out) = &r.value;
-        rep.push(Row::new(label, *design, &out.stats, &out.cfg));
+        rep.push(Row::new(label, *design, &out.stats, &out.cfg).weave(out.weave_eligibility));
     }
     rep.emit("fig8_redis");
 }

@@ -101,12 +101,14 @@ fn engine_microbench(ops: u64, runs: usize) -> (u64, f64) {
 
 /// One bound-weave scaling point: a 12-instance fio cell at `threads`
 /// engine threads, best wall time of `runs`. Returns (sim_cycles, wall_s,
-/// weave occupancy of the best run). `sim_cycles` must be identical at
-/// every thread count — the caller asserts it.
-fn scaling_point(scale: &Scale, threads: usize, runs: usize) -> (u64, f64, Option<f64>) {
+/// per-shard weave occupancy of the best run). The occupancy vector is the
+/// schema-uniform telemetry: empty on the sequential path (threads 1 or a
+/// diverged fallback), one entry per weave shard otherwise. `sim_cycles`
+/// must be identical at every thread count — the caller asserts it.
+fn scaling_point(scale: &Scale, threads: usize, runs: usize) -> (u64, f64, Vec<f64>) {
     let mut best = f64::INFINITY;
     let mut cycles = 0;
-    let mut occupancy = None;
+    let mut occupancy = Vec::new();
     for _ in 0..runs {
         let start = Instant::now();
         let out = run_fio_threads(Design::Tvarak, Pattern::RandWrite, scale, threads)
@@ -115,7 +117,7 @@ fn scaling_point(scale: &Scale, threads: usize, runs: usize) -> (u64, f64, Optio
         cycles = out.stats.runtime_cycles();
         if wall < best {
             best = wall;
-            occupancy = out.weave.map(|r| r.occupancy());
+            occupancy = out.weave.map(|r| r.shard_occupancy()).unwrap_or_default();
         }
     }
     (cycles, best, occupancy)
@@ -206,18 +208,18 @@ fn main() {
     // Intra-run scaling: a 12-instance fio cell on the full Table III
     // machine at 1/2/4/8 requested engine threads. `sim_cycles` must be
     // bit-identical at every width (the bound-weave hard requirement);
-    // wall time and weave occupancy are the tracked telemetry. Note the
-    // engine currently pipelines bound against one weave thread, so the
-    // ideal speedup is 2x regardless of the requested width; on a 1-core
-    // host even that is unreachable and the curve mostly documents the
-    // overhead.
+    // wall time and per-shard weave occupancy are the tracked telemetry.
+    // The sharded engine runs bound on the caller plus one replay worker
+    // per weave shard (auto: min(LLC banks, host cores, 4)), so the curve
+    // only shows real speedup on a multi-core host; on a 1-core box it
+    // documents the transport overhead.
     let (scaling_ops, scaling_runs) = if quick { (2_048, 2) } else { (16_384, 3) };
     let mut scaling_scale = Scale::quick();
     scaling_scale.fio_threads = 12;
     scaling_scale.fio_region_bytes = 512 * 1024;
     scaling_scale.fio_ops_per_thread = scaling_ops;
     eprintln!("# engine scaling (12-instance fio, {scaling_ops} ops/inst, best of {scaling_runs})");
-    let mut scaling: Vec<(usize, f64, Option<f64>)> = Vec::new();
+    let mut scaling: Vec<(usize, f64, Vec<f64>)> = Vec::new();
     let mut scaling_cycles = 0u64;
     for threads in [1usize, 2, 4, 8] {
         let (cyc, wall, occ) = scaling_point(&scaling_scale, threads, scaling_runs);
@@ -229,8 +231,15 @@ fn main() {
                 "bound-weave sim_cycles diverged from sequential at {threads} threads"
             );
         }
-        let occ_str = occ.map_or("-".to_string(), |o| format!("{o:.2}"));
-        eprintln!("#   threads {threads}: {wall:.2}s wall, weave occupancy {occ_str}");
+        let occ_str = if occ.is_empty() {
+            "-".to_string()
+        } else {
+            occ.iter()
+                .map(|o| format!("{o:.2}"))
+                .collect::<Vec<_>>()
+                .join("/")
+        };
+        eprintln!("#   threads {threads}: {wall:.2}s wall, shard occupancy {occ_str}");
         scaling.push((threads, wall, occ));
     }
     let scaling_base = scaling[0].1;
@@ -254,7 +263,7 @@ fn main() {
     let cells_per_sec = results.len() as f64 / grid_wall.max(1e-9);
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": 3,");
+    let _ = writeln!(json, "  \"schema\": 4,");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"jobs\": {jobs},");
     let _ = writeln!(json, "  \"hw_crc32c\": {hw},");
@@ -281,10 +290,13 @@ fn main() {
     let _ = writeln!(json, "    \"points\": [");
     for (i, (threads, wall, occ)) in scaling.iter().enumerate() {
         let comma = if i + 1 < scaling.len() { "," } else { "" };
-        let occ_json = occ.map_or("null".to_string(), json_f);
+        let occ_json = format!(
+            "[{}]",
+            occ.iter().map(|&o| json_f(o)).collect::<Vec<_>>().join(", ")
+        );
         let _ = writeln!(
             json,
-            "      {{\"threads\": {threads}, \"wall_s\": {}, \"speedup\": {}, \"weave_occupancy\": {occ_json}}}{comma}",
+            "      {{\"threads\": {threads}, \"wall_s\": {}, \"speedup\": {}, \"shard_occupancy\": {occ_json}}}{comma}",
             json_f(*wall),
             json_f(scaling_base / wall.max(1e-9)),
         );

@@ -70,6 +70,8 @@ fn run(
         cfg: m.sys.config().clone(),
         weave: None,
         content_hash: m.sys.memory().content_hash(),
+        weave_eligibility: apps::driver::weave_eligibility(&m).as_str(),
+        divergence: None,
     })
 }
 

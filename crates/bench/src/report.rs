@@ -32,6 +32,11 @@ pub struct Row {
     pub llc: u64,
     /// On-controller cache accesses.
     pub tvarak_cache: u64,
+    /// Bound-weave eligibility label for the cell's configuration (see
+    /// `Outcome::weave_eligibility`); `-` when the producing binary does not
+    /// stamp it. Classified from the machine alone, so the column is
+    /// byte-identical at every engine-thread count.
+    pub weave: &'static str,
 }
 
 impl Row {
@@ -49,7 +54,14 @@ impl Row {
             l2: c.l2_accesses(),
             llc: c.llc_accesses(),
             tvarak_cache: c.tvarak_accesses(),
+            weave: "-",
         }
+    }
+
+    /// Stamp the bound-weave eligibility label (builder style).
+    pub fn weave(mut self, label: &'static str) -> Self {
+        self.weave = label;
+        self
     }
 
     /// Total cache accesses.
@@ -96,7 +108,7 @@ impl Report {
         let _ = writeln!(s, "## {}", self.title);
         let _ = writeln!(
             s,
-            "{:<14} {:<18} {:>14} {:>8} {:>14} {:>12} {:>10} {:>12} {:>12} {:>12} {:>10}",
+            "{:<14} {:<18} {:>14} {:>8} {:>14} {:>12} {:>10} {:>12} {:>12} {:>12} {:>10} {:>12}",
             "workload",
             "design",
             "runtime(cyc)",
@@ -107,7 +119,8 @@ impl Report {
             "L1",
             "L2",
             "LLC",
-            "tvarak$"
+            "tvarak$",
+            "weave"
         );
         for r in &self.rows {
             let norm = self
@@ -116,7 +129,7 @@ impl Report {
                 .unwrap_or(f64::NAN);
             let _ = writeln!(
                 s,
-                "{:<14} {:<18} {:>14} {:>8.3} {:>14.0} {:>12} {:>10} {:>12} {:>12} {:>12} {:>10}",
+                "{:<14} {:<18} {:>14} {:>8.3} {:>14.0} {:>12} {:>10} {:>12} {:>12} {:>12} {:>10} {:>12}",
                 r.workload,
                 r.design,
                 r.runtime_cycles,
@@ -127,7 +140,8 @@ impl Report {
                 r.l1,
                 r.l2,
                 r.llc,
-                r.tvarak_cache
+                r.tvarak_cache,
+                r.weave
             );
         }
         s
@@ -136,7 +150,7 @@ impl Report {
     /// Render as CSV (same columns as [`Self::to_table`]).
     pub fn to_csv(&self) -> String {
         let mut s = String::from(
-            "workload,design,runtime_cycles,runtime_norm,energy_nj,nvm_data,nvm_red,l1,l2,llc,tvarak_cache\n",
+            "workload,design,runtime_cycles,runtime_norm,energy_nj,nvm_data,nvm_red,l1,l2,llc,tvarak_cache,weave\n",
         );
         for r in &self.rows {
             let norm = self
@@ -145,7 +159,7 @@ impl Report {
                 .unwrap_or(f64::NAN);
             let _ = writeln!(
                 s,
-                "{},{},{},{:.4},{:.0},{},{},{},{},{},{}",
+                "{},{},{},{:.4},{:.0},{},{},{},{},{},{},{}",
                 r.workload,
                 r.design,
                 r.runtime_cycles,
@@ -156,7 +170,8 @@ impl Report {
                 r.l1,
                 r.l2,
                 r.llc,
-                r.tvarak_cache
+                r.tvarak_cache,
+                r.weave
             );
         }
         s
@@ -261,6 +276,7 @@ mod tests {
             l2: 5,
             llc: 6,
             tvarak_cache: 7,
+            weave: "eligible",
         }
     }
 

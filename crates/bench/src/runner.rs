@@ -68,16 +68,40 @@ pub fn jobs() -> usize {
     jobs_from(std::env::args().skip(1))
 }
 
-/// Bound-weave engine threads per cell: `MEMSIM_ENGINE_THREADS`, default 1
-/// (pure sequential — the reference oracle). The intra-run analogue of
+/// Bound-weave engine threads per cell: the first `--threads N` /
+/// `--threads=N` in `std::env::args()`, else `MEMSIM_ENGINE_THREADS`,
+/// default 1 (pure sequential — the reference oracle). A value of `0` from
+/// either source asks for auto-detection via
+/// [`std::thread::available_parallelism`]. The intra-run analogue of
 /// [`jobs`]'s cross-cell parallelism; results are bit-identical at any
 /// value because diverging cells fall back to the sequential path.
 pub fn engine_threads() -> usize {
-    std::env::var("MEMSIM_ENGINE_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(1)
+    engine_threads_from(std::env::args().skip(1))
+}
+
+fn engine_threads_from(args: impl Iterator<Item = String>) -> usize {
+    let requested = parse_threads_args(args).or_else(|| {
+        std::env::var("MEMSIM_ENGINE_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+    });
+    match requested {
+        Some(0) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Some(n) => n,
+        None => 1,
+    }
+}
+
+fn parse_threads_args(mut args: impl Iterator<Item = String>) -> Option<usize> {
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return args.next()?.parse().ok();
+        }
+        if let Some(v) = a.strip_prefix("--threads=") {
+            return v.parse().ok();
+        }
+    }
+    None
 }
 
 fn jobs_from(args: impl Iterator<Item = String>) -> usize {
@@ -106,15 +130,16 @@ fn parse_jobs_args(mut args: impl Iterator<Item = String>) -> Option<usize> {
     None
 }
 
-/// Command-line arguments with the `--jobs` forms removed, for binaries
-/// that also take positional arguments (e.g. `fig9_ablation`'s group).
+/// Command-line arguments with the `--jobs` and `--threads` forms removed,
+/// for binaries that also take positional arguments (e.g. `fig9_ablation`'s
+/// group).
 pub fn positional_args() -> Vec<String> {
     let mut out = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--jobs" {
+        if a == "--jobs" || a == "--threads" {
             let _ = args.next();
-        } else if !a.starts_with("--jobs=") {
+        } else if !a.starts_with("--jobs=") && !a.starts_with("--threads=") {
             out.push(a);
         }
     }
@@ -260,6 +285,26 @@ mod tests {
         assert_eq!(parse(&["--jobs", "x"]), None);
         assert_eq!(parse(&["--jobs"]), None);
         assert_eq!(parse(&["b"]), None);
+    }
+
+    #[test]
+    fn threads_flag_parsing() {
+        let parse = |v: &[&str]| parse_threads_args(v.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&["--threads", "4"]), Some(4));
+        assert_eq!(parse(&["a", "--threads=2"]), Some(2));
+        // 0 is a valid request (auto-detect), unlike --jobs.
+        assert_eq!(parse(&["--threads", "0"]), Some(0));
+        assert_eq!(parse(&["--threads", "x"]), None);
+        assert_eq!(parse(&["--threads"]), None);
+        assert_eq!(parse(&["b"]), None);
+    }
+
+    #[test]
+    fn engine_threads_zero_auto_detects() {
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let from = |v: &[&str]| engine_threads_from(v.iter().map(|s| s.to_string()));
+        assert_eq!(from(&["--threads", "0"]), host);
+        assert_eq!(from(&["--threads", "3"]), 3);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use apps::btree::BTree;
 use apps::ctree::CTree;
 use apps::rbtree::RbTree;
 use apps::driver::{AppError, Design, Machine, ThreadedRun};
+use memsim::weave::DivergenceKind;
 use apps::fio::{Fio, Pattern};
 use apps::kv::PersistentKv;
 use apps::nstore::NStore;
@@ -141,6 +142,15 @@ pub struct Outcome {
     /// Canonical digest of the final media content, for determinism
     /// differentials (sequential vs bound-weave, any `--jobs` width).
     pub content_hash: u64,
+    /// Bound-weave eligibility of this cell's configuration, as a stable
+    /// label (see [`memsim::weave::WeaveEligibility::as_str`]). Classified
+    /// from the machine alone, so the value — and the CSV column built from
+    /// it — is identical at every engine-thread count.
+    pub weave_eligibility: &'static str,
+    /// Why a parallel attempt was abandoned in favour of the sequential
+    /// rerun (`None`: no fallback happened). Telemetry only — divergence
+    /// depends on the engine-thread count, so this never feeds CSVs.
+    pub divergence: Option<&'static str>,
 }
 
 /// A design plus machine-parameter overrides: the Fig. 10 way-partition
@@ -161,6 +171,11 @@ pub struct Variant {
     pub nvm_latency_ns: Option<(f64, f64)>,
     /// Override: NVM read/write DIMM occupancy in ns (scaled with latency).
     pub nvm_occupancy_ns: Option<(f64, f64)>,
+    /// Override: bound-weave shard count (`memsim::config::SystemConfig::
+    /// weave_shards`; `None` keeps the config default of auto-detect).
+    /// Results are bit-identical at any value — this only moves where
+    /// replay work runs — so differentials sweep it freely.
+    pub weave_shards: Option<usize>,
 }
 
 impl Variant {
@@ -173,6 +188,7 @@ impl Variant {
             nvm_dimms: None,
             nvm_latency_ns: None,
             nvm_occupancy_ns: None,
+            weave_shards: None,
         }
     }
 
@@ -198,6 +214,12 @@ impl Variant {
     pub fn dram_as_nvm(mut self) -> Self {
         self.nvm_latency_ns = Some((15.0, 15.0));
         self.nvm_occupancy_ns = Some((7.5, 7.5));
+        self
+    }
+
+    /// Pin the bound-weave shard count (0 restores auto-detect).
+    pub fn weave_shards(mut self, s: usize) -> Self {
+        self.weave_shards = Some(s);
         self
     }
 }
@@ -230,6 +252,9 @@ pub fn machine(v: impl Into<Variant>, data_pages: u64) -> Machine {
         cfg.nvm.read_occupancy_ns = r;
         cfg.nvm.write_occupancy_ns = w;
     }
+    if let Some(s) = v.weave_shards {
+        cfg.weave_shards = s;
+    }
     Machine::builder()
         .system_config(cfg)
         .design(v.design)
@@ -247,22 +272,24 @@ fn finish(m: &Machine) -> Outcome {
         cfg: m.sys.config().clone(),
         weave: None,
         content_hash: m.sys.memory().content_hash(),
+        weave_eligibility: apps::driver::weave_eligibility(m).as_str(),
+        divergence: None,
     }
 }
 
 /// Close out a cell whose measured phase ran under
-/// [`apps::driver::run_clocked_threads`]: `None` means the bound-weave
-/// attempt diverged and the whole cell (setup included) must be redone
-/// sequentially.
-fn finish_threaded(m: &Machine, mode: ThreadedRun) -> Option<Outcome> {
-    if matches!(mode, ThreadedRun::Diverged) {
-        return None;
+/// [`apps::driver::run_clocked_threads`]: `Err` carries the divergence kind
+/// (when known) and means the bound-weave attempt was abandoned — the whole
+/// cell (setup included) must be redone sequentially.
+fn finish_threaded(m: &Machine, mode: ThreadedRun) -> Result<Outcome, Option<DivergenceKind>> {
+    if let ThreadedRun::Diverged(kind) = mode {
+        return Err(kind);
     }
     let mut out = finish(m);
     if let ThreadedRun::Woven(r) = mode {
         out.weave = Some(r);
     }
-    Some(out)
+    Ok(out)
 }
 
 /// Run a cell at the requested bound-weave width, falling back to a fresh
@@ -270,20 +297,39 @@ fn finish_threaded(m: &Machine, mode: ThreadedRun) -> Option<Outcome> {
 /// any of those may stem from mispredicted fill data, so the attempt is
 /// discarded wholesale and the sequential oracle is authoritative (it
 /// reproduces genuine failures deterministically). `cell(t)` must build the
-/// machine and all application state from scratch each call.
-fn retry_sequential<T>(
+/// machine and all application state from scratch each call. The fallback
+/// cause (divergence kind, workload error, panic) is logged to stderr and
+/// stamped on the rerun's [`Outcome::divergence`].
+fn retry_sequential(
     threads: usize,
-    mut cell: impl FnMut(usize) -> Result<Option<T>, AppError>,
-) -> Result<T, AppError> {
+    mut cell: impl FnMut(usize) -> Result<Result<Outcome, Option<DivergenceKind>>, AppError>,
+) -> Result<Outcome, AppError> {
+    let mut fallback: Option<&'static str> = None;
     if threads >= 2 {
         let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cell(threads)));
-        if let Ok(Ok(Some(out))) = attempt {
-            return Ok(out);
+        match attempt {
+            Ok(Ok(Ok(out))) => return Ok(out),
+            Ok(Ok(Err(kind))) => {
+                let label = kind.map_or("unknown", DivergenceKind::as_str);
+                eprintln!("  bound-weave diverged ({label}); rerunning sequentially");
+                fallback = Some(label);
+            }
+            Ok(Err(_)) => {
+                eprintln!("  bound-weave attempt errored; rerunning sequentially");
+                fallback = Some("attempt-error");
+            }
+            Err(_) => {
+                eprintln!("  bound-weave attempt panicked; rerunning sequentially");
+                fallback = Some("attempt-panic");
+            }
         }
     }
     match cell(1)? {
-        Some(out) => Ok(out),
-        None => unreachable!("sequential cell cannot diverge"),
+        Ok(mut out) => {
+            out.divergence = fallback;
+            Ok(out)
+        }
+        Err(_) => unreachable!("sequential cell cannot diverge"),
     }
 }
 
@@ -336,7 +382,7 @@ fn redis_cell(
     wl: RedisWorkload,
     s: &Scale,
     threads: usize,
-) -> Result<Option<Outcome>, AppError> {
+) -> Result<Result<Outcome, Option<DivergenceKind>>, AppError> {
     let v = v.clone();
     // Entry ≈ 24 B header + value; tables grow to ~2×keys slots.
     let heap_bytes =
@@ -496,7 +542,7 @@ fn kv_cell(
     wl: KvWorkload,
     s: &Scale,
     threads: usize,
-) -> Result<Option<Outcome>, AppError> {
+) -> Result<Result<Outcome, Option<DivergenceKind>>, AppError> {
     let v = v.clone();
     // Upper bound across structures: rbtree nodes are 48 B, btree amortizes
     // ~20 B/key, ctree ~40 B/key (leaf+internal).
@@ -630,7 +676,7 @@ fn nstore_cell(
     wl: NstoreWorkload,
     s: &Scale,
     threads: usize,
-) -> Result<Option<Outcome>, AppError> {
+) -> Result<Result<Outcome, Option<DivergenceKind>>, AppError> {
     let v = v.clone();
     let wal_bytes = s.nstore_txs * 160 + (1 << 20);
     let data_pages =
@@ -697,7 +743,7 @@ fn fio_cell(
     pattern: Pattern,
     s: &Scale,
     threads: usize,
-) -> Result<Option<Outcome>, AppError> {
+) -> Result<Result<Outcome, Option<DivergenceKind>>, AppError> {
     let v = v.clone();
     let data_pages = s.fio_region_bytes / PAGE as u64 * s.fio_threads as u64 + 1024;
     let mut m = machine(v.clone(), data_pages);
@@ -749,7 +795,7 @@ fn stream_cell(
     kernel: Kernel,
     s: &Scale,
     threads: usize,
-) -> Result<Option<Outcome>, AppError> {
+) -> Result<Result<Outcome, Option<DivergenceKind>>, AppError> {
     let v = v.clone();
     let data_pages = 3 * s.stream_array_bytes / PAGE as u64 + 1024;
     let mut m = machine(v.clone(), data_pages);

@@ -1,13 +1,21 @@
 //! Bound-weave differential: every design × {fio, kv} × engine-thread
-//! count must reproduce the sequential oracle exactly — same `Stats`
-//! (counters, per-core cycles, eviction-order digest) and same final media
-//! content. Hardware designs exercise the real bound-weave path; software
-//! designs exercise the transparent sequential fallback.
+//! count × weave-shard count must reproduce the sequential oracle exactly —
+//! same `Stats` (counters, per-core cycles, eviction-order digest) and same
+//! final media content. Hardware designs exercise the real bound-weave
+//! path; software designs exercise the transparent sequential fallback.
+//!
+//! The shard sweep pins `SystemConfig::weave_shards` through
+//! [`bench::workloads::Variant::weave_shards`]: the shard count only moves
+//! *where* replay work runs (which worker drains which per-bank ring), so
+//! results must be bit-identical at every (threads, shards) point.
 
 use apps::driver::Design;
 use apps::fio::Pattern;
-use bench::workloads::{run_fio_threads, run_kv_threads, KvKind, KvWorkload};
+use bench::workloads::{run_fio_threads, run_kv_threads, KvKind, KvWorkload, Variant};
 use bench::Scale;
+
+const THREADS: [usize; 3] = [2, 4, 8];
+const SHARDS: [usize; 3] = [1, 2, 4];
 
 fn small_scale() -> Scale {
     let mut s = Scale::quick();
@@ -21,56 +29,70 @@ fn small_scale() -> Scale {
 }
 
 /// Hardware-offload designs must actually complete on the weave path —
-/// a silent divergence fallback would make the differential vacuous.
-fn assert_mode(design: Design, out: &bench::Outcome, what: &str) {
+/// a silent divergence fallback would make the differential vacuous. When
+/// the shard count was pinned, the report must show that many shards.
+fn assert_mode(design: Design, out: &bench::Outcome, shards: usize, what: &str) {
     use pmemfs::tx::SwScheme;
     if design.sw_scheme() == SwScheme::None {
-        assert!(
-            out.weave.is_some(),
-            "{what}: {design:?} fell back to sequential instead of weaving"
+        let report = out
+            .weave
+            .as_ref()
+            .unwrap_or_else(|| panic!("{what}: {design:?} fell back to sequential instead of weaving"));
+        assert_eq!(
+            report.shards(),
+            shards,
+            "{what}: {design:?} ran with the wrong shard count"
         );
+        assert_eq!(out.weave_eligibility, "eligible");
     } else {
         assert!(out.weave.is_none());
+        assert_eq!(out.weave_eligibility, "sw-scheme");
     }
 }
 
 #[test]
-fn fio_identical_across_engine_threads() {
+fn fio_identical_across_engine_threads_and_shards() {
     let s = small_scale();
     for design in Design::all() {
         let seq = run_fio_threads(design, Pattern::RandWrite, &s, 1).unwrap();
-        for threads in [2usize, 4] {
-            let par = run_fio_threads(design, Pattern::RandWrite, &s, threads).unwrap();
-            assert_mode(design, &par, "fio");
-            assert_eq!(
-                seq.stats, par.stats,
-                "fio stats mismatch: {design:?} at {threads} threads"
-            );
-            assert_eq!(
-                seq.content_hash, par.content_hash,
-                "fio media mismatch: {design:?} at {threads} threads"
-            );
+        for threads in THREADS {
+            for shards in SHARDS {
+                let v = Variant::of(design).weave_shards(shards);
+                let par = run_fio_threads(v, Pattern::RandWrite, &s, threads).unwrap();
+                assert_mode(design, &par, shards, "fio");
+                assert_eq!(
+                    seq.stats, par.stats,
+                    "fio stats mismatch: {design:?} at {threads} threads, {shards} shards"
+                );
+                assert_eq!(
+                    seq.content_hash, par.content_hash,
+                    "fio media mismatch: {design:?} at {threads} threads, {shards} shards"
+                );
+            }
         }
     }
 }
 
 #[test]
-fn kv_identical_across_engine_threads() {
+fn kv_identical_across_engine_threads_and_shards() {
     let s = small_scale();
     for design in Design::all() {
         let seq = run_kv_threads(design, KvKind::BTree, KvWorkload::Balanced, &s, 1).unwrap();
-        for threads in [2usize, 4] {
-            let par =
-                run_kv_threads(design, KvKind::BTree, KvWorkload::Balanced, &s, threads).unwrap();
-            assert_mode(design, &par, "kv");
-            assert_eq!(
-                seq.stats, par.stats,
-                "kv stats mismatch: {design:?} at {threads} threads"
-            );
-            assert_eq!(
-                seq.content_hash, par.content_hash,
-                "kv media mismatch: {design:?} at {threads} threads"
-            );
+        for threads in THREADS {
+            for shards in SHARDS {
+                let v = Variant::of(design).weave_shards(shards);
+                let par =
+                    run_kv_threads(v, KvKind::BTree, KvWorkload::Balanced, &s, threads).unwrap();
+                assert_mode(design, &par, shards, "kv");
+                assert_eq!(
+                    seq.stats, par.stats,
+                    "kv stats mismatch: {design:?} at {threads} threads, {shards} shards"
+                );
+                assert_eq!(
+                    seq.content_hash, par.content_hash,
+                    "kv media mismatch: {design:?} at {threads} threads, {shards} shards"
+                );
+            }
         }
     }
 }

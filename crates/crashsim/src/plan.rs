@@ -35,7 +35,7 @@ impl CrashPlan {
     /// Panics if `samples < 2` (the endpoints alone need two slots).
     pub fn sampled(total: u64, samples: usize, seed: u64) -> Self {
         assert!(samples >= 2, "need room for at least the two endpoints");
-        if samples as u64 >= total + 1 {
+        if samples as u64 > total {
             return Self::exhaustive(total);
         }
         // Reservoir-sample `samples - 2` interior points from 1..total.

@@ -124,6 +124,12 @@ pub struct SystemConfig {
     pub llc: CacheConfig,
     /// Number of LLC banks.
     pub llc_banks: usize,
+    /// Weave shard workers for bound-weave parallel sessions (see
+    /// `memsim::weave`): `0` = auto (min of LLC banks and host parallelism,
+    /// capped at 4). Results are bit-identical at any value — the knob only
+    /// moves where replay work runs. Overridable per-process with
+    /// `MEMSIM_WEAVE_SHARDS` when this is `0`.
+    pub weave_shards: usize,
     /// DRAM parameters.
     pub dram: DramConfig,
     /// NVM parameters.
@@ -166,6 +172,7 @@ impl Default for SystemConfig {
                 miss_pj: 500.0,
             },
             llc_banks: 12,
+            weave_shards: 0,
             dram: DramConfig {
                 dimms: 6,
                 read_ns: 15.0,

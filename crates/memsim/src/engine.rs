@@ -120,7 +120,7 @@ pub struct HookEnv<'a> {
 /// counts are powers of two in every shipped config, so the modulo usually
 /// reduces to a mask; the division survives only as a fallback.
 #[inline]
-fn bank_interleave(line: LineAddr, banks: usize) -> usize {
+pub(crate) fn bank_interleave(line: LineAddr, banks: usize) -> usize {
     let n = banks as u64;
     if n.is_power_of_two() {
         (line.0 & (n - 1)) as usize
@@ -962,7 +962,7 @@ impl System {
         let ts = self.clocks[core];
         let b = self.bound.as_mut().expect("bound_fill outside bound phase");
         if foreign {
-            b.flag_divergence();
+            b.flag_divergence(crate::weave::DivergenceKind::ForeignPrivateCopy);
         }
         let predicted = b.predict(line);
         b.send(crate::weave::Event::Fill {
@@ -983,7 +983,7 @@ impl System {
             // phase; sequential execution would negotiate ownership through
             // the LLC directory, which the bound phase cannot see. Grant
             // exclusivity benignly and bail to the sequential oracle.
-            b.flag_divergence();
+            b.flag_divergence(crate::weave::DivergenceKind::WriteUpgrade);
             if let Some(mut e) = self.cores[core].l1d.lookup(line, 0..self.cfg.l1d.ways) {
                 e.set_excl(true);
             }
@@ -1664,15 +1664,19 @@ impl System {
     ///
     /// The shared state — LLC banks, memory devices, DIMM bandwidth model,
     /// redundancy hooks, crash window, and the shared-side counters — moves
-    /// onto a freshly spawned weave thread wrapped in a skeleton `System`
-    /// (no cores: its `priv_invalidate` flags divergence instead). This
-    /// system keeps the private caches and runs the application; every
+    /// onto freshly spawned weave shard workers wrapped in a skeleton
+    /// `System` (no cores: its `priv_invalidate` flags divergence instead).
+    /// This system keeps the private caches and runs the application; every
     /// shared access is predicted from a dirty-line overlay ∪ media snapshot
-    /// and emitted as an event the weave thread replays, verifies, and
-    /// times.
+    /// and emitted as an event batched per scheduler step (epoch) onto
+    /// per-(core × shard) SPSC rings; the workers replay, verify, and time
+    /// the epochs in deterministic (epoch, emitter, seq) order. The shard
+    /// count comes from `cfg.weave_shards` (0 = `MEMSIM_WEAVE_SHARDS` or
+    /// auto); results are bit-identical at any value.
     ///
     /// Call [`Self::weave_end`] to close the session and fold the shared
-    /// state (and corrected clocks) back in.
+    /// state (and corrected clocks) back in. The caller must invoke
+    /// [`Self::weave_epoch_close`] at every scheduler-step boundary.
     ///
     /// # Panics
     ///
@@ -1722,17 +1726,60 @@ impl System {
             bound: None,
             weave_divergence: false,
         };
-        let (session, ctx) = crate::weave::WeaveSession::spawn(weave_sys, self.cfg.cores, snapshot, overlay);
+        let shards = crate::weave::resolve_shards(self.cfg.weave_shards, self.cfg.llc_banks);
+        let (session, ctx) =
+            crate::weave::WeaveSession::spawn(weave_sys, self.cfg.cores, shards, snapshot, overlay);
         self.bound = Some(ctx);
         self.weave_divergence = false;
         session
     }
 
-    /// Close a bound-weave session: drop the event channel (the weave
-    /// thread drains and exits), join it, move the shared state back into
-    /// this system, correct every core clock by its final stall offset, and
-    /// sum the bound-side counters (private-cache hits/misses, instruction
-    /// fetches) with the weave-side ones.
+    /// Close the current epoch (one scheduler step's batched events) on the
+    /// bound side: publish its descriptor and stream its events to the
+    /// per-shard rings. No-op when no session is active or the step emitted
+    /// nothing. The clocked schedulers call this at every step boundary.
+    pub fn weave_epoch_close(&mut self) {
+        if let Some(b) = self.bound.as_mut() {
+            b.close_epoch();
+        }
+    }
+
+    /// Swap `shard` with the live counter block. Weave workers call this
+    /// around each epoch they apply so every hot-path counter increment
+    /// lands in the worker's private shard (merged at session join via
+    /// [`Counters::merge`]); the pre-session counter block rides in `self`
+    /// between epochs, untouched.
+    pub(crate) fn weave_counters_swap(&mut self, shard: &mut Counters) {
+        std::mem::swap(&mut self.counters, shard);
+    }
+
+    /// Number of LLC banks (shard routing on the weave side).
+    pub(crate) fn llc_banks(&self) -> usize {
+        self.llc.len()
+    }
+
+    /// Record the outcome of the bound-weave configuration eligibility
+    /// check in the per-cause counters. The clocked scheduler calls this
+    /// once per run at *every* requested thread count (the check ignores
+    /// the thread count), so the counters — and any CSV column derived from
+    /// them — are identical across `MEMSIM_ENGINE_THREADS` values.
+    pub fn note_weave_eligibility(&mut self, e: crate::weave::WeaveEligibility) {
+        use crate::weave::WeaveEligibility as E;
+        match e {
+            E::Eligible => self.counters.weave_eligible_runs += 1,
+            E::SwScheme => self.counters.weave_inel_sw_scheme += 1,
+            E::ScrubDaemon => self.counters.weave_inel_scrub += 1,
+            E::CrashWindow => self.counters.weave_inel_crash += 1,
+            E::ArmedFaults => self.counters.weave_inel_faults += 1,
+            E::Raid => self.counters.weave_inel_raid += 1,
+        }
+    }
+
+    /// Close a bound-weave session: post the close sentinel (the workers
+    /// drain and exit), join them, move the shared state back into this
+    /// system, correct every core clock by its final stall offset, and
+    /// merge the bound-side counters (private-cache hits/misses,
+    /// instruction fetches) with the per-worker weave shards.
     ///
     /// If the returned report says the session diverged, this system's
     /// state is unspecified beyond being safe to drop — discard it and
@@ -1742,11 +1789,13 @@ impl System {
     ///
     /// Panics if no session is active.
     pub fn weave_end(&mut self, session: crate::weave::WeaveSession) -> crate::weave::WeaveReport {
-        let ctx = self.bound.take().expect("no bound-weave session active");
-        drop(ctx); // closes the event channel; the weave thread exits
-        let (weave_sys, stalls, report) = session.join();
+        let mut ctx = self.bound.take().expect("no bound-weave session active");
+        ctx.finish(); // posts the close sentinel; the workers drain and exit
+        drop(ctx);
+        let (weave_sys, stalls, worker_shards, report) = session.join();
         let bound_counters = std::mem::replace(&mut self.counters, weave_sys.counters);
         self.counters += bound_counters;
+        self.counters.merge(&worker_shards);
         self.llc = weave_sys.llc;
         self.mem = weave_sys.mem;
         self.dimms = weave_sys.dimms;
@@ -1763,10 +1812,16 @@ impl System {
     /// core clock from the event's bound-local timestamp plus the core's
     /// accumulated stall offset, apply the shared-state operation exactly as
     /// sequential execution would, and fold the newly charged shared cycles
-    /// back into the stall offset. Returns `true` while the replay is
-    /// consistent with the bound phase's predictions.
-    pub(crate) fn weave_apply(&mut self, ev: crate::weave::Event, stall: &mut u64) -> bool {
-        use crate::weave::Event;
+    /// back into the stall offset. Returns `None` while the replay is
+    /// consistent with the bound phase's predictions, or the divergence
+    /// cause otherwise.
+    pub(crate) fn weave_apply(
+        &mut self,
+        ev: crate::weave::Event,
+        stall: &mut u64,
+    ) -> Option<crate::weave::DivergenceKind> {
+        use crate::weave::{DivergenceKind, Event};
+        let mut kind = None;
         match ev {
             Event::Fill {
                 core,
@@ -1778,11 +1833,17 @@ impl System {
                 self.clocks[core] = ts + *stall;
                 match self.llc_access(core, line, for_write) {
                     Ok((data, excl)) => {
-                        if data != predicted || !excl {
+                        if self.weave_divergence {
+                            kind = Some(DivergenceKind::InclusionVictim);
+                        } else if data != predicted || !excl {
                             self.weave_divergence = true;
+                            kind = Some(DivergenceKind::FillMismatch);
                         }
                     }
-                    Err(_) => self.weave_divergence = true,
+                    Err(_) => {
+                        self.weave_divergence = true;
+                        kind = Some(DivergenceKind::HookFault);
+                    }
                 }
                 *stall = self.clocks[core] - ts;
             }
@@ -1795,6 +1856,9 @@ impl System {
             } => {
                 self.clocks[core] = ts + *stall;
                 self.spill_to_llc(core, line, &data, dirty);
+                if self.weave_divergence {
+                    kind = Some(DivergenceKind::InclusionVictim);
+                }
                 *stall = self.clocks[core] - ts;
             }
             Event::Clwb {
@@ -1805,10 +1869,13 @@ impl System {
             } => {
                 self.clocks[core] = ts + *stall;
                 self.clwb_shared(core, line, newest);
+                if self.weave_divergence {
+                    kind = Some(DivergenceKind::InclusionVictim);
+                }
                 *stall = self.clocks[core] - ts;
             }
         }
-        !self.weave_divergence
+        kind
     }
 }
 

@@ -36,6 +36,7 @@ pub mod fastdiv;
 pub mod gf256;
 pub mod hash;
 pub mod mem;
+pub mod spsc;
 pub mod stats;
 pub mod trace;
 pub mod weave;

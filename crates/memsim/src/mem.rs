@@ -532,7 +532,8 @@ impl Memory {
     /// Snapshot the current media content for bound-phase data prediction
     /// (see [`crate::weave`]). The snapshot is immutable and read-only: the
     /// bound thread predicts NVM fill data from it (plus its dirty-line
-    /// overlay) while the weave thread owns the live `Memory`.
+    /// overlay) while the weave shard workers own the live `Memory` behind
+    /// the session's turn token.
     pub fn snapshot(&self) -> MemSnapshot {
         MemSnapshot {
             index: self.index.clone(),

@@ -68,6 +68,23 @@ pub struct Counters {
     /// on a failed/rebuilding bank; the read paid `dimms - 1` extra member
     /// reads to solve from the shadow syndromes).
     pub degraded_fills: u64,
+    /// Clocked runs that passed every bound-weave *configuration* check
+    /// (they weave whenever ≥ 2 engine threads are requested). Eligibility
+    /// is a property of the machine configuration alone, so these six
+    /// counters come out identical at any `MEMSIM_ENGINE_THREADS` — the
+    /// cross-thread byte-diff gates rely on that.
+    pub weave_eligible_runs: u64,
+    /// Clocked runs ineligible for bound-weave: a software checksum scheme
+    /// mutates shared file metadata inline with every access.
+    pub weave_inel_sw_scheme: u64,
+    /// Clocked runs ineligible for bound-weave: a scrub daemon was attached.
+    pub weave_inel_scrub: u64,
+    /// Clocked runs ineligible for bound-weave: an armed crash window.
+    pub weave_inel_crash: u64,
+    /// Clocked runs ineligible for bound-weave: armed firmware faults.
+    pub weave_inel_faults: u64,
+    /// Clocked runs ineligible for bound-weave: firmware shadow-RAID enabled.
+    pub weave_inel_raid: u64,
 }
 
 impl Counters {
@@ -116,6 +133,23 @@ impl Counters {
     pub fn tvarak_accesses(&self) -> u64 {
         self.tvarak_cache_hits + self.tvarak_cache_misses
     }
+
+    /// Fold another counter shard into this one (field-wise `u64` addition).
+    ///
+    /// # Merge contract
+    ///
+    /// `merge` is **associative** and **commutative**, and
+    /// [`Counters::default()`] is its **identity**: accumulating one event
+    /// stream into a single monolithic `Counters` and accumulating disjoint
+    /// slices of it into per-shard `Counters` then merging (in any order,
+    /// any grouping) produce bit-identical results. The sharded weave
+    /// engine leans on this — every worker bumps only its own shard on the
+    /// hot path and the shards are merged once at session join
+    /// (`memsim/tests/stats_merge.rs` proves the contract on randomized
+    /// sequences).
+    pub fn merge(&mut self, other: &Counters) {
+        *self += *other;
+    }
 }
 
 impl Add for Counters {
@@ -151,6 +185,12 @@ impl AddAssign for Counters {
         self.pages_recovered += r.pages_recovered;
         self.demand_queue_cycles += r.demand_queue_cycles;
         self.degraded_fills += r.degraded_fills;
+        self.weave_eligible_runs += r.weave_eligible_runs;
+        self.weave_inel_sw_scheme += r.weave_inel_sw_scheme;
+        self.weave_inel_scrub += r.weave_inel_scrub;
+        self.weave_inel_crash += r.weave_inel_crash;
+        self.weave_inel_faults += r.weave_inel_faults;
+        self.weave_inel_raid += r.weave_inel_raid;
     }
 }
 
@@ -177,6 +217,38 @@ impl Stats {
             core_cycles: vec![0; cores],
             evict_hash: 0,
         }
+    }
+
+    /// The identity element of [`Stats::merge`]: zero counters, no cores,
+    /// zero digest. `identity().merge(&s) == s` for any `s`.
+    pub fn identity() -> Self {
+        Stats::default()
+    }
+
+    /// Fold another stats shard into this one.
+    ///
+    /// # Merge contract
+    ///
+    /// Associative, commutative, with [`Stats::identity`] as identity:
+    /// - `counters` merge by field-wise addition ([`Counters::merge`]);
+    /// - `core_cycles` merge element-wise by `max` (a core's cycle count is
+    ///   max-progress: each shard reports how far it drove the core, and the
+    ///   furthest observation wins), with missing trailing cores treated
+    ///   as 0;
+    /// - `evict_hash` merges by XOR (order-independent digest combination;
+    ///   0 is the identity).
+    ///
+    /// Shard-merge ≡ monolithic accumulation is proven on randomized op
+    /// sequences in `memsim/tests/stats_merge.rs`.
+    pub fn merge(&mut self, other: &Stats) {
+        self.counters.merge(&other.counters);
+        if self.core_cycles.len() < other.core_cycles.len() {
+            self.core_cycles.resize(other.core_cycles.len(), 0);
+        }
+        for (mine, theirs) in self.core_cycles.iter_mut().zip(&other.core_cycles) {
+            *mine = (*mine).max(*theirs);
+        }
+        self.evict_hash ^= other.evict_hash;
     }
 
     /// Simulated runtime in cycles: the busiest core's cycle count.
@@ -252,11 +324,13 @@ mod tests {
 
     #[test]
     fn totals_sum_components() {
-        let mut c = Counters::default();
-        c.nvm_data_reads = 1;
-        c.nvm_data_writes = 2;
-        c.nvm_red_reads = 3;
-        c.nvm_red_writes = 4;
+        let c = Counters {
+            nvm_data_reads: 1,
+            nvm_data_writes: 2,
+            nvm_red_reads: 3,
+            nvm_red_writes: 4,
+            ..Default::default()
+        };
         assert_eq!(c.nvm_total(), 10);
         assert_eq!(c.nvm_redundancy(), 7);
         assert_eq!(c.nvm_data(), 3);
@@ -264,11 +338,15 @@ mod tests {
 
     #[test]
     fn add_assign_accumulates() {
-        let mut a = Counters::default();
-        a.l1d_hits = 5;
-        let mut b = Counters::default();
-        b.l1d_hits = 7;
-        b.pages_recovered = 1;
+        let a = Counters {
+            l1d_hits: 5,
+            ..Default::default()
+        };
+        let b = Counters {
+            l1d_hits: 7,
+            pages_recovered: 1,
+            ..Default::default()
+        };
         let s = a + b;
         assert_eq!(s.l1d_hits, 12);
         assert_eq!(s.pages_recovered, 1);
@@ -276,9 +354,11 @@ mod tests {
 
     #[test]
     fn scrub_reads_tally_separately_from_demand() {
-        let mut c = Counters::default();
-        c.nvm_data_reads = 10;
-        c.scrub_reads = 4;
+        let c = Counters {
+            nvm_data_reads: 10,
+            scrub_reads: 4,
+            ..Default::default()
+        };
         assert_eq!(c.nvm_data(), 10, "scrub traffic is not application data");
         assert_eq!(c.nvm_redundancy(), 4);
         assert_eq!(c.nvm_total(), 14);

@@ -1,4 +1,5 @@
-//! Bound-weave parallel execution (zsim-style) for [`crate::engine::System`].
+//! Bound-weave parallel execution (zsim-style) for [`crate::engine::System`],
+//! sharded by LLC bank across multiple weave workers.
 //!
 //! Sequential simulation interleaves private-cache work (L1/L2 hits, the
 //! vast majority of accesses) with shared-state work (LLC, redundancy hooks,
@@ -9,12 +10,59 @@
 //!   private-cache spill, a `clwb` reaching the LLC — is *predicted* from a
 //!   dirty-line overlay ∪ media snapshot and emitted as an [`Event`] carrying
 //!   the core's bound-local timestamp.
-//! - **Weave phase** (one dedicated thread): events are replayed against the
-//!   real shared state in emission order. For each event the true core clock
-//!   is reconstructed as `bound_local_ts + stall_offset[core]`, the operation
-//!   is applied exactly as sequential execution would apply it, and the newly
-//!   charged shared-state cycles are folded back into the core's stall
-//!   offset, published for the bound-side scheduler to read.
+//! - **Weave phase** (`shards` worker threads): events are replayed against
+//!   the real shared state in emission order. For each event the true core
+//!   clock is reconstructed as `bound_local_ts + stall_offset[core]`, the
+//!   operation is applied exactly as sequential execution would apply it, and
+//!   the newly charged shared-state cycles are folded back into the core's
+//!   stall offset, published for the bound-side scheduler to read.
+//!
+//! # Sharded transport: epochs, SPSC rings, and the turn token
+//!
+//! The first-generation engine funneled every event through one
+//! `std::sync::mpsc` channel into one weave thread, paying an allocation
+//! plus cross-thread synchronization *per event* (measured occupancy ≈ 0.19,
+//! parallel mode slower than sequential). This generation replaces it with:
+//!
+//! - **Per-(core × shard) bounded SPSC rings** ([`crate::spsc::SpscRing`]):
+//!   an event emitted by core `c` targeting LLC bank `b` travels on ring
+//!   `(c, b mod S)` — allocation-free, lock-free, one release store per
+//!   event. `S` is the shard count ([`crate::config::SystemConfig::weave_shards`],
+//!   `MEMSIM_WEAVE_SHARDS`, or auto).
+//! - **Epoch batching**: the bound side batches every event of one scheduler
+//!   step (one application instruction, same emitter core) into one *epoch*.
+//!   At step end it publishes a descriptor (emitter, per-shard event counts)
+//!   to the owning worker's directory ring and then streams the events to
+//!   the per-shard rings. Publishing the descriptor *before* the events
+//!   makes the protocol deadlock-free: a producer blocked on a full ring is
+//!   always blocked on an epoch whose descriptor is already visible, so its
+//!   owner is already draining it.
+//! - **Deterministic (epoch, emitter, seq) drain order**: epochs are densely
+//!   numbered in emission order and applied strictly in that order, enforced
+//!   by a single atomic *turn token*. Worker `emitter mod S` owns the epoch:
+//!   it pops the descriptor from its directory ring (FIFO ⇒ its epochs
+//!   arrive in order), waits for `turn == epoch`, drains the emitter's
+//!   per-shard rings, merges the events back into per-epoch `seq` order,
+//!   applies them, and releases the token. Within an epoch every event
+//!   carries its emission sequence number, so the applied order is exactly
+//!   the sequential shared-access order — the same bit-identity argument as
+//!   the single-threaded weave, now independent of how events were sharded.
+//!
+//! The turn token serializes *state mutation* (LLC banks interleave lines
+//! finer than pages, hooks route redundancy across banks, and DIMM queues
+//! are global, so truly independent per-shard state is not partitionable
+//! without changing simulated results). The speedup therefore comes from
+//! the transport — epoch batching, allocation-free rings — and from moving
+//! replay off the bound thread, not from concurrent state mutation; see
+//! DESIGN.md §14 for the honest accounting.
+//!
+//! # Mergeable per-shard statistics
+//!
+//! Workers never touch a shared counter: while applying an epoch, a worker
+//! swaps its *own* [`Counters`] shard into the system, so every increment on
+//! the replay hot path lands in worker-private memory. The shards are merged
+//! once at session join via [`Counters::merge`] (associative, commutative,
+//! identity = `Counters::default()` — see `memsim/tests/stats_merge.rs`).
 //!
 //! # Determinism
 //!
@@ -23,17 +71,18 @@
 //! published stall offsets that are *exact* (all of that core's events woven)
 //! for the candidate and monotone lower bounds for its competitors. Events
 //! are therefore emitted in exactly the sequential shared-access order, and
-//! the weave thread replays them in that order against state that only it
-//! mutates — so every LLC eviction, hook invocation, DIMM queue transition,
-//! and stall cycle is bit-identical to the sequential oracle, at any thread
-//! count. If a prediction is ever wrong (private-cache sharing between
-//! instances, an exclusivity upgrade, a hook fault), the session flags
-//! *divergence* and the caller reruns the cell sequentially — correctness
-//! never depends on the predictions, only the speedup does.
+//! the weave workers replay them in that order under the turn token — so
+//! every LLC eviction, hook invocation, DIMM queue transition, and stall
+//! cycle is bit-identical to the sequential oracle, at any thread count and
+//! any shard count. If a prediction is ever wrong (private-cache sharing
+//! between instances, an exclusivity upgrade, a hook fault), the session
+//! flags *divergence* with a [`DivergenceKind`] and the caller reruns the
+//! cell sequentially — correctness never depends on the predictions, only
+//! the speedup does.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -41,9 +90,113 @@ use crate::addr::{LineAddr, CACHE_LINE};
 use crate::engine::System;
 use crate::hash::FxHashMap;
 use crate::mem::MemSnapshot;
+use crate::spsc::SpscRing;
+use crate::stats::Counters;
 
-/// One shared-state access emitted by the bound phase, replayed by the
-/// weave thread in emission order.
+/// Upper bound on shard workers (descriptor counts are fixed-size arrays).
+pub const MAX_SHARDS: usize = 8;
+
+/// Capacity of each per-(core × shard) event ring. A producer meeting a
+/// full ring spins (its consumer is guaranteed to be draining; see the
+/// deadlock-freedom argument in the module docs), so this only sizes the
+/// in-flight window, not correctness.
+const RING_CAP: usize = 256;
+
+/// Capacity of each worker's epoch-directory ring.
+const DIR_CAP: usize = 256;
+
+/// Why a bound-weave session abandoned the parallel path and fell back to
+/// the sequential oracle.
+#[repr(u8)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// Bound-side fill found another core privately caching the line
+    /// (cross-instance sharing the overlay cannot predict).
+    ForeignPrivateCopy = 1,
+    /// A write-permission upgrade on a pre-session shared private copy
+    /// needed the LLC directory the bound phase cannot see.
+    WriteUpgrade = 2,
+    /// Weave replay served different data (or non-exclusive permission)
+    /// than the bound phase predicted.
+    FillMismatch = 3,
+    /// Weave-side replay needed a private-cache back-invalidation
+    /// (remote-owner pull, sharer shootdown, or inclusion victim).
+    InclusionVictim = 4,
+    /// A redundancy hook faulted during replay (e.g. detected corruption).
+    HookFault = 5,
+    /// The bound-side workload errored mid-run; the error may have been
+    /// computed from mispredicted data, so the sequential rerun decides.
+    StepError = 6,
+    /// A weave worker panicked; session state is unrecoverable.
+    WorkerPanic = 7,
+}
+
+impl DivergenceKind {
+    /// Stable lower-case label (campaign stderr notes, `Outcome`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DivergenceKind::ForeignPrivateCopy => "foreign-private-copy",
+            DivergenceKind::WriteUpgrade => "write-upgrade",
+            DivergenceKind::FillMismatch => "fill-mismatch",
+            DivergenceKind::InclusionVictim => "inclusion-victim",
+            DivergenceKind::HookFault => "hook-fault",
+            DivergenceKind::StepError => "step-error",
+            DivergenceKind::WorkerPanic => "worker-panic",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<DivergenceKind> {
+        Some(match v {
+            1 => DivergenceKind::ForeignPrivateCopy,
+            2 => DivergenceKind::WriteUpgrade,
+            3 => DivergenceKind::FillMismatch,
+            4 => DivergenceKind::InclusionVictim,
+            5 => DivergenceKind::HookFault,
+            6 => DivergenceKind::StepError,
+            7 => DivergenceKind::WorkerPanic,
+            _ => return None,
+        })
+    }
+}
+
+/// Outcome of the bound-weave *configuration* eligibility check. The check
+/// depends only on the machine configuration (never on the requested thread
+/// count), so the per-cause counters it feeds are identical at any
+/// `MEMSIM_ENGINE_THREADS` — campaign CSVs carrying them stay byte-identical
+/// across thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeaveEligibility {
+    /// Every check passed; the run weaves whenever ≥ 2 engine threads are
+    /// requested.
+    Eligible,
+    /// A software checksum scheme mutates shared file metadata inline.
+    SwScheme,
+    /// A scrub daemon is attached (engine-global scan state).
+    ScrubDaemon,
+    /// A crash window is armed (crashsim run).
+    CrashWindow,
+    /// Firmware faults are armed.
+    ArmedFaults,
+    /// Firmware shadow-RAID is enabled (degraded-mode state is global).
+    Raid,
+}
+
+impl WeaveEligibility {
+    /// Stable lower-case label (campaign CSV `weave` column).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WeaveEligibility::Eligible => "eligible",
+            WeaveEligibility::SwScheme => "sw-scheme",
+            WeaveEligibility::ScrubDaemon => "scrub",
+            WeaveEligibility::CrashWindow => "crash-window",
+            WeaveEligibility::ArmedFaults => "armed-faults",
+            WeaveEligibility::Raid => "raid",
+        }
+    }
+}
+
+/// One shared-state access emitted by the bound phase, replayed by a weave
+/// worker in emission order.
 #[derive(Debug)]
 pub(crate) enum Event {
     /// A private-cache miss that must be served by the LLC/NVM.
@@ -97,21 +250,134 @@ impl Event {
             Event::Fill { core, .. } | Event::Spill { core, .. } | Event::Clwb { core, .. } => *core,
         }
     }
+
+    /// The line this event targets (shard routing key).
+    pub(crate) fn line(&self) -> LineAddr {
+        match self {
+            Event::Fill { line, .. } | Event::Spill { line, .. } | Event::Clwb { line, .. } => *line,
+        }
+    }
+}
+
+/// An [`Event`] tagged with its within-epoch emission sequence number and
+/// its shard, as carried on the per-shard rings.
+#[derive(Debug)]
+struct SeqEvent {
+    /// Emission index within the epoch (drain order key).
+    seq: u32,
+    /// Shard the event was routed to (stats attribution).
+    shard: u8,
+    ev: Event,
+}
+
+/// Epoch descriptor published to the owning worker's directory ring
+/// *before* the epoch's events hit the per-shard rings.
+#[derive(Debug, Clone, Copy)]
+struct EpochDesc {
+    /// Dense epoch number (the turn-token value that admits it).
+    epoch: u64,
+    /// Emitting core, or `u32::MAX` for the close sentinel.
+    emitter: u32,
+    /// Events routed to each shard ring.
+    counts: [u32; MAX_SHARDS],
+}
+
+const SENTINEL: u32 = u32::MAX;
+
+/// Shared transport and synchronization state of one weave session.
+#[derive(Debug)]
+struct WeaveCore {
+    /// Per-(core × shard) event rings, indexed `core * shards + shard`.
+    /// Ring `(c, s)` has one producer (the bound thread) and one consumer
+    /// (worker `c mod shards`, the owner of every epoch core `c` emits).
+    rings: Vec<SpscRing<SeqEvent>>,
+    /// Per-worker epoch-directory rings.
+    dir: Vec<SpscRing<EpochDesc>>,
+    /// The turn token: the epoch number currently admitted for replay.
+    turn: AtomicU64,
+    /// Per-core count of emitted-but-not-yet-woven events.
+    unwoven: Vec<AtomicUsize>,
+    /// Per-core published stall offsets (weave-charged cycles).
+    stall_offs: Vec<AtomicU64>,
+    /// Session divergence flag (either side may set it).
+    diverged: AtomicBool,
+    /// First divergence cause (a `DivergenceKind` as u8; 0 = none).
+    cause: AtomicU8,
+    /// A worker died; every spin loop bails out through this.
+    defunct: AtomicBool,
+    shards: usize,
+}
+
+impl WeaveCore {
+    fn flag(&self, kind: DivergenceKind) {
+        // First cause wins; later flags only keep the boolean asserted.
+        let _ = self
+            .cause
+            .compare_exchange(0, kind as u8, Ordering::Relaxed, Ordering::Relaxed);
+        self.diverged.store(true, Ordering::Release);
+    }
+
+    fn divergence(&self) -> Option<DivergenceKind> {
+        DivergenceKind::from_u8(self.cause.load(Ordering::Acquire))
+    }
+}
+
+/// Adaptive wait: brief busy-spin for cross-core latency, then yield so a
+/// host with fewer cores than runnable threads (the 1-core CI box) keeps
+/// making progress instead of burning whole timeslices.
+struct Backoff(u32);
+
+impl Backoff {
+    /// Spin rounds before falling back to `yield_now`. Kept short (≤ 63
+    /// pause hints total): the rings are typically non-empty when real
+    /// work exists, so long spins only pay when the peer is mid-push —
+    /// and on an oversubscribed host they actively steal the producer's
+    /// quantum.
+    const SPIN_ROUNDS: u32 = 6;
+
+    fn new() -> Backoff {
+        Backoff(0)
+    }
+
+    fn snooze(&mut self) {
+        // On a single-hardware-thread host the peer cannot be running, so
+        // spinning is pure waste — yield immediately and let it in.
+        if self.0 < Self::SPIN_ROUNDS && host_can_spin() {
+            for _ in 0..(1 << self.0) {
+                std::hint::spin_loop();
+            }
+            self.0 += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Whether busy-waiting can ever be productive here: false on a
+/// single-hardware-thread host, where the peer thread only makes progress
+/// if the waiter yields. Cached — `available_parallelism` may syscall.
+fn host_can_spin() -> bool {
+    static CAN: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *CAN.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()) > 1)
 }
 
 /// Bound-phase state owned by the [`System`] while a session is active:
-/// the event channel, the fill predictor (overlay ∪ snapshot), and the
-/// shared atomics used to publish divergence back to the scheduler.
+/// the current epoch batch, the fill predictor (overlay ∪ snapshot), and
+/// the shared transport handle.
 #[derive(Debug)]
 pub(crate) struct BoundCtx {
-    tx: Sender<Event>,
+    core: Arc<WeaveCore>,
     /// Freshest content of every line that is dirty somewhere in the
     /// hierarchy, keyed by raw line address. Lines absent here are clean
     /// everywhere, so the media snapshot is exact for them.
     overlay: FxHashMap<u64, [u8; CACHE_LINE]>,
     snapshot: MemSnapshot,
-    unwoven: Arc<Vec<AtomicUsize>>,
-    diverged: Arc<AtomicBool>,
+    /// Events of the currently open epoch (one scheduler step).
+    batch: Vec<Event>,
+    /// Next epoch number to publish.
+    next_epoch: u64,
+    /// LLC bank count (shard routing: `bank_of(line) mod shards`).
+    banks: usize,
 }
 
 impl BoundCtx {
@@ -129,115 +395,214 @@ impl BoundCtx {
         self.overlay.insert(line.0, data);
     }
 
-    /// Emit an event to the weave thread. The unwoven counter is bumped
-    /// *before* the send so the scheduler can never observe the event as
-    /// woven while it is still in flight.
-    pub(crate) fn send(&self, ev: Event) {
-        let core = ev.core();
-        self.unwoven[core].fetch_add(1, Ordering::Relaxed);
-        if self.tx.send(ev).is_err() {
-            // Weave thread is gone (panic); undo the bump so the scheduler
-            // does not wait forever for exactness, and flag divergence so it
-            // stops and the caller falls back to the sequential oracle.
-            self.unwoven[core].fetch_sub(1, Ordering::Relaxed);
-            self.diverged.store(true, Ordering::Release);
-        }
+    /// Queue an event on the open epoch. The unwoven counter is bumped
+    /// immediately so the scheduler can never observe the event as woven
+    /// while it is still batched or in flight.
+    pub(crate) fn send(&mut self, ev: Event) {
+        self.core.unwoven[ev.core()].fetch_add(1, Ordering::Relaxed);
+        self.batch.push(ev);
     }
 
     /// Flag bound-side divergence (private-cache sharing, write upgrade).
-    pub(crate) fn flag_divergence(&self) {
-        self.diverged.store(true, Ordering::Release);
+    pub(crate) fn flag_divergence(&self, kind: DivergenceKind) {
+        self.core.flag(kind);
+    }
+
+    fn shard_of(&self, ev: &Event) -> usize {
+        crate::engine::bank_interleave(ev.line(), self.banks) % self.core.shards
+    }
+
+    /// Close the open epoch: publish its descriptor to the owning worker's
+    /// directory ring, then stream the events to the per-(core × shard)
+    /// rings in emission order. Empty epochs are not numbered or published
+    /// (epoch numbers stay dense, which is what lets the turn token admit
+    /// them by simple increment).
+    pub(crate) fn close_epoch(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let shards = self.core.shards;
+        let emitter = self.batch[0].core();
+        debug_assert!(
+            self.batch.iter().all(|e| e.core() == emitter),
+            "an epoch is one scheduler step: all events share the emitter core"
+        );
+        let mut counts = [0u32; MAX_SHARDS];
+        let mut batch = std::mem::take(&mut self.batch);
+        for ev in &batch {
+            counts[self.shard_of(ev)] += 1;
+        }
+        let desc = EpochDesc {
+            epoch: self.next_epoch,
+            emitter: emitter as u32,
+            counts,
+        };
+        self.push_dir(emitter % shards, desc);
+        for (seq, ev) in batch.drain(..).enumerate() {
+            let shard = self.shard_of(&ev);
+            self.push_event(
+                emitter * shards + shard,
+                SeqEvent {
+                    seq: seq as u32,
+                    shard: shard as u8,
+                    ev,
+                },
+            );
+        }
+        self.batch = batch; // hand the (now empty) buffer back, keeping its capacity
+        self.next_epoch += 1;
+    }
+
+    fn push_dir(&self, worker: usize, mut desc: EpochDesc) {
+        let mut bo = Backoff::new();
+        loop {
+            if self.core.defunct.load(Ordering::Acquire) {
+                self.core.flag(DivergenceKind::WorkerPanic);
+                return;
+            }
+            match self.core.dir[worker].try_push(desc) {
+                Ok(()) => return,
+                Err(d) => {
+                    desc = d;
+                    bo.snooze();
+                }
+            }
+        }
+    }
+
+    fn push_event(&self, ring: usize, mut ev: SeqEvent) {
+        let mut bo = Backoff::new();
+        loop {
+            if self.core.defunct.load(Ordering::Acquire) {
+                self.core.flag(DivergenceKind::WorkerPanic);
+                return;
+            }
+            match self.core.rings[ring].try_push(ev) {
+                Ok(()) => return,
+                Err(e) => {
+                    ev = e;
+                    bo.snooze();
+                }
+            }
+        }
+    }
+
+    /// Tear down the producer side: discard any open batch (only possible
+    /// on an error/divergence exit mid-step — flag it so the caller reruns
+    /// sequentially) and post the close sentinel to every worker.
+    pub(crate) fn finish(&mut self) {
+        if !self.batch.is_empty() {
+            self.core.flag(DivergenceKind::StepError);
+            for ev in self.batch.drain(..) {
+                self.core.unwoven[ev.core()].fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        let sentinel = EpochDesc {
+            epoch: u64::MAX,
+            emitter: SENTINEL,
+            counts: [0; MAX_SHARDS],
+        };
+        for w in 0..self.core.shards {
+            self.push_dir(w, sentinel);
+        }
     }
 }
 
-/// Handle to a running weave thread, returned by
+/// What one worker thread hands back at join time.
+#[derive(Debug)]
+struct WorkerOut {
+    /// This worker's private counter shard (merged at join).
+    counters: Counters,
+    /// Replay time attributed to each shard's events.
+    shard_busy: [Duration; MAX_SHARDS],
+    /// Events applied per shard.
+    shard_events: [u64; MAX_SHARDS],
+    /// Worker thread lifetime.
+    wall: Duration,
+    panicked: bool,
+}
+
+/// Handle to a running set of weave workers, returned by
 /// [`System::weave_begin`](crate::engine::System::weave_begin). The
 /// bound-side scheduler polls [`Self::core_view`] and [`Self::diverged`];
 /// [`System::weave_end`](crate::engine::System::weave_end) consumes it.
 pub struct WeaveSession {
-    handle: JoinHandle<(System, Vec<u64>, WeaveReport)>,
-    unwoven: Arc<Vec<AtomicUsize>>,
-    stall_offs: Arc<Vec<AtomicU64>>,
-    diverged: Arc<AtomicBool>,
+    core: Arc<WeaveCore>,
+    sys: Arc<Mutex<System>>,
+    handles: Vec<JoinHandle<WorkerOut>>,
 }
 
 impl std::fmt::Debug for WeaveSession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WeaveSession")
-            .field("diverged", &self.diverged.load(Ordering::Relaxed))
+            .field("shards", &self.core.shards)
+            .field("diverged", &self.core.diverged.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
 }
 
 impl WeaveSession {
-    /// Spawn the weave thread over the moved-out shared-state system and
-    /// return the session handle plus the bound-phase context the live
+    /// Spawn `shards` weave workers over the moved-out shared-state system
+    /// and return the session handle plus the bound-phase context the live
     /// system keeps.
     pub(crate) fn spawn(
-        mut sys: System,
+        sys: System,
         cores: usize,
+        shards: usize,
         snapshot: MemSnapshot,
         overlay: FxHashMap<u64, [u8; CACHE_LINE]>,
     ) -> (WeaveSession, BoundCtx) {
-        let (tx, rx): (Sender<Event>, Receiver<Event>) = std::sync::mpsc::channel();
-        let unwoven: Arc<Vec<AtomicUsize>> =
-            Arc::new((0..cores).map(|_| AtomicUsize::new(0)).collect());
-        let stall_offs: Arc<Vec<AtomicU64>> =
-            Arc::new((0..cores).map(|_| AtomicU64::new(0)).collect());
-        let diverged = Arc::new(AtomicBool::new(false));
-
-        let t_unwoven = Arc::clone(&unwoven);
-        let t_stall = Arc::clone(&stall_offs);
-        let t_diverged = Arc::clone(&diverged);
-        let handle = std::thread::spawn(move || {
-            let mut stall = vec![0u64; cores];
-            let mut report = WeaveReport {
-                diverged: false,
-                events: 0,
-                busy_s: 0.0,
-                wall_s: 0.0,
-            };
-            let start = Instant::now();
-            let mut busy = Duration::ZERO;
-            for ev in rx {
-                let core = ev.core();
-                report.events += 1;
-                if !report.diverged {
-                    let t0 = Instant::now();
-                    let ok = sys.weave_apply(ev, &mut stall[core]);
-                    busy += t0.elapsed();
-                    if !ok {
-                        report.diverged = true;
-                        t_diverged.store(true, Ordering::Release);
-                    }
-                }
-                // Publish the stall offset before marking the event woven:
-                // a scheduler that observes unwoven == 0 (Acquire) is then
-                // guaranteed to read a stall offset at least this fresh.
-                t_stall[core].store(stall[core], Ordering::Release);
-                t_unwoven[core].fetch_sub(1, Ordering::Release);
-            }
-            report.busy_s = busy.as_secs_f64();
-            report.wall_s = start.elapsed().as_secs_f64();
-            (sys, stall, report)
+        let shards = shards.clamp(1, MAX_SHARDS);
+        let banks = sys.llc_banks();
+        let core = Arc::new(WeaveCore {
+            rings: (0..cores * shards).map(|_| SpscRing::new(RING_CAP)).collect(),
+            dir: (0..shards).map(|_| SpscRing::new(DIR_CAP)).collect(),
+            turn: AtomicU64::new(0),
+            unwoven: (0..cores).map(|_| AtomicUsize::new(0)).collect(),
+            stall_offs: (0..cores).map(|_| AtomicU64::new(0)).collect(),
+            diverged: AtomicBool::new(false),
+            cause: AtomicU8::new(0),
+            defunct: AtomicBool::new(false),
+            shards,
         });
+        let sys = Arc::new(Mutex::new(sys));
+
+        let handles = (0..shards)
+            .map(|id| {
+                let core = Arc::clone(&core);
+                let sys = Arc::clone(&sys);
+                std::thread::spawn(move || {
+                    let start = Instant::now();
+                    let mut out = WorkerOut {
+                        counters: Counters::default(),
+                        shard_busy: [Duration::ZERO; MAX_SHARDS],
+                        shard_events: [0; MAX_SHARDS],
+                        wall: Duration::ZERO,
+                        panicked: false,
+                    };
+                    let body = catch_unwind(AssertUnwindSafe(|| {
+                        worker_loop(id, cores, &core, &sys, &mut out);
+                    }));
+                    if body.is_err() {
+                        out.panicked = true;
+                        core.defunct.store(true, Ordering::Release);
+                        core.flag(DivergenceKind::WorkerPanic);
+                    }
+                    out.wall = start.elapsed();
+                    out
+                })
+            })
+            .collect();
 
         let ctx = BoundCtx {
-            tx,
+            core: Arc::clone(&core),
             overlay,
             snapshot,
-            unwoven: Arc::clone(&unwoven),
-            diverged: Arc::clone(&diverged),
+            batch: Vec::with_capacity(64),
+            next_epoch: 0,
+            banks,
         };
-        (
-            WeaveSession {
-                handle,
-                unwoven,
-                stall_offs,
-                diverged,
-            },
-            ctx,
-        )
+        (WeaveSession { core, sys, handles }, ctx)
     }
 
     /// Whether the session has diverged from the sequential oracle
@@ -245,7 +610,14 @@ impl WeaveSession {
     /// true, the caller should stop scheduling, end the session, and rerun
     /// the cell sequentially.
     pub fn diverged(&self) -> bool {
-        self.diverged.load(Ordering::Acquire)
+        self.core.diverged.load(Ordering::Acquire)
+    }
+
+    /// Flag a bound-side workload error: replay results may rest on
+    /// mispredicted data, so the session is abandoned and the sequential
+    /// rerun decides whether the error is real.
+    pub fn flag_step_error(&self) {
+        self.core.flag(DivergenceKind::StepError);
     }
 
     /// Snapshot one core's published stall offset and whether it is
@@ -255,36 +627,183 @@ impl WeaveSession {
     pub fn core_view(&self, core: usize) -> (u64, bool) {
         // Read unwoven first: if it says zero, the matching Release
         // decrement ordered the final stall store before it.
-        let exact = self.unwoven[core].load(Ordering::Acquire) == 0;
-        let stall = self.stall_offs[core].load(Ordering::Acquire);
+        let exact = self.core.unwoven[core].load(Ordering::Acquire) == 0;
+        let stall = self.core.stall_offs[core].load(Ordering::Acquire);
         (stall, exact)
     }
 
-    /// Join the weave thread, returning the shared-state system, the final
-    /// per-core stall offsets, and the session report.
-    pub(crate) fn join(self) -> (System, Vec<u64>, WeaveReport) {
-        self.handle.join().expect("weave thread panicked")
+    /// Join every worker, returning the shared-state system, the final
+    /// per-core stall offsets, the merged worker counter shards, and the
+    /// session report.
+    pub(crate) fn join(self) -> (System, Vec<u64>, Counters, WeaveReport) {
+        let shards = self.core.shards;
+        let mut report = WeaveReport {
+            diverged: false,
+            divergence: None,
+            events: 0,
+            busy_s: 0.0,
+            wall_s: 0.0,
+            shard_busy_s: vec![0.0; shards],
+            shard_events: vec![0; shards],
+        };
+        let mut merged = Counters::default();
+        let mut panicked = false;
+        for h in self.handles {
+            match h.join() {
+                Ok(out) => {
+                    panicked |= out.panicked;
+                    merged.merge(&out.counters);
+                    for s in 0..shards {
+                        report.shard_busy_s[s] += out.shard_busy[s].as_secs_f64();
+                        report.shard_events[s] += out.shard_events[s];
+                    }
+                    report.wall_s = report.wall_s.max(out.wall.as_secs_f64());
+                }
+                Err(_) => panicked = true,
+            }
+        }
+        if panicked {
+            self.core.flag(DivergenceKind::WorkerPanic);
+        }
+        report.events = report.shard_events.iter().sum();
+        report.busy_s = report.shard_busy_s.iter().sum();
+        report.diverged = self.core.diverged.load(Ordering::Acquire);
+        report.divergence = self.core.divergence();
+        let stalls = self
+            .core
+            .stall_offs
+            .iter()
+            .map(|s| s.load(Ordering::Acquire))
+            .collect();
+        let sys = Arc::try_unwrap(self.sys)
+            .expect("weave workers joined; no other System references remain")
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        (sys, stalls, merged, report)
+    }
+}
+
+/// One shard worker: pop epoch descriptors owned by this worker (FIFO ⇒
+/// epoch order), wait for the turn token, drain + seq-merge the emitter's
+/// per-shard rings, and apply under the state lock with this worker's
+/// counter shard swapped in.
+fn worker_loop(
+    id: usize,
+    cores: usize,
+    core: &WeaveCore,
+    sys: &Mutex<System>,
+    out: &mut WorkerOut,
+) {
+    let shards = core.shards;
+    // Core c's epochs are all owned by worker c % shards, so these slots
+    // are written by exactly one worker across the session.
+    let mut stall = vec![0u64; cores];
+    let mut scratch: Vec<SeqEvent> = Vec::with_capacity(64);
+    'session: loop {
+        // Next descriptor for this worker.
+        let desc = {
+            let mut bo = Backoff::new();
+            loop {
+                if core.defunct.load(Ordering::Acquire) {
+                    break 'session;
+                }
+                if let Some(d) = core.dir[id].try_pop() {
+                    break d;
+                }
+                bo.snooze();
+            }
+        };
+        if desc.emitter == SENTINEL {
+            break;
+        }
+        // Global drain order: wait until every earlier epoch has applied.
+        let mut bo = Backoff::new();
+        while core.turn.load(Ordering::Acquire) != desc.epoch {
+            if core.defunct.load(Ordering::Acquire) {
+                break 'session;
+            }
+            bo.snooze();
+        }
+        // Drain this epoch's events; the producer may still be streaming
+        // them (the descriptor is published first), so pop with patience.
+        let emitter = desc.emitter as usize;
+        scratch.clear();
+        for s in 0..shards {
+            let ring = &core.rings[emitter * shards + s];
+            let mut remaining = desc.counts[s];
+            let mut bo = Backoff::new();
+            while remaining > 0 {
+                if let Some(ev) = ring.try_pop() {
+                    scratch.push(ev);
+                    remaining -= 1;
+                } else {
+                    if core.defunct.load(Ordering::Acquire) {
+                        break 'session;
+                    }
+                    bo.snooze();
+                }
+            }
+        }
+        // Per-ring order is emission order, so a seq sort restores the
+        // epoch's exact global emission order across shards.
+        scratch.sort_unstable_by_key(|e| e.seq);
+        {
+            let mut sys = sys.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            // Hot-path counter writes land in this worker's private shard.
+            sys.weave_counters_swap(&mut out.counters);
+            for sev in scratch.drain(..) {
+                let c = sev.ev.core();
+                let shard = sev.shard as usize;
+                out.shard_events[shard] += 1;
+                if !core.diverged.load(Ordering::Relaxed) {
+                    let t0 = Instant::now();
+                    if let Some(kind) = sys.weave_apply(sev.ev, &mut stall[c]) {
+                        core.flag(kind);
+                    }
+                    out.shard_busy[shard] += t0.elapsed();
+                }
+                // Publish the stall offset before marking the event woven:
+                // a scheduler that observes unwoven == 0 (Acquire) is then
+                // guaranteed to read a stall offset at least this fresh.
+                core.stall_offs[c].store(stall[c], Ordering::Release);
+                core.unwoven[c].fetch_sub(1, Ordering::Release);
+            }
+            sys.weave_counters_swap(&mut out.counters);
+        }
+        core.turn.store(desc.epoch + 1, Ordering::Release);
     }
 }
 
 /// Outcome of a bound-weave session, returned by
 /// [`System::weave_end`](crate::engine::System::weave_end).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct WeaveReport {
     /// The session diverged; its results were discarded and the caller must
     /// rerun sequentially.
     pub diverged: bool,
+    /// First divergence cause, when `diverged`.
+    pub divergence: Option<DivergenceKind>,
     /// Shared-state events replayed.
     pub events: u64,
-    /// Seconds the weave thread spent applying events.
+    /// Seconds all workers together spent applying events.
     pub busy_s: f64,
-    /// Seconds the weave thread was alive.
+    /// Seconds the longest-lived worker was alive.
     pub wall_s: f64,
+    /// Seconds spent applying each shard's events (length = shard count).
+    pub shard_busy_s: Vec<f64>,
+    /// Events applied per shard (length = shard count).
+    pub shard_events: Vec<u64>,
 }
 
 impl WeaveReport {
-    /// Fraction of the weave thread's lifetime spent applying events —
-    /// the pipeline-occupancy figure reported by `perf_baseline`.
+    /// Number of shard workers the session ran with.
+    pub fn shards(&self) -> usize {
+        self.shard_busy_s.len()
+    }
+
+    /// Fraction of the session's lifetime spent applying events, summed
+    /// over workers — the pipeline-occupancy figure reported by
+    /// `perf_baseline`.
     pub fn occupancy(&self) -> f64 {
         if self.wall_s > 0.0 {
             self.busy_s / self.wall_s
@@ -292,4 +811,37 @@ impl WeaveReport {
             0.0
         }
     }
+
+    /// Per-shard occupancy: seconds spent applying each shard's events over
+    /// the session lifetime (`engine_scaling.shard_occupancy` in
+    /// `BENCH_perf.json`).
+    pub fn shard_occupancy(&self) -> Vec<f64> {
+        if self.wall_s > 0.0 {
+            self.shard_busy_s.iter().map(|b| b / self.wall_s).collect()
+        } else {
+            vec![0.0; self.shards()]
+        }
+    }
+}
+
+/// Resolve the shard-worker count for a session: the config knob when set,
+/// else `MEMSIM_WEAVE_SHARDS`, else auto (min of LLC banks and host
+/// parallelism, capped at 4 — more spinning workers than cores only adds
+/// scheduler pressure).
+pub(crate) fn resolve_shards(cfg_shards: usize, llc_banks: usize) -> usize {
+    let n = if cfg_shards > 0 {
+        cfg_shards
+    } else {
+        match std::env::var("MEMSIM_WEAVE_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(n) if n > 0 => n,
+            _ => {
+                let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+                host.min(llc_banks).min(4)
+            }
+        }
+    };
+    n.clamp(1, MAX_SHARDS)
 }

@@ -257,7 +257,7 @@ fn differential_run(seed: u64, ops: usize) {
                 }
             }
             // Insert.
-            2 | 3 | 4 => {
+            2..=4 => {
                 let fill = [(r >> 8) as u8; CACHE_LINE];
                 let dirty = (r >> 48) & 1 == 1;
                 let a = soa.insert(line, &fill, dirty, part.clone());

@@ -664,8 +664,10 @@ mod tests {
                 scfg.controller.diff_ways = 1;
             }
             let layout = NvmLayout::new(scfg.nvm.dimms, 32);
-            let mut tcfg = TvarakConfig::default();
-            tcfg.redundancy_caching = caching;
+            let tcfg = TvarakConfig {
+                redundancy_caching: caching,
+                ..Default::default()
+            };
             let mut ctrl = TvarakController::new(
                 tcfg,
                 layout,
@@ -732,8 +734,10 @@ mod tests {
                 scfg.controller.diff_ways = 0;
             }
             let layout = NvmLayout::new(scfg.nvm.dimms, 8);
-            let mut tcfg = TvarakConfig::default();
-            tcfg.data_diffs = diffs;
+            let tcfg = TvarakConfig {
+                data_diffs: diffs,
+                ..Default::default()
+            };
             let mut ctrl = TvarakController::new(
                 tcfg,
                 layout,

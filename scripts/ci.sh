@@ -55,22 +55,25 @@ for key in '"schema"' '"line_speedup"' '"sim_cycles_per_sec"' '"cells_per_sec"';
         || { echo "ci: BENCH_perf.json missing key $key" >&2; exit 1; }
 done
 
-echo "=== bound-weave CSV differential (fig8_fio at 4 engine threads) ==="
+echo "=== bound-weave CSV differential (fig8_fio at 1/4/8 engine threads) ==="
 # The bound-weave hard requirement: campaign output is byte-identical at any
-# MEMSIM_ENGINE_THREADS. Run one fio campaign sequentially and once at 4
-# engine threads and byte-diff the CSVs.
+# MEMSIM_ENGINE_THREADS. Run one fio campaign sequentially, at 4, and at 8
+# engine threads, and byte-diff the CSVs against the sequential oracle.
 weave_tmp="$(mktemp -d)"
 trap 'rm -rf "$perf_tmp" "$weave_tmp"' EXIT
-mkdir -p "$weave_tmp/seq" "$weave_tmp/par"
+mkdir -p "$weave_tmp/seq"
 (cd "$weave_tmp/seq" && TVARAK_SCALE=quick MEMSIM_ENGINE_THREADS=1 \
     "$repo_root/target/release/fig8_fio" --jobs 1 > /dev/null)
-(cd "$weave_tmp/par" && TVARAK_SCALE=quick MEMSIM_ENGINE_THREADS=4 \
-    "$repo_root/target/release/fig8_fio" --jobs 1 > /dev/null)
-if ! diff -q "$weave_tmp/seq/results/fig8_fio.csv" "$weave_tmp/par/results/fig8_fio.csv"; then
-    echo "ci: fig8_fio.csv differs between sequential and 4 engine threads" >&2
-    exit 1
-fi
-echo "ci: fig8_fio.csv byte-identical at 1 and 4 engine threads"
+for t in 4 8; do
+    mkdir -p "$weave_tmp/par$t"
+    (cd "$weave_tmp/par$t" && TVARAK_SCALE=quick MEMSIM_ENGINE_THREADS=$t \
+        "$repo_root/target/release/fig8_fio" --jobs 1 > /dev/null)
+    if ! diff -q "$weave_tmp/seq/results/fig8_fio.csv" "$weave_tmp/par$t/results/fig8_fio.csv"; then
+        echo "ci: fig8_fio.csv differs between sequential and $t engine threads" >&2
+        exit 1
+    fi
+done
+echo "ci: fig8_fio.csv byte-identical at 1, 4, and 8 engine threads"
 
 echo "=== degraded_campaign --jobs determinism ==="
 # The campaign assembles its CSV from in-input-order results, so any
@@ -100,6 +103,14 @@ echo "=== perf gate (>30% regression vs committed BENCH_perf.json fails) ==="
 perf_metric() { # file, key -> first value of "key": <float>
     grep -Eo "\"$2\": [0-9.]+" "$1" | head -1 | awk '{print $2}'
 }
+# Sharded-weave scaling gate: on a host with >= 4 cores the 4-engine-thread
+# fio cell must be at least as fast as sequential (speedup >= 1.0). Smaller
+# hosts cannot run the replay workers concurrently, so the gate is skipped
+# there — loudly, so a quiet CI downgrade never masks a scaling regression.
+host_cores=$(nproc 2>/dev/null || echo 1)
+scaling_speedup4() { # file -> the threads-4 scaling point's speedup
+    grep '"threads": 4' "$1" | grep -Eo '"speedup": [0-9.]+' | head -1 | awk '{print $2}'
+}
 gate_ok=""
 for attempt in 1 2 3; do
     [ "$attempt" -gt 1 ] && {
@@ -121,6 +132,21 @@ for attempt in 1 2 3; do
             gate_ok=""
         fi
     done
+    if [ "$host_cores" -ge 4 ]; then
+        speedup4=$(scaling_speedup4 "$perf_tmp/BENCH_perf.json")
+        if [ -z "$speedup4" ]; then
+            echo "ci: perf gate could not read the 4-thread scaling speedup" >&2
+            exit 1
+        fi
+        if awk -v s="$speedup4" 'BEGIN { exit !(s >= 1.0) }'; then
+            echo "ci: engine scaling ok (4-thread speedup $speedup4 on $host_cores cores)"
+        else
+            echo "ci: engine scaling low: 4-thread speedup $speedup4 < 1.0 on $host_cores cores"
+            gate_ok=""
+        fi
+    else
+        echo "ci: SKIPPED engine-scaling gate: host has $host_cores core(s), need >= 4"
+    fi
     [ -n "$gate_ok" ] && break
 done
 if [ -z "$gate_ok" ]; then
