@@ -48,6 +48,7 @@ use memsim::RaidLevel;
 use pmemfs::fault::{self, Fault};
 use pmemfs::fs::FileHandle;
 use pmemfs::rebuild::PoolState;
+use serve::Hist;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -167,12 +168,16 @@ impl Scenario {
 }
 
 /// Per-phase measurement: foreground ops, simulated cycles on the serving
-/// core, and degraded reconstruct-on-read fills charged in the window.
-#[derive(Debug, Clone, Copy, Default)]
+/// core, degraded reconstruct-on-read fills charged in the window, and the
+/// per-op latency distribution (each op's serving-core cycle delta,
+/// including any maintenance work piggybacked on it — QoS pacing spikes are
+/// exactly what the tail shows).
+#[derive(Debug, Clone, Default)]
 struct Phase {
     ops: u64,
     cycles: u64,
     degraded_fills: u64,
+    lat: Hist,
 }
 
 impl Phase {
@@ -486,14 +491,17 @@ fn drive<F: FnMut(&Machine, u64) -> bool>(
     out: &mut Outcome,
     op: &mut u64,
     limit: u64,
+    lat: &mut Hist,
     mut stop: F,
 ) -> u64 {
     let mut ran = 0;
     while ran < limit && !stop(m, ran) {
+        let start = m.sys.clock(0);
         if !w.step(m, *op, out) {
             break; // crashed (already recorded)
         }
         let _ = m.tick_maintenance(0);
+        lat.record(m.sys.clock(0) - start);
         *op += 1;
         ran += 1;
         if (*op).is_multiple_of(FLUSH_EVERY) {
@@ -535,11 +543,13 @@ fn run_faulted(
 
     // Phase 0: healthy.
     let (c0, f0) = (m.sys.clock(0), m.stats().counters.degraded_fills);
-    let ran = drive(&mut m, w.as_mut(), &mut out, &mut op, n, |_, _| false);
+    let mut lat = Hist::new();
+    let ran = drive(&mut m, w.as_mut(), &mut out, &mut op, n, &mut lat, |_, _| false);
     out.phases[0] = Phase {
         ops: ran,
         cycles: m.sys.clock(0) - c0,
         degraded_fills: m.stats().counters.degraded_fills - f0,
+        lat,
     };
 
     // Phase 1: degraded — the device dies, serving continues from parity.
@@ -551,17 +561,20 @@ fn run_faulted(
         }
     }
     let (c0, f0) = (m.sys.clock(0), m.stats().counters.degraded_fills);
-    let ran = drive(&mut m, w.as_mut(), &mut out, &mut op, n, |_, _| false);
+    let mut lat = Hist::new();
+    let ran = drive(&mut m, w.as_mut(), &mut out, &mut op, n, &mut lat, |_, _| false);
     out.phases[1] = Phase {
         ops: ran,
         cycles: m.sys.clock(0) - c0,
         degraded_fills: m.stats().counters.degraded_fills - f0,
+        lat,
     };
 
     // Phase 2: rebuilding — hot spare attached, resilver races foreground
     // traffic; the storm scenarios fail a second device mid-resilver.
     m.attach_spare(FAIL_BANK);
     let (c0, f0) = (m.sys.clock(0), m.stats().counters.degraded_fills);
+    let mut lat = Hist::new();
     let mut rebuilding_ops = 0u64;
     let mut second_fired = !scenario.second_fault();
     loop {
@@ -582,7 +595,7 @@ fn run_faulted(
         if out.crashed || rebuilding_ops >= cap {
             break;
         }
-        let ran = drive(&mut m, w.as_mut(), &mut out, &mut op, 1, |_, _| false);
+        let ran = drive(&mut m, w.as_mut(), &mut out, &mut op, 1, &mut lat, |_, _| false);
         if ran == 0 {
             break;
         }
@@ -592,6 +605,7 @@ fn run_faulted(
         ops: rebuilding_ops,
         cycles: m.sys.clock(0) - c0,
         degraded_fills: m.stats().counters.degraded_fills - f0,
+        lat,
     };
     if !(m.rebuild_idle() && m.pool_state() == PoolState::Healthy) {
         out.violations.push(format!(
@@ -601,11 +615,13 @@ fn run_faulted(
 
     // Phase 3: recovered.
     let (c0, f0) = (m.sys.clock(0), m.stats().counters.degraded_fills);
-    let ran = drive(&mut m, w.as_mut(), &mut out, &mut op, n, |_, _| false);
+    let mut lat = Hist::new();
+    let ran = drive(&mut m, w.as_mut(), &mut out, &mut op, n, &mut lat, |_, _| false);
     out.phases[3] = Phase {
         ops: ran,
         cycles: m.sys.clock(0) - c0,
         degraded_fills: m.stats().counters.degraded_fills - f0,
+        lat,
     };
 
     m.flush();
@@ -642,7 +658,8 @@ fn run_oracle(app: &str, design: Design, scenario: Scenario, total_ops: u64) -> 
     m.flush();
     let mut out = Outcome::default();
     let mut op = 0u64;
-    let _ = drive(&mut m, w.as_mut(), &mut out, &mut op, total_ops, |_, _| false);
+    let mut lat = Hist::new();
+    let _ = drive(&mut m, w.as_mut(), &mut out, &mut op, total_ops, &mut lat, |_, _| false);
     m.flush();
     m.sys.memory().content_hash()
 }
@@ -715,9 +732,9 @@ fn main() {
         "# Degraded-mode campaign — scenario × design × app, {n} ops/steady phase"
     );
     println!(
-        "{:<4} {:<17} {:<10} {:>7} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6} {:>5} {:>6} {:>5}",
+        "{:<4} {:<17} {:<10} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6} {:>5} {:>6} {:>5}",
         "app", "design", "scenario", "ops",
-        "h_op/kc", "d_op/kc", "r_op/kc", "ok_op/kc",
+        "h_op/kc", "d_op/kc", "r_op/kc", "ok_op/kc", "h_p99", "r_p99",
         "resilv", "aband", "dfill", "quar", "closed", "hash"
     );
     if std::env::var("DEGRADED_LOUD").is_err() { install_quiet_panic_hook(); }
@@ -759,6 +776,10 @@ fn main() {
         "app,design,scenario,level,ops,\
          healthy_ops,healthy_cycles,degraded_ops,degraded_cycles,\
          rebuilding_ops,rebuilding_cycles,recovered_ops,recovered_cycles,\
+         healthy_p50,healthy_p99,healthy_p999,\
+         degraded_p50,degraded_p99,degraded_p999,\
+         rebuilding_p50,rebuilding_p99,rebuilding_p999,\
+         recovered_p50,recovered_p99,recovered_p999,\
          degraded_fills,reconstructed_reads,dropped_writes,write_intent_lines,\
          pages_resilvered,pages_abandoned,lines_reconstructed,backpressure_events,\
          rebuilds_completed,detections,recoveries,quarantines,wrong_data,\
@@ -770,7 +791,7 @@ fn main() {
         let (app, design, scenario, out) = &r.value;
         let hash_match = scenario.oracle_strict() && out.content_hash == out.oracle_hash;
         println!(
-            "{:<4} {:<17} {:<10} {:>7} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>6} {:>6} {:>6} {:>5} {:>6} {:>5}",
+            "{:<4} {:<17} {:<10} {:>7} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8} {:>8} {:>6} {:>6} {:>6} {:>5} {:>6} {:>5}",
             app,
             design.label(),
             scenario.label(),
@@ -779,6 +800,8 @@ fn main() {
             out.phases[1].ops_per_kcycle(),
             out.phases[2].ops_per_kcycle(),
             out.phases[3].ops_per_kcycle(),
+            out.phases[0].lat.p99(),
+            out.phases[2].lat.p99(),
             out.pages_resilvered,
             out.pages_abandoned,
             out.phases[1].degraded_fills + out.phases[2].degraded_fills,
@@ -796,9 +819,15 @@ fn main() {
             design.label(),
             scenario.label()
         );
+        let tails = out
+            .phases
+            .iter()
+            .map(|p| format!("{},{},{}", p.lat.p50(), p.lat.p99(), p.lat.p999()))
+            .collect::<Vec<_>>()
+            .join(",");
         let _ = writeln!(
             csv,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:#018x},{:#018x},{},{:#018x},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:#018x},{:#018x},{},{:#018x},{}",
             app,
             design.label(),
             scenario.label(),
@@ -815,6 +844,7 @@ fn main() {
             out.phases[2].cycles,
             out.phases[3].ops,
             out.phases[3].cycles,
+            tails,
             out.phases.iter().map(|p| p.degraded_fills).sum::<u64>(),
             out.reconstructed_reads,
             out.dropped_writes,

@@ -1,0 +1,137 @@
+//! Open-loop request-serving campaign: throughput vs offered load and
+//! p50/p99/p999 tail latency for every redundancy design.
+//!
+//! Sweeps the offered-load ladder (`bench::serve::gap_ladder`) for each
+//! (app, design) pair: a seeded open-loop arrival stream (design-independent,
+//! so designs compete on identical request sequences) drains through
+//! per-core bounded queues with admission control into the app running on
+//! the simulated machine. Emits `results/serve_campaign.csv` plus a stdout
+//! table; cells run on the `--jobs` worker pool and the output is
+//! byte-identical at any width.
+//!
+//! Flags (in addition to `--jobs N`):
+//!
+//! - `--knee` — after the ladder, run 3 geometric-bisection rounds per
+//!   (app, design) pair to bracket the saturation knee (the heaviest load
+//!   served without shedding) and report the estimate.
+//! - `--arrival <uniform|poisson|bursty[:mult]>` — arrival process
+//!   (default `poisson`).
+//! - `--policy <shed|block>` — admission policy (default `shed`).
+//!
+//! Environment: `TVARAK_SCALE=quick|reduced` shrinks the sweep;
+//! `SERVE_APPS=fio,kv,redis` selects apps (default `fio,kv`).
+//!
+//! Exits non-zero if any accounting invariant breaks (offered must equal
+//! accepted + shed at every point, every admitted request must complete)
+//! or — under the shed policy — if no sweep point lands past the
+//! saturation knee.
+
+use bench::runner;
+use bench::serve::{run_campaign, to_csv, check_invariants, CampaignConfig};
+
+fn main() {
+    let mut cfg = CampaignConfig::from_env();
+    let mut args = runner::positional_args().into_iter();
+    while let Some(a) = args.next() {
+        let parse_val = |name: &str, v: Option<String>| -> String {
+            v.unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--knee" => cfg.knee_rounds = 3,
+            "--arrival" => {
+                cfg.process = parse_val("--arrival", args.next()).parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
+            "--policy" => {
+                cfg.policy = parse_val("--policy", args.next()).parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                let parsed = other
+                    .strip_prefix("--arrival=")
+                    .map(|v| v.parse().map(|p| cfg.process = p).map_err(|e| format!("{e}")))
+                    .or_else(|| {
+                        other
+                            .strip_prefix("--policy=")
+                            .map(|v| v.parse().map(|p| cfg.policy = p).map_err(|e| format!("{e}")))
+                    });
+                match parsed {
+                    Some(Ok(())) => {}
+                    Some(Err(e)) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                    None => {
+                        eprintln!(
+                            "unknown argument {other:?} (expected --knee, --arrival, \
+                             --policy, --jobs)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
+        }
+    }
+
+    println!(
+        "# Open-loop serving campaign — {} arrivals, {} policy, {} requests/point, \
+         {} serving cores, queue depth {}",
+        cfg.process, cfg.policy, cfg.scale.requests, cfg.scale.serving_cores, cfg.scale.depth
+    );
+    let (rows, estimates) = run_campaign(&cfg, runner::jobs());
+
+    println!(
+        "{:<6} {:<6} {:<17} {:>9} {:>9} {:>9} {:>6} {:>6} {:>8} {:>8} {:>8}",
+        "phase", "app", "design", "gap", "off/kc", "srv/kc", "shed", "peakq", "p50", "p99", "p999"
+    );
+    for r in &rows {
+        let rep = &r.report;
+        println!(
+            "{:<6} {:<6} {:<17} {:>9.2} {:>9.4} {:>9.4} {:>6} {:>6} {:>8} {:>8} {:>8}",
+            r.phase,
+            r.app.label(),
+            r.design.label(),
+            r.mean_gap,
+            1000.0 / r.mean_gap,
+            rep.throughput_per_kcycle(),
+            rep.shed,
+            rep.peak_depth,
+            rep.latency.p50(),
+            rep.latency.p99(),
+            rep.latency.p999(),
+        );
+    }
+    for e in &estimates {
+        match e.knee_gap {
+            Some(g) => println!(
+                "knee   {:<6} {:<17} gap {:>9.2} cycles ({:.4} req/kcycle sustained)",
+                e.app.label(),
+                e.design.label(),
+                g,
+                1000.0 / g
+            ),
+            None => println!(
+                "knee   {:<6} {:<17} not bracketed by the ladder",
+                e.app.label(),
+                e.design.label()
+            ),
+        }
+    }
+
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/serve_campaign.csv", to_csv(&rows, &estimates));
+    eprintln!("[saved results/serve_campaign.csv]");
+
+    if let Err(v) = check_invariants(&rows) {
+        eprintln!("INVARIANT VIOLATION: {v}");
+        std::process::exit(1);
+    }
+    println!("all serving invariants held");
+}

@@ -16,6 +16,9 @@
 //! - `chaos_campaign` — fault type × design × app sweep asserting the
 //!   survival invariants of the detection → recovery → degradation
 //!   pipeline (exits non-zero on violation; see DESIGN.md §8)
+//! - `serve_campaign` — open-loop offered-load sweep: throughput vs
+//!   offered load plus p50/p99/p999 tail latency per design, with a
+//!   knee-finding saturation mode (`--knee`; see DESIGN.md §15)
 //! - `probe` — ad-hoc single-workload comparisons for calibration
 //! - `perf_baseline` — tracked performance baseline of the simulator
 //!   itself (checksum/engine microbenches + a fixed cell grid), emitting
@@ -31,6 +34,7 @@
 
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod workloads;
 
 pub use report::{Report, Row};

@@ -1,0 +1,65 @@
+//! The serve campaign's CSV must be byte-identical at any `--jobs` width
+//! and across repeated runs at a fixed seed, with admission counters
+//! invariant — the same contract every other campaign binary honours via
+//! `bench::runner`, extended here across the knee-bisection rounds (whose
+//! probe loads are *decided* from earlier parallel results).
+
+use bench::serve::{
+    check_invariants, run_campaign, to_csv, CampaignConfig, ServeScale, ServedApp,
+};
+use serve::{AdmissionPolicy, ArrivalProcess};
+
+fn test_config() -> CampaignConfig {
+    CampaignConfig {
+        apps: vec![ServedApp::Fio],
+        process: ArrivalProcess::Poisson,
+        policy: AdmissionPolicy::Shed,
+        knee_rounds: 1,
+        scale: ServeScale {
+            requests: 400,
+            serving_cores: 2,
+            keys: 256,
+            depth: 8,
+        },
+    }
+}
+
+#[test]
+fn csv_byte_identical_across_jobs_and_runs() {
+    let cfg = test_config();
+    let (rows1, est1) = run_campaign(&cfg, 1);
+    let (rows4, est4) = run_campaign(&cfg, 4);
+    let (rows1b, est1b) = run_campaign(&cfg, 1);
+    let (a, b, c) = (
+        to_csv(&rows1, &est1),
+        to_csv(&rows4, &est4),
+        to_csv(&rows1b, &est1b),
+    );
+    assert_eq!(a, b, "CSV differs between --jobs 1 and --jobs 4");
+    assert_eq!(a, c, "CSV differs between repeated --jobs 1 runs");
+
+    // Admission counters are part of the byte-identity contract, but check
+    // them structurally too so a failure names the counter, not a CSV line.
+    for (r1, r4) in rows1.iter().zip(&rows4) {
+        assert_eq!(r1.report.shed, r4.report.shed, "{}/{}", r1.app, r1.design);
+        assert_eq!(
+            r1.report.accepted, r4.report.accepted,
+            "{}/{}",
+            r1.app, r1.design
+        );
+        assert_eq!(
+            r1.report.blocked, r4.report.blocked,
+            "{}/{}",
+            r1.app, r1.design
+        );
+    }
+
+    check_invariants(&rows1).expect("campaign invariants");
+    // The ladder's heaviest point must land past the saturation knee.
+    assert!(
+        rows1
+            .iter()
+            .any(|r| r.phase == "sweep" && r.report.shed > 0),
+        "no sweep point shed — ladder never saturated"
+    );
+}

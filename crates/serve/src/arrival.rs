@@ -1,0 +1,298 @@
+//! Open-loop arrival generation: seeded, deterministic request streams.
+//!
+//! An open-loop generator emits requests at timestamps drawn from an
+//! arrival process, *independent of service progress* — exactly what a
+//! population of remote clients does to a loaded service, and the property
+//! closed-loop benchmarks cannot model (a closed loop self-throttles at
+//! saturation, hiding the queueing that produces tail latency). Keys are
+//! drawn from the YCSB-style skewed chooser (`apps::ycsb::SkewedKeys`) so a
+//! hot-key set concentrates traffic the way real KV front ends see it.
+
+use apps::rng::Rng;
+use apps::ycsb::SkewedKeys;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// The arrival process shaping request inter-arrival gaps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Fixed inter-arrival gap (deterministic rate; the paced-load-tester
+    /// baseline).
+    Uniform,
+    /// Poisson arrivals: exponentially distributed gaps (independent
+    /// clients).
+    Poisson,
+    /// Bursty arrivals: Poisson modulated by an on/off square wave — the
+    /// on phase runs at `burst ×` the nominal rate (mean gap `mean/burst`)
+    /// and the off phase compensates with mean gap `mean * (2 - 1/burst)`,
+    /// so the long-run offered rate is conserved exactly while arrivals
+    /// concentrate into bursts that stress queue depth.
+    Bursty {
+        /// Burst intensity multiplier (> 1.0): the on-phase rate relative
+        /// to nominal.
+        burst: f64,
+    },
+}
+
+/// Default burst intensity for `bursty` parsed without an argument.
+pub const DEFAULT_BURST: f64 = 4.0;
+/// Arrivals per phase of the bursty on/off modulation: the phase flips
+/// every `BURST_PHASE_GAPS` requests, so each on phase packs that many
+/// arrivals into a `burst ×` shorter window.
+pub const BURST_PHASE_GAPS: u64 = 64;
+
+impl ArrivalProcess {
+    /// Short label for reports (the canonical [`FromStr`] spelling).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Uniform => "uniform",
+            ArrivalProcess::Poisson => "poisson",
+            ArrivalProcess::Bursty { .. } => "bursty",
+        }
+    }
+}
+
+impl fmt::Display for ArrivalProcess {
+    /// Canonical CLI syntax, parseable back by [`FromStr`]:
+    ///
+    /// ```text
+    /// uniform
+    /// poisson
+    /// bursty          (burst = DEFAULT_BURST)
+    /// bursty:2.5      (explicit burst multiplier)
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrivalProcess::Bursty { burst } => write!(f, "bursty:{burst}"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// An arrival-process name that could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArrivalError(String);
+
+impl fmt::Display for ParseArrivalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown arrival process {:?} (expected uniform, poisson, \
+             bursty, or bursty:<mult>)",
+            self.0
+        )
+    }
+}
+
+impl Error for ParseArrivalError {}
+
+impl FromStr for ArrivalProcess {
+    type Err = ParseArrivalError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseArrivalError(s.to_string());
+        Ok(match s.to_ascii_lowercase().as_str() {
+            "uniform" => ArrivalProcess::Uniform,
+            "poisson" => ArrivalProcess::Poisson,
+            "bursty" => ArrivalProcess::Bursty {
+                burst: DEFAULT_BURST,
+            },
+            other => match other.strip_prefix("bursty:") {
+                Some(m) => {
+                    let burst: f64 = m.parse().map_err(|_| err())?;
+                    if !(burst > 1.0 && burst.is_finite()) {
+                        return Err(err());
+                    }
+                    ArrivalProcess::Bursty { burst }
+                }
+                None => return Err(err()),
+            },
+        })
+    }
+}
+
+/// One open-loop request: an arrival timestamp plus what the client asked
+/// for. The dispatch loop routes it to a per-core queue and measures
+/// end-to-end latency from `arrival`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Position in the arrival stream (0-based).
+    pub seq: u64,
+    /// Arrival timestamp in simulated cycles.
+    pub arrival: u64,
+    /// Application key (already skew-scrambled).
+    pub key: u64,
+    /// Whether the request mutates (SET/insert) or reads (GET).
+    pub write: bool,
+}
+
+/// Workload shape of the generated requests.
+#[derive(Debug, Clone)]
+pub struct RequestMix {
+    /// Keyspace size.
+    pub keys: u64,
+    /// Fraction of draws hitting the hot set (`0.9` = YCSB high skew).
+    pub hot_fraction: f64,
+    /// Fraction of the keyspace that is hot (`0.1` = YCSB high skew).
+    pub hot_keys_fraction: f64,
+    /// Fraction of requests that write.
+    pub write_fraction: f64,
+}
+
+impl Default for RequestMix {
+    fn default() -> Self {
+        RequestMix {
+            keys: 4096,
+            hot_fraction: 0.9,
+            hot_keys_fraction: 0.1,
+            write_fraction: 0.5,
+        }
+    }
+}
+
+/// Generate `n` open-loop requests at a mean inter-arrival gap of
+/// `mean_gap_cycles`, deterministically from `seed`. Timestamps are
+/// non-decreasing and start at the first sampled gap.
+pub fn generate(
+    process: ArrivalProcess,
+    mean_gap_cycles: f64,
+    n: u64,
+    mix: &RequestMix,
+    seed: u64,
+) -> Vec<Request> {
+    assert!(mean_gap_cycles > 0.0, "need a positive mean gap");
+    let mut gaps = Rng::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut ops = Rng::new(seed ^ 0x5ca1_ab1e_0000_0001);
+    let mut keys = SkewedKeys::new(mix.keys, mix.hot_fraction, mix.hot_keys_fraction, seed);
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|seq| {
+            let mean = match process {
+                ArrivalProcess::Uniform | ArrivalProcess::Poisson => mean_gap_cycles,
+                ArrivalProcess::Bursty { burst } => {
+                    // Count-based square wave: equal arrival counts per
+                    // phase, on-phase gaps shrunk by `burst`, off-phase
+                    // gaps stretched to `2 - 1/burst` so the average gap
+                    // stays exactly `mean_gap_cycles`.
+                    if (seq / BURST_PHASE_GAPS) % 2 == 0 {
+                        mean_gap_cycles / burst
+                    } else {
+                        mean_gap_cycles * (2.0 - 1.0 / burst)
+                    }
+                }
+            };
+            let gap = match process {
+                ArrivalProcess::Uniform => mean,
+                // Inverse-CDF exponential sample; 1 - u in (0, 1] avoids
+                // ln(0).
+                _ => -mean * (1.0 - gaps.unit_f64()).ln(),
+            };
+            t += gap;
+            Request {
+                seq,
+                arrival: t as u64,
+                key: keys.next_key(),
+                write: ops.unit_f64() < mix.write_fraction,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_through_fromstr() {
+        for p in [
+            ArrivalProcess::Uniform,
+            ArrivalProcess::Poisson,
+            ArrivalProcess::Bursty { burst: 2.5 },
+        ] {
+            assert_eq!(p.to_string().parse::<ArrivalProcess>(), Ok(p));
+        }
+        assert_eq!(
+            "bursty".parse::<ArrivalProcess>(),
+            Ok(ArrivalProcess::Bursty {
+                burst: DEFAULT_BURST
+            })
+        );
+        assert!("bogus".parse::<ArrivalProcess>().is_err());
+        assert!("bursty:0.5".parse::<ArrivalProcess>().is_err());
+        assert!("bursty:x".parse::<ArrivalProcess>().is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mix = RequestMix::default();
+        let a = generate(ArrivalProcess::Poisson, 500.0, 200, &mix, 7);
+        let b = generate(ArrivalProcess::Poisson, 500.0, 200, &mix, 7);
+        assert_eq!(a, b);
+        let c = generate(ArrivalProcess::Poisson, 500.0, 200, &mix, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_near_rate() {
+        for p in [
+            ArrivalProcess::Uniform,
+            ArrivalProcess::Poisson,
+            ArrivalProcess::Bursty { burst: 4.0 },
+        ] {
+            let reqs = generate(p, 100.0, 2000, &RequestMix::default(), 3);
+            assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+            // Long-run offered rate within 20% of nominal for all processes.
+            let span = reqs.last().unwrap().arrival as f64;
+            let mean_gap = span / 2000.0;
+            assert!(
+                (80.0..125.0).contains(&mean_gap),
+                "{p}: mean gap {mean_gap}"
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_concentrates_arrivals() {
+        let mix = RequestMix::default();
+        let poisson = generate(ArrivalProcess::Poisson, 100.0, 4000, &mix, 11);
+        let bursty = generate(ArrivalProcess::Bursty { burst: 4.0 }, 100.0, 4000, &mix, 11);
+        // Count arrivals in fixed windows; the bursty stream's busiest
+        // window must be markedly busier than Poisson's.
+        let peak = |reqs: &[Request]| {
+            let mut counts = std::collections::HashMap::new();
+            for r in reqs {
+                *counts.entry(r.arrival / 3200).or_insert(0u64) += 1;
+            }
+            counts.values().copied().max().unwrap()
+        };
+        assert!(
+            peak(&bursty) > peak(&poisson) * 3 / 2,
+            "bursty peak {} vs poisson peak {}",
+            peak(&bursty),
+            peak(&poisson)
+        );
+    }
+
+    #[test]
+    fn write_fraction_respected() {
+        let mix = RequestMix {
+            write_fraction: 0.25,
+            ..RequestMix::default()
+        };
+        let reqs = generate(ArrivalProcess::Poisson, 10.0, 8000, &mix, 5);
+        let writes = reqs.iter().filter(|r| r.write).count();
+        assert!((1600..2400).contains(&writes), "writes={writes}");
+    }
+
+    #[test]
+    fn keys_stay_in_keyspace() {
+        let mix = RequestMix {
+            keys: 64,
+            ..RequestMix::default()
+        };
+        for r in generate(ArrivalProcess::Uniform, 10.0, 1000, &mix, 1) {
+            assert!(r.key < 64);
+        }
+    }
+}

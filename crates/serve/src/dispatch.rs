@@ -1,0 +1,302 @@
+//! The simulated-clock dispatch loop: open-loop arrivals → per-core
+//! queues → the machine, with per-core latency-histogram shards.
+//!
+//! The loop is a discrete-event simulation over the machine's per-core
+//! simulated clocks. At every step it chooses between the earliest pending
+//! *service start* (the core whose head-of-queue request could begin
+//! soonest) and the next *arrival*, processing whichever comes first in
+//! simulated time — reproducing how independent per-core queue pairs drain
+//! against a shared memory system. Service uses
+//! `System::idle_until(core, t)` to align the core's clock with the
+//! request's arrival when the core is idle, so queueing delay is exactly
+//! `service_start - arrival` and end-to-end latency is
+//! `completion - arrival`, both in simulated cycles.
+//!
+//! Everything is deterministic: a seeded request stream, FIFO queues,
+//! lowest-core-index tie-breaking, and a single simulation thread per cell
+//! (cross-cell parallelism comes from `bench::runner`). Latencies are
+//! recorded into per-core [`Hist`] shards merged once at the end, the same
+//! associative/commutative contract `Stats::merge` follows.
+
+use crate::arrival::Request;
+use crate::hist::Hist;
+use crate::queue::{Admission, CoreQueue, QueueConfig};
+use apps::driver::{AppError, Machine};
+
+/// Aggregated outcome of one open-loop serving run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Requests the generator offered.
+    pub offered: u64,
+    /// Requests admitted and served (offered − shed).
+    pub accepted: u64,
+    /// Requests rejected at ingress (admission control).
+    pub shed: u64,
+    /// Admitted arrivals that found their queue at or over the depth cap
+    /// (block policy only; 0 under shed).
+    pub blocked: u64,
+    /// Requests actually served to completion (== accepted: admitted work
+    /// is never abandoned).
+    pub completed: u64,
+    /// High-water mark of queue occupancy across all cores.
+    pub peak_depth: usize,
+    /// End-to-end latency (completion − arrival), merged across core
+    /// shards.
+    pub latency: Hist,
+    /// Queueing delay only (service start − arrival).
+    pub queueing: Hist,
+    /// Service time only (completion − service start).
+    pub service: Hist,
+    /// Simulated cycles from time 0 to the last completion.
+    pub span_cycles: u64,
+    /// Per-core end-to-end latency shards (merge of these == `latency`).
+    pub core_latency: Vec<Hist>,
+}
+
+impl ServeReport {
+    /// Served throughput in requests per kilocycle over the run's span.
+    pub fn throughput_per_kcycle(&self) -> f64 {
+        if self.span_cycles == 0 {
+            0.0
+        } else {
+            self.completed as f64 * 1000.0 / self.span_cycles as f64
+        }
+    }
+}
+
+/// Serve an open-loop request stream on `serving_cores` per-core queues.
+///
+/// `requests` must be sorted by arrival (as [`crate::arrival::generate`]
+/// produces). Requests are routed round-robin by sequence number — request
+/// `seq` to core `seq % serving_cores` — mirroring per-connection NVMe
+/// queue-pair affinity. `exec` runs one admitted request on its core and
+/// is the only place application state is touched.
+///
+/// # Errors
+///
+/// Propagates the first `exec` error; the report is abandoned.
+///
+/// # Panics
+///
+/// Panics if `serving_cores` is 0 or exceeds the machine's core count, or
+/// if `requests` is not sorted by arrival.
+pub fn serve_open_loop<F>(
+    m: &mut Machine,
+    serving_cores: usize,
+    requests: &[Request],
+    qc: QueueConfig,
+    mut exec: F,
+) -> Result<ServeReport, AppError>
+where
+    F: FnMut(&mut Machine, usize, &Request) -> Result<(), AppError>,
+{
+    assert!(
+        serving_cores >= 1 && serving_cores <= m.sys.num_cores(),
+        "serving_cores must be in 1..=machine cores"
+    );
+    assert!(
+        requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+        "requests must be sorted by arrival"
+    );
+    let mut queues: Vec<CoreQueue> = (0..serving_cores).map(|_| CoreQueue::new(qc)).collect();
+    let mut latency: Vec<Hist> = (0..serving_cores).map(|_| Hist::new()).collect();
+    let mut queueing = Hist::new();
+    let mut service = Hist::new();
+    let mut completed = 0u64;
+    let mut last_completion = 0u64;
+
+    // Serve the head request of `core`'s queue: idle to its arrival if the
+    // core drained, run it, record the latency split.
+    let mut serve_one = |m: &mut Machine,
+                         queues: &mut Vec<CoreQueue>,
+                         latency: &mut Vec<Hist>,
+                         core: usize|
+     -> Result<(), AppError> {
+        let req = queues[core].pop().expect("serve_one on empty queue");
+        m.sys.idle_until(core, req.arrival);
+        let start = m.sys.clock(core);
+        exec(m, core, &req)?;
+        let done = m.sys.clock(core);
+        latency[core].record(done - req.arrival);
+        queueing.record(start - req.arrival);
+        service.record(done - start);
+        completed += 1;
+        last_completion = last_completion.max(done);
+        Ok(())
+    };
+
+    // Earliest possible service start among non-empty queues, lowest core
+    // index winning ties — the deterministic analogue of hardware doorbell
+    // arbitration.
+    let next_service = |m: &Machine, queues: &[CoreQueue]| -> Option<(u64, usize)> {
+        queues
+            .iter()
+            .enumerate()
+            .filter_map(|(c, q)| {
+                q.front()
+                    .map(|r| (m.sys.clock(c).max(r.arrival), c))
+            })
+            .min()
+    };
+
+    for req in requests {
+        // Drain every service that would start strictly before this
+        // arrival, so each queue's occupancy at admission time is exactly
+        // what the request would find.
+        while let Some((start, core)) = next_service(m, &queues) {
+            if start >= req.arrival {
+                break;
+            }
+            serve_one(m, &mut queues, &mut latency, core)?;
+        }
+        let core = (req.seq % serving_cores as u64) as usize;
+        let _ = match queues[core].offer(*req) {
+            Admission::Shed => continue,
+            admitted => admitted,
+        };
+    }
+    // Arrivals exhausted: drain everything still queued.
+    while let Some((_, core)) = next_service(m, &queues) {
+        serve_one(m, &mut queues, &mut latency, core)?;
+    }
+
+    let mut merged = Hist::new();
+    for shard in &latency {
+        merged.merge(shard);
+    }
+    let shed: u64 = queues.iter().map(|q| q.shed).sum();
+    let accepted: u64 = queues.iter().map(|q| q.admitted).sum();
+    debug_assert_eq!(accepted + shed, requests.len() as u64);
+    debug_assert_eq!(completed, accepted);
+    Ok(ServeReport {
+        offered: requests.len() as u64,
+        accepted,
+        shed,
+        blocked: queues.iter().map(|q| q.blocked).sum(),
+        completed,
+        peak_depth: queues.iter().map(|q| q.peak_depth).max().unwrap_or(0),
+        latency: merged,
+        queueing,
+        service,
+        span_cycles: last_completion,
+        core_latency: latency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::{generate, ArrivalProcess, RequestMix};
+    use crate::queue::AdmissionPolicy;
+    use apps::driver::Design;
+    use memsim::PAGE;
+    use pmemfs::fs::FileHandle;
+
+    fn machine() -> (Machine, Vec<FileHandle>) {
+        let mut m = Machine::builder()
+            .small()
+            .design(Design::Baseline)
+            .data_pages(256)
+            .build();
+        let files = (0..2)
+            .map(|_| m.create_dax_file("serve", 8 * PAGE as u64).unwrap())
+            .collect();
+        (m, files)
+    }
+
+    fn run(
+        mean_gap: f64,
+        policy: AdmissionPolicy,
+        depth: usize,
+    ) -> ServeReport {
+        let (mut m, files) = machine();
+        m.reset_stats();
+        let reqs = generate(
+            ArrivalProcess::Poisson,
+            mean_gap,
+            400,
+            &RequestMix::default(),
+            42,
+        );
+        let qc = QueueConfig { depth, policy };
+        serve_open_loop(&mut m, 2, &reqs, qc, |m, core, r| {
+            let lines = files[core].len() / 64;
+            let off = (r.key % lines) * 64;
+            if r.write {
+                files[core].write(&mut m.sys, core, off, &[r.seq as u8; 64])?;
+            } else {
+                let mut buf = [0u8; 64];
+                files[core].read(&mut m.sys, core, off, &mut buf)?;
+            }
+            Ok(())
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn accounting_is_exact_under_light_load() {
+        let r = run(5000.0, AdmissionPolicy::Shed, 8);
+        assert_eq!(r.offered, 400);
+        assert_eq!(r.accepted + r.shed, r.offered);
+        assert_eq!(r.completed, r.accepted);
+        assert_eq!(r.latency.count(), r.completed);
+        assert_eq!(r.shed, 0, "light load must not shed");
+        assert_eq!(r.blocked, 0);
+    }
+
+    #[test]
+    fn overload_sheds_and_accounts_exactly() {
+        let r = run(1.0, AdmissionPolicy::Shed, 4);
+        assert!(r.shed > 0, "gap 1 cycle must saturate");
+        assert_eq!(r.accepted + r.shed, r.offered);
+        assert_eq!(r.completed, r.accepted);
+        assert!(r.peak_depth <= 4);
+    }
+
+    #[test]
+    fn block_policy_never_sheds_but_melts_tail() {
+        let shed = run(1.0, AdmissionPolicy::Shed, 4);
+        let block = run(1.0, AdmissionPolicy::Block, 4);
+        assert_eq!(block.shed, 0);
+        assert_eq!(block.accepted, block.offered);
+        assert!(block.blocked > 0);
+        assert!(block.peak_depth > 4);
+        assert!(
+            block.latency.p999() > shed.latency.p999(),
+            "block p999 {} must exceed shed p999 {}",
+            block.latency.p999(),
+            shed.latency.p999()
+        );
+    }
+
+    #[test]
+    fn light_load_latency_is_mostly_service() {
+        let r = run(5000.0, AdmissionPolicy::Shed, 8);
+        // With arrivals far apart, queueing is ~0 and e2e ≈ service.
+        assert_eq!(r.queueing.p50(), 0);
+        assert!(r.latency.p50() <= r.service.p50() + r.service.p50() / 16);
+    }
+
+    #[test]
+    fn shard_merge_equals_report_latency() {
+        let r = run(50.0, AdmissionPolicy::Shed, 8);
+        let mut merged = Hist::new();
+        for s in &r.core_latency {
+            merged.merge(s);
+        }
+        assert_eq!(merged, r.latency);
+        assert_eq!(
+            r.core_latency.iter().map(Hist::count).sum::<u64>(),
+            r.completed
+        );
+    }
+
+    #[test]
+    fn identical_runs_are_bit_identical() {
+        let a = run(40.0, AdmissionPolicy::Shed, 6);
+        let b = run(40.0, AdmissionPolicy::Shed, 6);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.span_cycles, b.span_cycles);
+    }
+}

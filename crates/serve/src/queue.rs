@@ -1,0 +1,237 @@
+//! Per-core bounded request queues with admission control.
+//!
+//! Modeled on the NVMe per-core queue-pair design (one submission queue per
+//! serving core, fixed depth, no cross-core locking — see the openvmm
+//! `nvme_manager` architecture referenced in SNIPPETS.md): every request is
+//! routed to exactly one core's queue, and the queue's depth cap is the
+//! admission-control point. Two policies when a queue is full:
+//!
+//! - [`AdmissionPolicy::Shed`]: the request is rejected at ingress and
+//!   counted — goodput is sacrificed to keep queueing delay (and therefore
+//!   tail latency) bounded.
+//! - [`AdmissionPolicy::Block`]: the request waits at ingress (clients
+//!   buffer; nothing is dropped) — accepted equals offered, and past
+//!   saturation the unbounded backlog is *supposed* to melt the tail. Each
+//!   arrival that finds the queue at or over the cap counts one block
+//!   event.
+
+use crate::arrival::Request;
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// What to do with an arrival that finds its core's queue full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Reject the request at ingress (counted; bounded queueing delay).
+    Shed,
+    /// Hold the request at ingress until the queue drains (nothing
+    /// dropped; unbounded backlog past saturation).
+    Block,
+}
+
+impl AdmissionPolicy {
+    /// Short label for reports (the canonical [`FromStr`] spelling).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::Shed => "shed",
+            AdmissionPolicy::Block => "block",
+        }
+    }
+}
+
+impl fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An admission-policy name that could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError(String);
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown admission policy {:?} (expected shed or block)", self.0)
+    }
+}
+
+impl Error for ParsePolicyError {}
+
+impl FromStr for AdmissionPolicy {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "shed" => Ok(AdmissionPolicy::Shed),
+            "block" => Ok(AdmissionPolicy::Block),
+            _ => Err(ParsePolicyError(s.to_string())),
+        }
+    }
+}
+
+/// Admission-control configuration shared by every per-core queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueConfig {
+    /// Queue-depth cap per core (requests awaiting service; the in-service
+    /// request does not occupy a slot, mirroring an NVMe submission queue
+    /// whose head has been consumed).
+    pub depth: usize,
+    /// Policy when an arrival finds the queue full.
+    pub policy: AdmissionPolicy,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            depth: 16,
+            policy: AdmissionPolicy::Shed,
+        }
+    }
+}
+
+/// Outcome of offering one request to a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Enqueued within the depth cap.
+    Accepted,
+    /// Rejected at ingress ([`AdmissionPolicy::Shed`] with a full queue).
+    Shed,
+    /// Enqueued past the depth cap ([`AdmissionPolicy::Block`]; the
+    /// overflow models clients buffering at ingress).
+    Blocked,
+}
+
+/// One core's bounded FIFO submission queue plus its admission counters.
+#[derive(Debug, Clone)]
+pub struct CoreQueue {
+    cfg: QueueConfig,
+    fifo: VecDeque<Request>,
+    /// Requests admitted (accepted + blocked).
+    pub admitted: u64,
+    /// Requests rejected at ingress.
+    pub shed: u64,
+    /// Admitted arrivals that found the queue at or over the cap.
+    pub blocked: u64,
+    /// High-water mark of queue occupancy.
+    pub peak_depth: usize,
+}
+
+impl CoreQueue {
+    /// An empty queue under `cfg`.
+    pub fn new(cfg: QueueConfig) -> Self {
+        CoreQueue {
+            cfg,
+            fifo: VecDeque::new(),
+            admitted: 0,
+            shed: 0,
+            blocked: 0,
+            peak_depth: 0,
+        }
+    }
+
+    /// Offer `req` to the queue, applying the admission policy.
+    pub fn offer(&mut self, req: Request) -> Admission {
+        let full = self.fifo.len() >= self.cfg.depth;
+        match (full, self.cfg.policy) {
+            (true, AdmissionPolicy::Shed) => {
+                self.shed += 1;
+                Admission::Shed
+            }
+            (full, _) => {
+                self.fifo.push_back(req);
+                self.admitted += 1;
+                self.peak_depth = self.peak_depth.max(self.fifo.len());
+                if full {
+                    self.blocked += 1;
+                    Admission::Blocked
+                } else {
+                    Admission::Accepted
+                }
+            }
+        }
+    }
+
+    /// The request at the head of the queue, if any.
+    pub fn front(&self) -> Option<&Request> {
+        self.fifo.front()
+    }
+
+    /// Dequeue the head request for service.
+    pub fn pop(&mut self) -> Option<Request> {
+        self.fifo.pop_front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(seq: u64) -> Request {
+        Request {
+            seq,
+            arrival: seq * 10,
+            key: seq,
+            write: false,
+        }
+    }
+
+    #[test]
+    fn policy_display_roundtrips() {
+        for p in [AdmissionPolicy::Shed, AdmissionPolicy::Block] {
+            assert_eq!(p.to_string().parse::<AdmissionPolicy>(), Ok(p));
+        }
+        assert!("drop".parse::<AdmissionPolicy>().is_err());
+    }
+
+    #[test]
+    fn shed_rejects_past_depth() {
+        let mut q = CoreQueue::new(QueueConfig {
+            depth: 2,
+            policy: AdmissionPolicy::Shed,
+        });
+        assert_eq!(q.offer(req(0)), Admission::Accepted);
+        assert_eq!(q.offer(req(1)), Admission::Accepted);
+        assert_eq!(q.offer(req(2)), Admission::Shed);
+        assert_eq!((q.admitted, q.shed, q.len()), (2, 1, 2));
+        assert_eq!(q.pop().unwrap().seq, 0);
+        assert_eq!(q.offer(req(3)), Admission::Accepted);
+        assert_eq!(q.peak_depth, 2);
+    }
+
+    #[test]
+    fn block_admits_past_depth_and_counts() {
+        let mut q = CoreQueue::new(QueueConfig {
+            depth: 1,
+            policy: AdmissionPolicy::Block,
+        });
+        assert_eq!(q.offer(req(0)), Admission::Accepted);
+        assert_eq!(q.offer(req(1)), Admission::Blocked);
+        assert_eq!(q.offer(req(2)), Admission::Blocked);
+        assert_eq!((q.admitted, q.shed, q.blocked, q.len()), (3, 0, 2, 3));
+        assert_eq!(q.peak_depth, 3);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = CoreQueue::new(QueueConfig::default());
+        for s in 0..5 {
+            q.offer(req(s));
+        }
+        for s in 0..5 {
+            assert_eq!(q.pop().unwrap().seq, s);
+        }
+        assert!(q.is_empty());
+    }
+}

@@ -31,6 +31,17 @@ echo "=== degraded_campaign (quick) ==="
 # diverges from the never-faulted oracle (DESIGN.md §13).
 TVARAK_SCALE=quick ./target/release/degraded_campaign
 
+echo "=== serve_campaign (quick) ==="
+# The binary exits non-zero when admission accounting breaks (offered !=
+# accepted + shed at any point, or an admitted request that never
+# completed) or when no sweep point lands past the saturation knee.
+# Double-check the accounting from the CSV it wrote (belt and braces).
+TVARAK_SCALE=quick ./target/release/serve_campaign
+if awk -F, 'NR > 1 && $1 != "knee-est" && $8 != $9 + $10' results/serve_campaign.csv | grep -q .; then
+    echo "ci: serve_campaign.csv has a row with offered != accepted + shed" >&2
+    exit 1
+fi
+
 echo "=== crashsim_campaign (quick) ==="
 # The binary already exits non-zero on any unrecoverable-loss crash point;
 # double-check the CSV it wrote reports zero lost rows (belt and braces —
@@ -90,6 +101,23 @@ if ! diff -q "$deg_tmp/j1/results/degraded_campaign.csv" "$deg_tmp/j4/results/de
     exit 1
 fi
 echo "ci: degraded_campaign.csv byte-identical at --jobs 1 and 4"
+
+echo "=== serve_campaign --jobs determinism (knee mode) ==="
+# Knee bisection decides probe loads from earlier parallel results, so it
+# is the strongest determinism stressor: the whole CSV (sweep + knee
+# probes + estimates) must be byte-identical at any --jobs width.
+srv_tmp="$(mktemp -d)"
+trap 'rm -rf "$perf_tmp" "$weave_tmp" "$deg_tmp" "$srv_tmp"' EXIT
+mkdir -p "$srv_tmp/j1" "$srv_tmp/j4"
+(cd "$srv_tmp/j1" && TVARAK_SCALE=quick \
+    "$repo_root/target/release/serve_campaign" --knee --jobs 1 > /dev/null)
+(cd "$srv_tmp/j4" && TVARAK_SCALE=quick \
+    "$repo_root/target/release/serve_campaign" --knee --jobs 4 > /dev/null)
+if ! diff -q "$srv_tmp/j1/results/serve_campaign.csv" "$srv_tmp/j4/results/serve_campaign.csv"; then
+    echo "ci: serve_campaign.csv differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
+echo "ci: serve_campaign.csv byte-identical at --jobs 1 and 4"
 
 echo "=== perf gate (>30% regression vs committed BENCH_perf.json fails) ==="
 # Two tracked hot paths: engine simulation rate (first sim_cycles_per_sec in
