@@ -16,7 +16,11 @@
 //! 3. **Hot-path microbenches** — `CacheArray` tag-scan and insert-evict
 //!    rates and NVM page-store line read/write rates, isolating the two
 //!    structures the engine spends most of its time in.
-//! 4. **Cell grid** — a fixed small fio grid (4 patterns × Baseline/Tvarak
+//! 4. **Trace codec microbench** — streaming `TraceWriter` encode and
+//!    `TraceReader` decode throughput in MiB/s over a generated mixed
+//!    op stream (chunked TVT2 format, DESIGN.md §16), plus the achieved
+//!    bytes/record — the compression the delta/varint encoding buys.
+//! 5. **Cell grid** — a fixed small fio grid (4 patterns × Baseline/Tvarak
 //!    at quick scale) through `bench::runner`, reporting per-cell wall
 //!    time, per-cell simulated throughput, and aggregate cells/sec.
 //!
@@ -161,6 +165,44 @@ fn hotpath_microbench(iters: u64) -> (f64, f64, f64, f64) {
     (lookup, insert, read, write)
 }
 
+/// Streaming trace-codec microbench: encode `records` generated mixed-op
+/// records through a `TraceWriter` and decode them back through a
+/// `TraceReader`, best wall time of 5 passes each. Returns
+/// (encoded_bytes, encode_mib_s, decode_mib_s), throughput measured over
+/// the encoded byte volume.
+fn trace_microbench(records: u64) -> (u64, f64, f64) {
+    use memsim::trace::{generate, TraceReader, TraceWriter};
+    const SEED: u64 = 0xbead_cafe;
+    const CORES: u8 = 8;
+    const LINES: u64 = 1 << 18;
+    let mut bytes = Vec::new();
+    let mut best_enc = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        let mut w = TraceWriter::new(Vec::with_capacity(bytes.len())).expect("vec write");
+        for i in 0..records {
+            w.push(generate::mixed_record(SEED, i, CORES, LINES))
+                .expect("vec write");
+        }
+        bytes = w.finish().expect("vec write");
+        best_enc = best_enc.min(start.elapsed().as_secs_f64().max(1e-9));
+    }
+    let mut best_dec = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        let mut r = TraceReader::new(&bytes[..]).expect("magic");
+        let mut n = 0u64;
+        while let Some(rec) = r.next_record().expect("well-formed") {
+            black_box(rec);
+            n += 1;
+        }
+        assert_eq!(n, records, "decode must surface every record");
+        best_dec = best_dec.min(start.elapsed().as_secs_f64().max(1e-9));
+    }
+    let mib = bytes.len() as f64 / (1024.0 * 1024.0);
+    (bytes.len() as u64, mib / best_enc, mib / best_dec)
+}
+
 fn json_f(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.3}")
@@ -244,6 +286,14 @@ fn main() {
     }
     let scaling_base = scaling[0].1;
 
+    let trace_records: u64 = if quick { 200_000 } else { 2_000_000 };
+    eprintln!("# trace codec microbench ({trace_records} mixed records, best of 5)");
+    let (trace_bytes, trace_enc, trace_dec) = trace_microbench(trace_records);
+    let bytes_per_record = trace_bytes as f64 / trace_records as f64;
+    eprintln!(
+        "#   {trace_bytes} encoded bytes ({bytes_per_record:.2} B/record vs 12 legacy): encode {trace_enc:.0}, decode {trace_dec:.0} MiB/s"
+    );
+
     eprintln!("# cell grid (fio 4 patterns x Baseline/Tvarak, quick scale, --jobs {jobs})");
     let scale = Scale::quick();
     let mut cells: Vec<Cell<Outcome>> = Vec::new();
@@ -263,7 +313,7 @@ fn main() {
     let cells_per_sec = results.len() as f64 / grid_wall.max(1e-9);
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": 4,");
+    let _ = writeln!(json, "  \"schema\": 5,");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"jobs\": {jobs},");
     let _ = writeln!(json, "  \"hw_crc32c\": {hw},");
@@ -303,6 +353,18 @@ fn main() {
     }
     let _ = writeln!(json, "    ]");
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"trace\": {{");
+    let _ = writeln!(json, "    \"records\": {trace_records},");
+    let _ = writeln!(json, "    \"encoded_bytes\": {trace_bytes},");
+    let _ = writeln!(json, "    \"bytes_per_record\": {},", json_f(bytes_per_record));
+    let _ = writeln!(
+        json,
+        "    \"chunk_bytes\": {},",
+        memsim::trace::CHUNK_PAYLOAD_MAX
+    );
+    let _ = writeln!(json, "    \"trace_encode_mib_s\": {},", json_f(trace_enc));
+    let _ = writeln!(json, "    \"trace_decode_mib_s\": {}", json_f(trace_dec));
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"hotpath\": {{");
     let _ = writeln!(json, "    \"cache_lookup_miss_mops\": {},", json_f(hot_lookup));
     let _ = writeln!(json, "    \"cache_insert_evict_mops\": {},", json_f(hot_insert));
@@ -326,7 +388,15 @@ fn main() {
     let _ = writeln!(json, "    \"cells\": {},", results.len());
     let _ = writeln!(json, "    \"total_wall_s\": {},", json_f(grid_wall));
     let _ = writeln!(json, "    \"cells_per_sec\": {}", json_f(cells_per_sec));
-    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "  }},");
+    // Host-dependent gauge (never CI-gated): peak RSS of this whole run.
+    let _ = writeln!(
+        json,
+        "  \"rss_peak_kb\": {}",
+        runner::peak_rss_kb()
+            .map(|kb| kb.to_string())
+            .unwrap_or_else(|| "null".to_string())
+    );
     json.push_str("}\n");
     std::fs::write("BENCH_perf.json", &json).expect("write BENCH_perf.json");
     println!("{json}");

@@ -1,0 +1,171 @@
+//! Long-horizon soak campaign: fio and KV under every design, measured as
+//! interval snapshots streaming to CSV (DESIGN.md §16).
+//!
+//! Each cell drives one (app × design) pair for `--intervals` measurement
+//! intervals of `--ops-per-interval` ops per instance, capturing per-interval
+//! throughput, cache hit rates, NVM traffic, and `serve::Hist` latency tails
+//! without ever holding whole-horizon state. After every cell, the merged
+//! interval rows are checked bit-identical against the machine's own
+//! monolithic accumulation (`Stats::delta_since` oracle) — any mismatch
+//! makes the campaign exit non-zero.
+//!
+//! Output: `results/soak_campaign.csv` plus a stdout table. Cells execute
+//! on the `bench::runner` pool; CSV and stdout are byte-identical at any
+//! `--jobs` width. Peak-RSS telemetry goes to stderr only (it is
+//! host-dependent and must not enter the deterministic artifacts).
+
+use apps::driver::Design;
+use apps::fio::Pattern;
+use bench::runner::{self, Cell};
+use bench::soak::{soak_fio, soak_kv, SoakConfig, SoakOutcome};
+use bench::workloads::{KvKind, KvWorkload, Scale};
+use std::fmt::Write as _;
+
+fn percent(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 * 100.0 / whole as f64
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut cfg = SoakConfig::from_scale(&scale);
+    let mut args = runner::positional_args().into_iter();
+    while let Some(a) = args.next() {
+        let val = |v: Option<String>| {
+            v.and_then(|v| v.parse::<u64>().ok()).unwrap_or_else(|| {
+                eprintln!("expected a positive integer value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--intervals" => cfg.intervals = val(args.next()).max(1),
+            "--ops-per-interval" => cfg.ops_per_interval = val(args.next()).max(1),
+            other => {
+                let parsed = other
+                    .strip_prefix("--intervals=")
+                    .map(|v| cfg.intervals = val(Some(v.to_string())).max(1))
+                    .or_else(|| {
+                        other
+                            .strip_prefix("--ops-per-interval=")
+                            .map(|v| cfg.ops_per_interval = val(Some(v.to_string())).max(1))
+                    });
+                if parsed.is_none() {
+                    eprintln!(
+                        "unknown argument {other:?} (expected --intervals, \
+                         --ops-per-interval, --jobs)"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
+    println!(
+        "# Soak campaign — {} intervals x {} ops/instance/interval, fio {} threads / kv {} instances",
+        cfg.intervals, cfg.ops_per_interval, scale.fio_threads, scale.kv_instances
+    );
+
+    let mut cells: Vec<Cell<(&'static str, Design, SoakOutcome)>> = Vec::new();
+    for design in Design::all() {
+        let (s, c) = (scale.clone(), cfg.clone());
+        cells.push(Cell::new(format!("soak fio-randwrite {design}"), move || {
+            let out = soak_fio(design, Pattern::RandWrite, &s, &c).expect("fio soak failed");
+            ("fio-randwrite", design, out)
+        }));
+        let (s, c) = (scale.clone(), cfg.clone());
+        cells.push(Cell::new(format!("soak kv-btree-bal {design}"), move || {
+            let out = soak_kv(design, KvKind::BTree, KvWorkload::Balanced, &s, &c)
+                .expect("kv soak failed");
+            ("kv-btree-bal", design, out)
+        }));
+    }
+
+    let results = runner::run_cells(cells, runner::jobs());
+    runner::eprint_rates(&results, |(_, _, out)| out.monolithic.runtime_cycles());
+
+    let mut csv = String::from(
+        "app,design,interval,ops,cum_cycles,interval_cycles,ops_per_mcycle,\
+         l1d_hit_pct,llc_hit_pct,tvarak_hit_pct,nvm_data,nvm_red,dram,\
+         lat_p50,lat_p99,lat_p999,lat_max,content_hash\n",
+    );
+    println!(
+        "{:<14} {:<17} {:>8} {:>7} {:>12} {:>9} {:>7} {:>7} {:>8} {:>8} {:>8}",
+        "app", "design", "interval", "ops", "cycles", "ops/Mcyc", "llc%", "tv$%", "p50", "p99", "p999"
+    );
+    let mut failures = 0usize;
+    for r in &results {
+        let (app, design, out) = &r.value;
+        for row in &out.rows {
+            let c = &row.delta.counters;
+            let ops_per_mcycle = row.ops as f64 * 1e6 / (row.interval_cycles.max(1)) as f64;
+            let l1d = percent(c.l1d_hits, c.l1d_hits + c.l1d_misses);
+            let llc = percent(c.llc_hits, c.llc_hits + c.llc_misses);
+            let tv = percent(c.tvarak_cache_hits, c.tvarak_accesses());
+            let _ = writeln!(
+                csv,
+                "{app},{},{},{},{},{},{ops_per_mcycle:.3},{l1d:.4},{llc:.4},{tv:.4},{},{},{},{},{},{},{},-",
+                design.label(),
+                row.interval,
+                row.ops,
+                row.cum_runtime_cycles,
+                row.interval_cycles,
+                c.nvm_data(),
+                c.nvm_redundancy(),
+                c.dram_accesses,
+                row.lat.p50(),
+                row.lat.p99(),
+                row.lat.p999(),
+                row.lat.max(),
+            );
+            println!(
+                "{:<14} {:<17} {:>8} {:>7} {:>12} {:>9.3} {:>7.2} {:>7.2} {:>8} {:>8} {:>8}",
+                app,
+                design.label(),
+                row.interval,
+                row.ops,
+                row.interval_cycles,
+                ops_per_mcycle,
+                llc,
+                tv,
+                row.lat.p50(),
+                row.lat.p99(),
+                row.lat.p999(),
+            );
+        }
+        // Whole-horizon oracle row: the machine's own monolithic totals.
+        let c = &out.monolithic.counters;
+        let total_ops: u64 = out.rows.iter().map(|r| r.ops).sum();
+        let cycles = out.monolithic.runtime_cycles();
+        let _ = writeln!(
+            csv,
+            "{app},{},total,{total_ops},{cycles},{cycles},{:.3},{:.4},{:.4},{:.4},{},{},{},-,-,-,-,{:016x}",
+            design.label(),
+            total_ops as f64 * 1e6 / cycles.max(1) as f64,
+            percent(c.l1d_hits, c.l1d_hits + c.l1d_misses),
+            percent(c.llc_hits, c.llc_hits + c.llc_misses),
+            percent(c.tvarak_cache_hits, c.tvarak_accesses()),
+            c.nvm_data(),
+            c.nvm_redundancy(),
+            c.dram_accesses,
+            out.content_hash,
+        );
+        if let Err(e) = out.verify() {
+            eprintln!("SOAK INVARIANT VIOLATION [{app} {design}]: {e}");
+            failures += 1;
+        }
+    }
+
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/soak_campaign.csv", &csv);
+    eprintln!("[saved results/soak_campaign.csv]");
+    if let Some(kb) = runner::peak_rss_kb() {
+        eprintln!("[peak RSS: {kb} KiB across {} cells]", results.len());
+    }
+    if failures > 0 {
+        eprintln!("{failures} soak cell(s) violated the snapshot-merge invariant");
+        std::process::exit(1);
+    }
+}

@@ -35,6 +35,7 @@
 pub mod report;
 pub mod runner;
 pub mod serve;
+pub mod soak;
 pub mod workloads;
 
 pub use report::{Report, Row};

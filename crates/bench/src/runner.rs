@@ -251,6 +251,15 @@ pub fn eprint_rates<R>(results: &[CellResult<R>], sim_cycles: impl Fn(&R) -> u64
     );
 }
 
+/// Peak resident set size of this process (`VmHWM`) in KiB, when the
+/// platform exposes it (`/proc/self/status`). A host-dependent gauge for
+/// stderr telemetry and perf-baseline JSON — never for deterministic CSVs.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -463,7 +463,12 @@ impl KvKind {
         }
     }
 
-    fn build(&self, m: &mut Machine, core: usize, heap: u64) -> Result<Box<dyn PersistentKv>, AppError> {
+    pub(crate) fn build(
+        &self,
+        m: &mut Machine,
+        core: usize,
+        heap: u64,
+    ) -> Result<Box<dyn PersistentKv>, AppError> {
         Ok(match self {
             KvKind::CTree => Box::new(CTree::create(m, core, heap)?),
             KvKind::BTree => Box::new(BTree::create(m, core, heap)?),
@@ -496,7 +501,7 @@ impl KvWorkload {
         }
     }
 
-    fn update_fraction(&self) -> f64 {
+    pub(crate) fn update_fraction(&self) -> f64 {
         match self {
             KvWorkload::InsertOnly | KvWorkload::UpdateOnly => 1.0,
             KvWorkload::Balanced => 0.5,

@@ -87,6 +87,45 @@ pub struct Counters {
     pub weave_inel_raid: u64,
 }
 
+/// Apply a field-list macro to every [`Counters`] field, so the add/merge
+/// and snapshot-delta paths share one authoritative list: a new counter
+/// added here is automatically summed, merged, and delta'd.
+macro_rules! for_each_counter_field {
+    ($apply:ident) => {
+        $apply!(
+            l1d_hits,
+            l1d_misses,
+            l1i_accesses,
+            l2_hits,
+            l2_misses,
+            llc_hits,
+            llc_misses,
+            llc_redundancy_accesses,
+            tvarak_cache_hits,
+            tvarak_cache_misses,
+            dram_accesses,
+            nvm_data_reads,
+            scrub_reads,
+            nvm_data_writes,
+            nvm_red_reads,
+            nvm_red_writes,
+            nvm_suppressed_writes,
+            controller_computes,
+            reads_verified,
+            corruptions_detected,
+            pages_recovered,
+            demand_queue_cycles,
+            degraded_fills,
+            weave_eligible_runs,
+            weave_inel_sw_scheme,
+            weave_inel_scrub,
+            weave_inel_crash,
+            weave_inel_faults,
+            weave_inel_raid,
+        );
+    };
+}
+
 impl Counters {
     /// Total NVM accesses (data + redundancy + scrub, reads + writes).
     pub fn nvm_total(&self) -> u64 {
@@ -150,6 +189,40 @@ impl Counters {
     pub fn merge(&mut self, other: &Counters) {
         *self += *other;
     }
+
+    /// Counter increments since an earlier snapshot `prev` of the same
+    /// accumulation (field-wise wrapping subtraction).
+    ///
+    /// # Snapshot contract
+    ///
+    /// For cumulative snapshots `s0, s1, …, sn` of one counter stream,
+    /// merging the interval deltas `si.delta_since(&s(i-1))` — in any order,
+    /// any grouping, per the [`Counters::merge`] contract — is bit-identical
+    /// to the monolithic span `sn.delta_since(&s0)`: each field telescopes.
+    /// Subtraction wraps, so even a misuse (non-monotone snapshots) still
+    /// telescopes exactly; it just yields deltas that are individually
+    /// meaningless.
+    pub fn delta_since(&self, prev: &Counters) -> Counters {
+        let mut d = *self;
+        macro_rules! sub_fields {
+            ($($f:ident),+ $(,)?) => { $( d.$f = d.$f.wrapping_sub(prev.$f); )+ };
+        }
+        for_each_counter_field!(sub_fields);
+        d
+    }
+}
+
+/// Compile-time proof that `for_each_counter_field` names every field: a
+/// struct destructure without `..` refuses to compile if one is missing.
+#[allow(dead_code)]
+fn counter_field_list_is_exhaustive(c: Counters) {
+    macro_rules! destructure_all {
+        ($($f:ident),+ $(,)?) => {
+            let Counters { $($f),+ } = c;
+            $( let _: u64 = $f; )+
+        };
+    }
+    for_each_counter_field!(destructure_all);
 }
 
 impl Add for Counters {
@@ -162,35 +235,10 @@ impl Add for Counters {
 
 impl AddAssign for Counters {
     fn add_assign(&mut self, r: Counters) {
-        self.l1d_hits += r.l1d_hits;
-        self.l1d_misses += r.l1d_misses;
-        self.l1i_accesses += r.l1i_accesses;
-        self.l2_hits += r.l2_hits;
-        self.l2_misses += r.l2_misses;
-        self.llc_hits += r.llc_hits;
-        self.llc_misses += r.llc_misses;
-        self.llc_redundancy_accesses += r.llc_redundancy_accesses;
-        self.tvarak_cache_hits += r.tvarak_cache_hits;
-        self.tvarak_cache_misses += r.tvarak_cache_misses;
-        self.dram_accesses += r.dram_accesses;
-        self.nvm_data_reads += r.nvm_data_reads;
-        self.scrub_reads += r.scrub_reads;
-        self.nvm_data_writes += r.nvm_data_writes;
-        self.nvm_red_reads += r.nvm_red_reads;
-        self.nvm_red_writes += r.nvm_red_writes;
-        self.nvm_suppressed_writes += r.nvm_suppressed_writes;
-        self.controller_computes += r.controller_computes;
-        self.reads_verified += r.reads_verified;
-        self.corruptions_detected += r.corruptions_detected;
-        self.pages_recovered += r.pages_recovered;
-        self.demand_queue_cycles += r.demand_queue_cycles;
-        self.degraded_fills += r.degraded_fills;
-        self.weave_eligible_runs += r.weave_eligible_runs;
-        self.weave_inel_sw_scheme += r.weave_inel_sw_scheme;
-        self.weave_inel_scrub += r.weave_inel_scrub;
-        self.weave_inel_crash += r.weave_inel_crash;
-        self.weave_inel_faults += r.weave_inel_faults;
-        self.weave_inel_raid += r.weave_inel_raid;
+        macro_rules! add_fields {
+            ($($f:ident),+ $(,)?) => { $( self.$f += r.$f; )+ };
+        }
+        for_each_counter_field!(add_fields);
     }
 }
 
@@ -249,6 +297,32 @@ impl Stats {
             *mine = (*mine).max(*theirs);
         }
         self.evict_hash ^= other.evict_hash;
+    }
+
+    /// Stats accrued since an earlier snapshot `prev` of the same machine's
+    /// cumulative accumulation, shaped so interval deltas re-merge exactly.
+    ///
+    /// # Snapshot contract
+    ///
+    /// For cumulative snapshots `s0, s1, …, sn` taken from one run, merging
+    /// the interval deltas `si.delta_since(&s(i-1))` in any order and any
+    /// grouping (per the [`Stats::merge`] contract) is **bit-identical** to
+    /// the monolithic span `sn.delta_since(&s0)`:
+    /// - `counters` subtract field-wise ([`Counters::delta_since`]) and
+    ///   telescope under merge's addition;
+    /// - `core_cycles` are carried as the snapshot's *cumulative* values
+    ///   (cycle counts are max-progress watermarks, not rates — an interval
+    ///   has no meaningful "cycles delta" under element-wise max), so the
+    ///   running max over deltas reproduces the final watermark;
+    /// - `evict_hash` is `self ^ prev`, which telescopes under merge's XOR.
+    ///
+    /// Proven across random cut points in `memsim/tests/stats_merge.rs`.
+    pub fn delta_since(&self, prev: &Stats) -> Stats {
+        Stats {
+            counters: self.counters.delta_since(&prev.counters),
+            core_cycles: self.core_cycles.clone(),
+            evict_hash: self.evict_hash ^ prev.evict_hash,
+        }
     }
 
     /// Simulated runtime in cycles: the busiest core's cycle count.
@@ -383,6 +457,34 @@ mod tests {
         s2.counters.l1d_hits = 100;
         let e_l1 = s2.energy_nj(&cfg);
         assert!(e_nvm > e_l1 * 100.0);
+    }
+
+    #[test]
+    fn interval_deltas_remerge_to_monolithic_span() {
+        // Three cumulative snapshots of one "run".
+        let mut s0 = Stats::new(2);
+        s0.counters.l1d_hits = 10;
+        s0.core_cycles = vec![100, 90];
+        s0.evict_hash = 0xaaaa;
+        let mut s1 = s0.clone();
+        s1.counters.l1d_hits = 25;
+        s1.counters.nvm_data_writes = 7;
+        s1.core_cycles = vec![220, 150];
+        s1.evict_hash = 0xbbbb;
+        let mut s2 = s1.clone();
+        s2.counters.l1d_hits = 60;
+        s2.counters.nvm_data_writes = 11;
+        s2.core_cycles = vec![400, 390];
+        s2.evict_hash = 0xcccc;
+
+        let mut merged = Stats::identity();
+        merged.merge(&s1.delta_since(&s0));
+        merged.merge(&s2.delta_since(&s1));
+        assert_eq!(merged, s2.delta_since(&s0));
+        assert_eq!(merged.counters.l1d_hits, 50);
+        assert_eq!(merged.counters.nvm_data_writes, 11);
+        assert_eq!(merged.core_cycles, vec![400, 390]);
+        assert_eq!(merged.evict_hash, 0xaaaa ^ 0xcccc);
     }
 
     #[test]

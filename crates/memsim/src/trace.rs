@@ -1,14 +1,42 @@
-//! Memory-access traces: a compact binary format for recording and
+//! Memory-access traces: a compact chunked binary format for recording and
 //! replaying access streams through the simulated hierarchy.
 //!
 //! Trace-driven runs complement the execution-driven applications: they make
 //! experiments portable (a trace captured once can be replayed under every
 //! redundancy design) and make it easy to construct adversarial access
 //! patterns for stress tests.
+//!
+//! # Streaming pipeline
+//!
+//! The on-disk format (`TVT2`) is **chunked** so capture and replay are
+//! O(chunk) in memory, not O(trace): [`TraceWriter`] encodes records into a
+//! bounded buffer and emits a self-describing chunk (record count, payload
+//! length, CRC32C over the payload via the [`crate::crc`] dispatcher)
+//! whenever the buffer fills; [`TraceReader`] reads one chunk at a time,
+//! verifies its CRC, and decodes records on demand. A multi-hundred-
+//! million-op stream flows through any `io::Write`/`io::Read` pair —
+//! typically a file — without ever being resident.
+//!
+//! Inside a chunk, records are delta-encoded: addresses are stored as
+//! zigzag LEB128 deltas from the previous record's address (reset per
+//! chunk, so chunks decode independently) and the length/write-flag pair is
+//! one LEB128 varint, shrinking the dominant sequential/strided patterns
+//! from 12 bytes per record to ~4–5.
+//!
+//! ```text
+//! file   := "TVT2" chunk*
+//! chunk  := count:u32le len:u32le crc32c:u32le payload[len]
+//! record := core:u8  varint(len << 1 | write)  varint(zigzag(addr - prev))
+//! ```
+//!
+//! The legacy fixed-width `TVTR` format (12 bytes per record, no chunking)
+//! is still decoded by [`Trace::from_bytes`] and [`TraceReader`] for old
+//! fixtures; [`Trace::to_legacy_bytes`] can still produce it.
 
 use crate::addr::PhysAddr;
 use crate::engine::{CorruptionDetected, System};
 use std::fmt;
+use std::io::{self, Read, Write};
 
 /// One access in a trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,31 +51,207 @@ pub struct TraceRecord {
     pub len: u16,
 }
 
-/// A sequence of accesses.
+/// A sequence of accesses, fully resident. For streams too large to hold,
+/// use [`TraceWriter`]/[`TraceReader`] directly.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     records: Vec<TraceRecord>,
 }
 
-/// Error parsing a serialized trace.
+/// What was wrong with a serialized trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceErrorKind {
+    /// The stream does not start with a known magic (`TVT2` or `TVTR`).
+    BadMagic,
+    /// The stream ended inside a chunk header, chunk payload, or (legacy)
+    /// record.
+    Truncated,
+    /// A chunk header's CRC32C does not match its payload.
+    CrcMismatch,
+    /// A chunk header carries an impossible record count or payload length
+    /// (zero, or beyond [`CHUNK_PAYLOAD_MAX`], or more records than the
+    /// payload could encode).
+    BadChunkHeader,
+    /// A record's access length is outside `1..=4096`.
+    BadLen,
+    /// A record's write flag is neither 0 nor 1 (legacy format only).
+    BadFlag,
+    /// A LEB128 varint overruns 10 bytes or the chunk payload.
+    BadVarint,
+    /// A chunk payload was not fully consumed by its declared record count.
+    TrailingBytes,
+}
+
+impl TraceErrorKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            TraceErrorKind::BadMagic => "bad magic",
+            TraceErrorKind::Truncated => "truncated",
+            TraceErrorKind::CrcMismatch => "chunk CRC mismatch",
+            TraceErrorKind::BadChunkHeader => "bad chunk header",
+            TraceErrorKind::BadLen => "access length out of range",
+            TraceErrorKind::BadFlag => "bad write flag",
+            TraceErrorKind::BadVarint => "bad varint",
+            TraceErrorKind::TrailingBytes => "chunk payload not consumed",
+        }
+    }
+}
+
+/// Error parsing a serialized trace: the defect class plus the byte offset
+/// (from the start of the stream) where the malformed chunk or record
+/// begins.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParseTraceError {
-    /// Byte offset of the malformed record.
+    /// Byte offset of the malformed chunk/record.
     pub offset: usize,
+    /// What was wrong there.
+    pub kind: TraceErrorKind,
 }
 
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "malformed trace at byte {}", self.offset)
+        write!(f, "malformed trace at byte {}: {}", self.offset, self.kind.as_str())
     }
 }
 
 impl std::error::Error for ParseTraceError {}
 
-/// Serialized record size: core (1) + flags (1) + len (2) + addr (8).
+/// Error reading a streamed trace: either the underlying reader failed or
+/// the bytes it produced are malformed.
+#[derive(Debug)]
+pub enum TraceReadError {
+    /// The underlying `io::Read` failed.
+    Io(io::Error),
+    /// The stream's bytes are not a valid trace.
+    Malformed(ParseTraceError),
+}
+
+impl fmt::Display for TraceReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceReadError::Io(e) => write!(f, "trace read failed: {e}"),
+            TraceReadError::Malformed(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for TraceReadError {}
+
+impl From<io::Error> for TraceReadError {
+    fn from(e: io::Error) -> Self {
+        TraceReadError::Io(e)
+    }
+}
+
+impl From<ParseTraceError> for TraceReadError {
+    fn from(e: ParseTraceError) -> Self {
+        TraceReadError::Malformed(e)
+    }
+}
+
+/// Error replaying a streamed trace: a decode/read failure or a verified
+/// read that detected corruption.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The trace stream could not be decoded.
+    Read(TraceReadError),
+    /// A verified read failed (propagated from the engine).
+    Corruption(CorruptionDetected),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Read(e) => e.fmt(f),
+            ReplayError::Corruption(e) => write!(f, "replay detected corruption: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Serialized legacy record size: core (1) + flags (1) + len (2) + addr (8).
 const RECORD_BYTES: usize = 12;
-/// Magic header.
-const MAGIC: &[u8; 4] = b"TVTR";
+/// Legacy magic: fixed 12-byte records, no chunking.
+const MAGIC_LEGACY: &[u8; 4] = b"TVTR";
+/// Chunked magic.
+const MAGIC_CHUNKED: &[u8; 4] = b"TVT2";
+/// Chunk header size: count (4) + payload len (4) + crc (4).
+const CHUNK_HEADER: usize = 12;
+/// Upper bound on one encoded record: core byte + len/flag varint (2) +
+/// address-delta varint (10).
+const MAX_RECORD_ENC: usize = 1 + 2 + 10;
+/// Hard cap on a chunk payload, in bytes. [`TraceWriter`] flushes before a
+/// record would cross it, so every well-formed chunk payload fits in this
+/// bound — which is what makes [`TraceReader`]'s memory O(chunk): its one
+/// payload buffer never grows beyond this, however long the stream.
+pub const CHUNK_PAYLOAD_MAX: usize = 64 * 1024;
+/// Maximum access length (one page).
+const LEN_MAX: usize = crate::addr::PAGE;
+
+/// iSCSI-convention CRC32C over a chunk payload (hardware-dispatched via
+/// `crate::crc`). Public so tests and external tools can author or audit
+/// chunks without reimplementing the convention.
+pub fn chunk_crc32c(data: &[u8]) -> u32 {
+    !crate::crc::update(u32::MAX, data)
+}
+use chunk_crc32c as crc32c;
+
+/// Append `v` as LEB128 to `out`.
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Decode a LEB128 varint from `buf[*pos..]`, advancing `*pos`. `None` on
+/// overrun (more than 10 bytes or past the buffer).
+fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && b > 1 {
+            return None; // would overflow u64
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Zigzag-encode a signed delta.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Invert [`zigzag`].
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Validate an access length decoded from any format.
+fn check_len(len: u64, offset: usize) -> Result<u16, ParseTraceError> {
+    if len == 0 || len > LEN_MAX as u64 {
+        return Err(ParseTraceError {
+            offset,
+            kind: TraceErrorKind::BadLen,
+        });
+    }
+    Ok(len as u16)
+}
 
 impl Trace {
     /// An empty trace.
@@ -59,10 +263,11 @@ impl Trace {
     ///
     /// # Panics
     ///
-    /// Panics if `len` is zero or greater than a page.
+    /// Panics if `len` is zero or greater than a page — the same bound
+    /// every decode path enforces with [`TraceErrorKind::BadLen`].
     pub fn push(&mut self, record: TraceRecord) {
         assert!(
-            record.len >= 1 && record.len as usize <= crate::addr::PAGE,
+            record.len >= 1 && record.len as usize <= LEN_MAX,
             "access length {} out of range",
             record.len
         );
@@ -85,30 +290,37 @@ impl Trace {
     }
 
     /// Replay the trace through `sys`. Stores write a deterministic pattern
-    /// derived from the record index so replays are reproducible.
+    /// derived from the record index so replays are reproducible
+    /// (bit-identical to a [`TraceReader::replay`] of the same records).
     ///
     /// # Errors
     ///
     /// Propagates the first [`CorruptionDetected`] from verified reads.
     pub fn replay(&self, sys: &mut System) -> Result<(), CorruptionDetected> {
-        let mut buf = vec![0u8; crate::addr::PAGE];
+        let mut buf = vec![0u8; LEN_MAX];
         for (i, r) in self.records.iter().enumerate() {
-            let n = r.len as usize;
-            if r.write {
-                let b = (i as u8).wrapping_mul(131).wrapping_add(7);
-                buf[..n].fill(b);
-                sys.write(r.core as usize, r.addr, &buf[..n])?;
-            } else {
-                sys.read(r.core as usize, r.addr, &mut buf[..n])?;
-            }
+            replay_one(sys, r, i as u64, &mut buf)?;
         }
         Ok(())
     }
 
-    /// Serialize to a compact binary representation.
+    /// Serialize to the chunked `TVT2` representation.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = TraceWriter::new(Vec::with_capacity(4 + self.records.len() * 6))
+            .expect("Vec write cannot fail");
+        for r in &self.records {
+            w.push(*r).expect("Vec write cannot fail");
+        }
+        w.finish().expect("Vec write cannot fail")
+    }
+
+    /// Serialize to the legacy fixed-width `TVTR` representation (12 bytes
+    /// per record). Kept for fixture generation and the legacy-decode
+    /// tests; new captures should use [`Trace::to_bytes`] or a
+    /// [`TraceWriter`].
+    pub fn to_legacy_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(4 + self.records.len() * RECORD_BYTES);
-        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(MAGIC_LEGACY);
         for r in &self.records {
             out.push(r.core);
             out.push(u8::from(r.write));
@@ -118,39 +330,62 @@ impl Trace {
         out
     }
 
-    /// Parse a serialized trace.
+    /// Parse a serialized trace, accepting both the chunked `TVT2` format
+    /// and the legacy `TVTR` format.
     ///
     /// # Errors
     ///
-    /// Returns [`ParseTraceError`] on a bad magic, truncated record, or
-    /// out-of-range length.
+    /// Returns [`ParseTraceError`] — carrying the byte offset of the
+    /// malformed chunk or record and the defect kind — on a bad magic, a
+    /// truncated chunk/record, a CRC mismatch, or an out-of-range field.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ParseTraceError> {
-        if bytes.len() < 4 || &bytes[..4] != MAGIC {
-            return Err(ParseTraceError { offset: 0 });
-        }
-        let body = &bytes[4..];
-        if !body.len().is_multiple_of(RECORD_BYTES) {
-            return Err(ParseTraceError {
-                offset: 4 + body.len() / RECORD_BYTES * RECORD_BYTES,
-            });
-        }
-        let mut records = Vec::with_capacity(body.len() / RECORD_BYTES);
-        for (i, chunk) in body.chunks_exact(RECORD_BYTES).enumerate() {
-            let len = u16::from_le_bytes([chunk[2], chunk[3]]);
-            if len == 0 || len as usize > crate::addr::PAGE || chunk[1] > 1 {
+        // The legacy format has no framing, so a truncated tail is only
+        // detectable from the total size; check it up front to report the
+        // partial record's offset exactly as the old parser did.
+        if bytes.len() >= 4 && &bytes[..4] == MAGIC_LEGACY {
+            let body = bytes.len() - 4;
+            if !body.is_multiple_of(RECORD_BYTES) {
                 return Err(ParseTraceError {
-                    offset: 4 + i * RECORD_BYTES,
+                    offset: 4 + body / RECORD_BYTES * RECORD_BYTES,
+                    kind: TraceErrorKind::Truncated,
                 });
             }
-            records.push(TraceRecord {
-                core: chunk[0],
-                write: chunk[1] == 1,
-                len,
-                addr: PhysAddr(u64::from_le_bytes(chunk[4..12].try_into().unwrap())),
-            });
+        }
+        let mut reader = TraceReader::new(bytes).map_err(flatten_slice_err)?;
+        let mut records = Vec::new();
+        while let Some(r) = reader.next_record().map_err(flatten_slice_err)? {
+            records.push(r);
         }
         Ok(Trace { records })
     }
+}
+
+/// A slice-backed reader cannot fail with a genuine I/O error; surface the
+/// parse error it wraps.
+fn flatten_slice_err(e: TraceReadError) -> ParseTraceError {
+    match e {
+        TraceReadError::Malformed(p) => p,
+        TraceReadError::Io(e) => unreachable!("in-memory trace read cannot io-fail: {e}"),
+    }
+}
+
+/// Replay one record through `sys`; `index` seeds the deterministic store
+/// pattern. `buf` must be at least `PAGE` bytes.
+fn replay_one(
+    sys: &mut System,
+    r: &TraceRecord,
+    index: u64,
+    buf: &mut [u8],
+) -> Result<(), CorruptionDetected> {
+    let n = r.len as usize;
+    if r.write {
+        let b = (index as u8).wrapping_mul(131).wrapping_add(7);
+        buf[..n].fill(b);
+        sys.write(r.core as usize, r.addr, &buf[..n])?;
+    } else {
+        sys.read(r.core as usize, r.addr, &mut buf[..n])?;
+    }
+    Ok(())
 }
 
 impl FromIterator<TraceRecord> for Trace {
@@ -161,6 +396,420 @@ impl FromIterator<TraceRecord> for Trace {
         }
         t
     }
+}
+
+/// Streaming chunked-trace encoder over any `io::Write`.
+///
+/// Records accumulate into a bounded payload buffer (delta/varint encoded);
+/// when the next record would cross [`CHUNK_PAYLOAD_MAX`] the buffer is
+/// emitted as one chunk (header + CRC32C + payload) and reused, so memory
+/// stays O(chunk) no matter how many records flow through. Call
+/// [`TraceWriter::finish`] to flush the final partial chunk — dropping the
+/// writer without finishing loses buffered records.
+pub struct TraceWriter<W: Write> {
+    inner: W,
+    payload: Vec<u8>,
+    chunk_records: u32,
+    prev_addr: u64,
+    records: u64,
+    bytes: u64,
+}
+
+impl<W: Write> fmt::Debug for TraceWriter<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceWriter")
+            .field("records", &self.records)
+            .field("bytes", &self.bytes)
+            .field("buffered", &self.payload.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wrap `inner`, writing the `TVT2` magic immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the magic write.
+    pub fn new(mut inner: W) -> io::Result<Self> {
+        inner.write_all(MAGIC_CHUNKED)?;
+        Ok(TraceWriter {
+            inner,
+            payload: Vec::with_capacity(CHUNK_PAYLOAD_MAX),
+            chunk_records: 0,
+            prev_addr: 0,
+            records: 0,
+            bytes: 4,
+        })
+    }
+
+    /// Append one record, emitting a chunk first if it would not fit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chunk writes to the underlying writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `record.len` is zero or greater than a page (the
+    /// [`Trace::push`] contract).
+    pub fn push(&mut self, record: TraceRecord) -> io::Result<()> {
+        assert!(
+            record.len >= 1 && record.len as usize <= LEN_MAX,
+            "access length {} out of range",
+            record.len
+        );
+        if self.payload.len() + MAX_RECORD_ENC > CHUNK_PAYLOAD_MAX {
+            self.flush_chunk()?;
+        }
+        self.payload.push(record.core);
+        put_varint(
+            &mut self.payload,
+            (record.len as u64) << 1 | u64::from(record.write),
+        );
+        let delta = record.addr.0.wrapping_sub(self.prev_addr) as i64;
+        put_varint(&mut self.payload, zigzag(delta));
+        self.prev_addr = record.addr.0;
+        self.chunk_records += 1;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Emit the buffered payload as one chunk and reset per-chunk state.
+    fn flush_chunk(&mut self) -> io::Result<()> {
+        if self.chunk_records == 0 {
+            return Ok(());
+        }
+        let crc = crc32c(&self.payload);
+        self.inner.write_all(&self.chunk_records.to_le_bytes())?;
+        self.inner.write_all(&(self.payload.len() as u32).to_le_bytes())?;
+        self.inner.write_all(&crc.to_le_bytes())?;
+        self.inner.write_all(&self.payload)?;
+        self.bytes += (CHUNK_HEADER + self.payload.len()) as u64;
+        self.payload.clear();
+        self.chunk_records = 0;
+        self.prev_addr = 0; // deltas reset per chunk: chunks decode independently
+        Ok(())
+    }
+
+    /// Records pushed so far.
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// Bytes emitted so far (magic + completed chunks; excludes the
+    /// buffered partial chunk).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Flush the final partial chunk and return the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the final chunk write and flush.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.flush_chunk()?;
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Which wire format a [`TraceReader`] is decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Chunked,
+    Legacy,
+}
+
+/// Streaming trace decoder over any `io::Read`, accepting both the chunked
+/// `TVT2` format and the legacy `TVTR` format.
+///
+/// Memory use is O(chunk): one payload buffer bounded by
+/// [`CHUNK_PAYLOAD_MAX`] (12 bytes for legacy records), regardless of
+/// stream length. Every chunk's CRC32C is verified before any of its
+/// records are surfaced, and every error carries the byte offset of the
+/// offending chunk or record.
+pub struct TraceReader<R: Read> {
+    inner: R,
+    format: Format,
+    /// Current chunk payload (chunked) or one record (legacy).
+    buf: Vec<u8>,
+    /// Decode cursor within `buf`.
+    cursor: usize,
+    /// Records remaining in the current chunk.
+    chunk_remaining: u32,
+    /// Byte offset (in the stream) where the current chunk's payload starts.
+    payload_offset: usize,
+    /// Delta base for the current chunk.
+    prev_addr: u64,
+    /// Total bytes consumed from the underlying reader.
+    pos: usize,
+    /// Records decoded so far (drives the deterministic replay pattern).
+    records_read: u64,
+}
+
+impl<R: Read> fmt::Debug for TraceReader<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceReader")
+            .field("format", &self.format)
+            .field("pos", &self.pos)
+            .field("records_read", &self.records_read)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wrap `inner`, reading and validating the 4-byte magic.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceReadError::Malformed`] with [`TraceErrorKind::BadMagic`] (or
+    /// `Truncated`) when the stream does not start with `TVT2`/`TVTR`;
+    /// [`TraceReadError::Io`] on reader failure.
+    pub fn new(mut inner: R) -> Result<Self, TraceReadError> {
+        let mut magic = [0u8; 4];
+        let got = read_fully(&mut inner, &mut magic)?;
+        if got < 4 {
+            return Err(ParseTraceError {
+                offset: 0,
+                kind: TraceErrorKind::BadMagic,
+            }
+            .into());
+        }
+        let format = if &magic == MAGIC_CHUNKED {
+            Format::Chunked
+        } else if &magic == MAGIC_LEGACY {
+            Format::Legacy
+        } else {
+            return Err(ParseTraceError {
+                offset: 0,
+                kind: TraceErrorKind::BadMagic,
+            }
+            .into());
+        };
+        // Pre-size the payload buffer to its ceiling so `resize` inside the
+        // chunk loop never reallocates: capacity IS the memory bound that
+        // `buffer_capacity` reports and the bounded-replay test asserts.
+        let buf = Vec::with_capacity(match format {
+            Format::Chunked => CHUNK_PAYLOAD_MAX,
+            Format::Legacy => RECORD_BYTES,
+        });
+        Ok(TraceReader {
+            inner,
+            format,
+            buf,
+            cursor: 0,
+            chunk_remaining: 0,
+            payload_offset: 4,
+            prev_addr: 0,
+            pos: 4,
+            records_read: 0,
+        })
+    }
+
+    /// Records decoded so far.
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Capacity of the reader's internal payload buffer — the O(chunk)
+    /// resident-memory bound the streaming pipeline guarantees (at most
+    /// [`CHUNK_PAYLOAD_MAX`] for well-formed chunked input).
+    pub fn buffer_capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Decode the next record, or `None` at a clean end of stream (EOF at
+    /// a chunk/record boundary).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceReadError::Malformed`] on truncation, CRC mismatch, or any
+    /// out-of-range field, with the offending chunk/record's byte offset;
+    /// [`TraceReadError::Io`] on reader failure.
+    pub fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceReadError> {
+        match self.format {
+            Format::Legacy => self.next_legacy(),
+            Format::Chunked => {
+                if self.chunk_remaining == 0 && !self.load_chunk()? {
+                    return Ok(None);
+                }
+                self.decode_one().map(Some)
+            }
+        }
+    }
+
+    /// Read the next chunk header + payload and verify its CRC. `false` at
+    /// a clean EOF.
+    fn load_chunk(&mut self) -> Result<bool, TraceReadError> {
+        let chunk_start = self.pos;
+        let mut header = [0u8; CHUNK_HEADER];
+        let got = read_fully(&mut self.inner, &mut header)?;
+        if got == 0 {
+            return Ok(false);
+        }
+        self.pos += got;
+        if got < CHUNK_HEADER {
+            return Err(truncated(chunk_start));
+        }
+        let count = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        // A record encodes to at least 3 bytes (core + 2 one-byte varints),
+        // so `count` beyond len/3 (or an empty/oversized payload) cannot be
+        // well-formed — reject before allocating.
+        if count == 0 || len == 0 || len > CHUNK_PAYLOAD_MAX || count as usize > len {
+            return Err(ParseTraceError {
+                offset: chunk_start,
+                kind: TraceErrorKind::BadChunkHeader,
+            }
+            .into());
+        }
+        self.buf.resize(len, 0);
+        let got = read_fully(&mut self.inner, &mut self.buf)?;
+        self.pos += got;
+        if got < len {
+            return Err(truncated(chunk_start));
+        }
+        if crc32c(&self.buf) != crc {
+            return Err(ParseTraceError {
+                offset: chunk_start,
+                kind: TraceErrorKind::CrcMismatch,
+            }
+            .into());
+        }
+        self.cursor = 0;
+        self.chunk_remaining = count;
+        self.payload_offset = chunk_start + CHUNK_HEADER;
+        self.prev_addr = 0;
+        Ok(true)
+    }
+
+    /// Decode one record from the loaded chunk payload.
+    fn decode_one(&mut self) -> Result<TraceRecord, TraceReadError> {
+        let rec_offset = self.payload_offset + self.cursor;
+        let malformed = |kind| ParseTraceError {
+            offset: rec_offset,
+            kind,
+        };
+        let core = *self
+            .buf
+            .get(self.cursor)
+            .ok_or_else(|| malformed(TraceErrorKind::BadVarint))?;
+        self.cursor += 1;
+        let lw = get_varint(&self.buf, &mut self.cursor)
+            .ok_or_else(|| malformed(TraceErrorKind::BadVarint))?;
+        let len = check_len(lw >> 1, rec_offset)?;
+        let write = lw & 1 == 1;
+        let delta = get_varint(&self.buf, &mut self.cursor)
+            .ok_or_else(|| malformed(TraceErrorKind::BadVarint))?;
+        let addr = self.prev_addr.wrapping_add(unzigzag(delta) as u64);
+        self.prev_addr = addr;
+        self.chunk_remaining -= 1;
+        if self.chunk_remaining == 0 && self.cursor != self.buf.len() {
+            return Err(ParseTraceError {
+                offset: self.payload_offset + self.cursor,
+                kind: TraceErrorKind::TrailingBytes,
+            }
+            .into());
+        }
+        self.records_read += 1;
+        Ok(TraceRecord {
+            core,
+            write,
+            addr: PhysAddr(addr),
+            len,
+        })
+    }
+
+    /// Decode one legacy fixed-width record.
+    fn next_legacy(&mut self) -> Result<Option<TraceRecord>, TraceReadError> {
+        let rec_offset = self.pos;
+        self.buf.resize(RECORD_BYTES, 0);
+        let got = read_fully(&mut self.inner, &mut self.buf)?;
+        if got == 0 {
+            return Ok(None);
+        }
+        self.pos += got;
+        if got < RECORD_BYTES {
+            return Err(truncated(rec_offset));
+        }
+        let len = check_len(
+            u64::from(u16::from_le_bytes([self.buf[2], self.buf[3]])),
+            rec_offset,
+        )?;
+        if self.buf[1] > 1 {
+            return Err(ParseTraceError {
+                offset: rec_offset,
+                kind: TraceErrorKind::BadFlag,
+            }
+            .into());
+        }
+        self.records_read += 1;
+        Ok(Some(TraceRecord {
+            core: self.buf[0],
+            write: self.buf[1] == 1,
+            len,
+            addr: PhysAddr(u64::from_le_bytes(self.buf[4..12].try_into().unwrap())),
+        }))
+    }
+
+    /// Replay the remaining records through `sys` as they decode, never
+    /// holding more than one chunk resident. Stores write the same
+    /// deterministic index-derived pattern as [`Trace::replay`], so a
+    /// streamed replay is bit-identical to a resident one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors and the first [`CorruptionDetected`].
+    pub fn replay(&mut self, sys: &mut System) -> Result<u64, ReplayError> {
+        let mut buf = vec![0u8; LEN_MAX];
+        let mut n = 0u64;
+        loop {
+            let index = self.records_read;
+            match self.next_record().map_err(ReplayError::Read)? {
+                None => return Ok(n),
+                Some(r) => {
+                    replay_one(sys, &r, index, &mut buf).map_err(ReplayError::Corruption)?;
+                    n += 1;
+                }
+            }
+        }
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<TraceRecord, TraceReadError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+/// A [`TraceErrorKind::Truncated`] error at `offset`.
+fn truncated(offset: usize) -> TraceReadError {
+    ParseTraceError {
+        offset,
+        kind: TraceErrorKind::Truncated,
+    }
+    .into()
+}
+
+/// Read into `buf` until full or EOF, returning the bytes read (a short
+/// count means EOF). Retries on `Interrupted` like `read_exact`, but a
+/// clean EOF is data, not an error — the caller decides what a short read
+/// means at its offset.
+fn read_fully<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
 }
 
 /// Synthetic trace generators for stress and microbenchmark patterns.
@@ -214,6 +863,24 @@ pub mod generate {
             .collect()
     }
 
+    /// The `i`-th record of an unbounded synthetic mixed stream
+    /// (deterministic in `seed`): a blend of sequential runs and strided
+    /// jumps across `lines` cache lines, 1-in-4 writes, cycling `cores`
+    /// issuing cores. Generates records one at a time so billion-op streams
+    /// can be fed to a [`super::TraceWriter`] without materializing them.
+    pub fn mixed_record(seed: u64, i: u64, cores: u8, lines: u64) -> TraceRecord {
+        let mul = (seed | 1).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        // 16-record sequential runs whose start lines scramble.
+        let run = i / 16;
+        let line = (run.wrapping_mul(mul) % lines + i % 16) % lines;
+        TraceRecord {
+            core: (run % cores.max(1) as u64) as u8,
+            write: i.is_multiple_of(4),
+            addr: PhysAddr(NVM_BASE + line * CACHE_LINE as u64),
+            len: CACHE_LINE as u16,
+        }
+    }
+
     /// The default NVM base address, for building traces without a pool.
     pub fn nvm_base() -> PhysAddr {
         PhysAddr(NVM_BASE)
@@ -243,8 +910,23 @@ mod tests {
             len: 8,
         });
         let bytes = t.to_bytes();
+        assert_eq!(&bytes[..4], MAGIC_CHUNKED);
         let back = Trace::from_bytes(&bytes).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn legacy_roundtrip_still_decodes() {
+        let mut t = Trace::new();
+        t.push(TraceRecord {
+            core: 3,
+            write: true,
+            addr: PhysAddr(NVM_BASE),
+            len: 4096,
+        });
+        let bytes = t.to_legacy_bytes();
+        assert_eq!(&bytes[..4], MAGIC_LEGACY);
+        assert_eq!(Trace::from_bytes(&bytes).unwrap(), t);
     }
 
     #[test]
@@ -259,13 +941,62 @@ mod tests {
             len: 1,
         });
         let mut bytes = good.to_bytes();
-        bytes.pop(); // truncate
-        assert!(Trace::from_bytes(&bytes).is_err());
-        // Zero-length record.
+        bytes.pop(); // truncate the chunk payload
+        let err = Trace::from_bytes(&bytes).unwrap_err();
+        assert_eq!(err.kind, TraceErrorKind::Truncated);
+        assert_eq!(err.offset, 4, "truncation reports the chunk start");
+        // Corrupt the CRC field (chunk header: count@4, len@8, crc@12).
         let mut bytes = good.to_bytes();
-        bytes[6] = 0;
-        bytes[7] = 0;
-        assert!(Trace::from_bytes(&bytes).is_err());
+        bytes[12] ^= 0xff;
+        let err = Trace::from_bytes(&bytes).unwrap_err();
+        assert_eq!(err.kind, TraceErrorKind::CrcMismatch);
+        assert_eq!(err.offset, 4);
+        // Corrupt a payload byte: also surfaces as a CRC mismatch.
+        let mut bytes = good.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        let err = Trace::from_bytes(&bytes).unwrap_err();
+        assert_eq!(err.kind, TraceErrorKind::CrcMismatch);
+        assert_eq!(err.offset, 4);
+    }
+
+    #[test]
+    fn varint_roundtrips() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX / 2, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v, "zigzag({v})");
+        }
+    }
+
+    #[test]
+    fn writer_reader_stream_across_chunks() {
+        // Enough records to force multiple chunks (sequential pattern is
+        // ~4 bytes/record, so > CHUNK_PAYLOAD_MAX / 4 records).
+        let n = (CHUNK_PAYLOAD_MAX * 3) as u64;
+        let mut w = TraceWriter::new(Vec::new()).unwrap();
+        for i in 0..n {
+            w.push(generate::mixed_record(7, i, 4, 1 << 20)).unwrap();
+        }
+        assert_eq!(w.records_written(), n);
+        let bytes = w.finish().unwrap();
+        let mut r = TraceReader::new(&bytes[..]).unwrap();
+        let mut count = 0u64;
+        while let Some(rec) = r.next_record().unwrap() {
+            assert_eq!(rec, generate::mixed_record(7, count, 4, 1 << 20));
+            count += 1;
+        }
+        assert_eq!(count, n);
+        assert!(
+            r.buffer_capacity() <= CHUNK_PAYLOAD_MAX,
+            "reader buffer {} exceeds the chunk bound",
+            r.buffer_capacity()
+        );
     }
 
     #[test]
@@ -278,6 +1009,27 @@ mod tests {
         }
         t.replay(&mut sys).unwrap();
         assert!(sys.stats().counters.l1d_hits > 0);
+    }
+
+    #[test]
+    fn streamed_replay_matches_resident_replay() {
+        let base = PhysAddr(NVM_BASE);
+        let mut t = generate::sequential(0, true, base, 64);
+        for r in generate::scramble(1, false, base, 64, 5).iter() {
+            t.push(*r);
+        }
+        let mut sys_a = System::new(SystemConfig::small(), Box::new(NullHooks));
+        t.replay(&mut sys_a).unwrap();
+        let bytes = t.to_bytes();
+        let mut sys_b = System::new(SystemConfig::small(), Box::new(NullHooks));
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        let n = reader.replay(&mut sys_b).unwrap();
+        assert_eq!(n, t.len() as u64);
+        assert_eq!(sys_a.stats(), sys_b.stats());
+        assert_eq!(
+            sys_a.memory().content_hash(),
+            sys_b.memory().content_hash()
+        );
     }
 
     #[test]

@@ -198,3 +198,71 @@ fn shard_merge_equals_monolithic() {
         assert_eq!(merged, mono, "shards={shards} round={round}");
     }
 }
+
+#[test]
+fn counters_delta_telescopes_across_random_cuts() {
+    let mut rng = Lcg(0xcafe_0001);
+    for round in 0..50 {
+        // A monotone cumulative counter stream: each snapshot adds more.
+        let mut cur = Counters::default();
+        let mut snaps = vec![cur];
+        for _ in 0..1 + rng.next() % 12 {
+            cur += rand_counters(&mut rng);
+            snaps.push(cur);
+        }
+        let span = snaps.last().unwrap().delta_since(&snaps[0]);
+        let mut merged = Counters::default();
+        for w in snaps.windows(2) {
+            merged.merge(&w[1].delta_since(&w[0]));
+        }
+        assert_eq!(merged, span, "round {round}: interval deltas telescope");
+    }
+}
+
+#[test]
+fn stats_interval_snapshots_remerge_to_monolithic() {
+    // The soak-campaign contract (ISSUE 9): run one event stream, take
+    // cumulative snapshots at random cut points, and re-merge the interval
+    // deltas — in a rotated order — back into the monolithic span.
+    let mut rng = Lcg(0xcafe_0002);
+    const CORES: usize = 4;
+    for round in 0..30 {
+        let events = rand_events(&mut rng, 400, CORES);
+        // Choose random interval boundaries (sorted, possibly duplicated —
+        // an empty interval must contribute the merge identity).
+        let n_cuts = 1 + (rng.next() % 6) as usize;
+        let mut cuts: Vec<usize> = (0..n_cuts)
+            .map(|_| (rng.next() % (events.len() as u64 + 1)) as usize)
+            .collect();
+        cuts.sort_unstable();
+
+        // One machine accumulating cumulatively; snapshot at each cut.
+        let mut live = Stats::new(CORES);
+        let baseline = live.clone();
+        let mut snaps = vec![live.clone()];
+        let mut next_cut = 0;
+        for (i, ev) in events.iter().enumerate() {
+            while next_cut < cuts.len() && cuts[next_cut] == i {
+                snaps.push(live.clone());
+                next_cut += 1;
+            }
+            apply(&mut live, ev);
+        }
+        snaps.push(live.clone());
+
+        // Interval deltas re-merged in rotated order == monolithic span.
+        let mut merged = Stats::identity();
+        let n = snaps.len() - 1;
+        for k in 0..n {
+            let i = (k + round) % n;
+            merged.merge(&snaps[i + 1].delta_since(&snaps[i]));
+        }
+        merged.core_cycles.resize(CORES, 0);
+        let mono = live.delta_since(&baseline);
+        assert_eq!(merged, mono, "round {round} cuts {cuts:?}");
+        // And the span delta reproduces the live totals themselves here,
+        // because the baseline was the zero state.
+        assert_eq!(mono.counters, live.counters, "round {round}");
+        assert_eq!(mono.core_cycles, live.core_cycles, "round {round}");
+    }
+}

@@ -1,7 +1,10 @@
-//! Property-style round-trip tests for the binary trace format (ISSUE 3
+//! Property-style round-trip tests for the trace wire formats (ISSUE 9
 //! satellite): seeded randomized record streams must serialize/parse
-//! losslessly, and every malformed-input class must be rejected with the
-//! *exact* byte offset of the defect.
+//! losslessly through the chunked `TVT2` codec, legacy `TVTR` bytes must
+//! still decode with their historical exact-offset errors, and every
+//! malformed-input class in the chunked format must be rejected with the
+//! byte offset of the defective chunk or record preserved in
+//! `ParseTraceError`.
 //!
 //! Hermetic build: no proptest dependency, so the property is driven by a
 //! seeded SplitMix64 generator — deterministic, reproducible, and wide
@@ -9,7 +12,10 @@
 //! same purpose.
 
 use memsim::addr::{PhysAddr, NVM_BASE, PAGE};
-use memsim::trace::{Trace, TraceRecord};
+use memsim::trace::{
+    Trace, TraceErrorKind, TraceReadError, TraceReader, TraceRecord, TraceWriter,
+    CHUNK_PAYLOAD_MAX,
+};
 
 /// SplitMix64 — the repo's standard seeded test generator.
 fn splitmix64(state: &mut u64) -> u64 {
@@ -38,6 +44,8 @@ fn random_record(state: &mut u64) -> TraceRecord {
 
 const RECORD_BYTES: usize = 12;
 const HEADER: usize = 4;
+/// Chunk header: record count (u32le) + payload length (u32le) + CRC32C.
+const CHUNK_HEADER: usize = 12;
 
 #[test]
 fn random_traces_roundtrip_losslessly() {
@@ -46,10 +54,9 @@ fn random_traces_roundtrip_losslessly() {
         let n = (splitmix64(&mut state) % 64) as usize;
         let t: Trace = (0..n).map(|_| random_record(&mut state)).collect();
         let bytes = t.to_bytes();
-        assert_eq!(
-            bytes.len(),
-            HEADER + n * RECORD_BYTES,
-            "case {case}: serialized size"
+        assert!(
+            bytes.len() <= HEADER + usize::from(n > 0) * CHUNK_HEADER + n * RECORD_BYTES,
+            "case {case}: chunked encoding must not exceed the legacy size"
         );
         let back = Trace::from_bytes(&bytes)
             .unwrap_or_else(|e| panic!("case {case}: valid trace rejected: {e}"));
@@ -61,36 +68,131 @@ fn random_traces_roundtrip_losslessly() {
 }
 
 #[test]
-fn empty_trace_roundtrips() {
-    let t = Trace::new();
-    let bytes = t.to_bytes();
-    assert_eq!(bytes, b"TVTR");
-    assert_eq!(Trace::from_bytes(&bytes).unwrap(), t);
-}
-
-#[test]
-fn short_or_bad_magic_reports_offset_zero() {
-    for bad in [
-        &b""[..],
-        &b"T"[..],
-        &b"TVT"[..],
-        &b"XXXX"[..],
-        &b"tvtr"[..],
-        &b"TVTRX"[..4], // same as "TVTR" — sanity below covers valid magic
-    ] {
-        if bad == b"TVTR" {
-            continue;
-        }
-        let err = Trace::from_bytes(bad).expect_err("must reject");
-        assert_eq!(err.offset, 0, "input {bad:?}");
+fn random_traces_roundtrip_via_legacy_format() {
+    let mut state = 0x5eed_0002u64;
+    for case in 0..100 {
+        let n = (splitmix64(&mut state) % 64) as usize;
+        let t: Trace = (0..n).map(|_| random_record(&mut state)).collect();
+        let bytes = t.to_legacy_bytes();
+        assert_eq!(
+            bytes.len(),
+            HEADER + n * RECORD_BYTES,
+            "case {case}: legacy serialized size"
+        );
+        let back = Trace::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("case {case}: legacy trace rejected: {e}"));
+        assert_eq!(t, back, "case {case}: legacy decode must be lossless");
     }
 }
 
 #[test]
-fn truncated_body_reports_offset_of_partial_record() {
+fn streaming_writer_reader_roundtrips_spanning_chunks() {
+    // Wide random addresses encode ~11 bytes/record, so this spans several
+    // 64 KiB chunks and exercises the per-chunk delta-base reset.
+    let mut state = 0x5eed_0003u64;
+    let records: Vec<TraceRecord> = (0..40_000).map(|_| random_record(&mut state)).collect();
+    let mut w = TraceWriter::new(Vec::new()).unwrap();
+    for r in &records {
+        w.push(*r).unwrap();
+    }
+    assert_eq!(w.records_written(), records.len() as u64);
+    let bytes = w.finish().unwrap();
+    assert!(bytes.len() > CHUNK_PAYLOAD_MAX, "must span multiple chunks");
+
+    let mut r = TraceReader::new(&bytes[..]).unwrap();
+    let mut n = 0usize;
+    for rec in &mut r {
+        assert_eq!(rec.unwrap(), records[n], "record {n}");
+        n += 1;
+    }
+    assert_eq!(n, records.len());
+    assert!(
+        r.buffer_capacity() <= CHUNK_PAYLOAD_MAX,
+        "reader memory stays O(chunk): {} bytes",
+        r.buffer_capacity()
+    );
+}
+
+#[test]
+fn empty_trace_roundtrips() {
+    let t = Trace::new();
+    let bytes = t.to_bytes();
+    assert_eq!(bytes, b"TVT2", "an empty trace is just the magic");
+    assert_eq!(Trace::from_bytes(&bytes).unwrap(), t);
+    assert_eq!(Trace::from_bytes(b"TVTR").unwrap(), t, "legacy empty");
+}
+
+#[test]
+fn short_or_bad_magic_reports_offset_zero() {
+    for bad in [&b""[..], &b"T"[..], &b"TVT"[..], &b"XXXX"[..], &b"tvtr"[..]] {
+        let err = Trace::from_bytes(bad).expect_err("must reject");
+        assert_eq!(err.offset, 0, "input {bad:?}");
+        assert_eq!(err.kind, TraceErrorKind::BadMagic, "input {bad:?}");
+    }
+}
+
+#[test]
+fn truncated_chunk_reports_chunk_offset() {
     let mut state = 0xbad_c0deu64;
     let t: Trace = (0..5).map(|_| random_record(&mut state)).collect();
     let full = t.to_bytes();
+    // One chunk: magic, then header + payload. Any cut inside the chunk —
+    // header or payload — reports the chunk's start offset. (A cut at
+    // exactly HEADER leaves a valid empty trace, so start past it.)
+    for cut in HEADER + 1..full.len() - 1 {
+        let err = Trace::from_bytes(&full[..cut]).expect_err("truncated trace must be rejected");
+        assert_eq!(err.offset, HEADER, "cut at byte {cut}");
+        assert_eq!(err.kind, TraceErrorKind::Truncated, "cut at byte {cut}");
+    }
+}
+
+#[test]
+fn corrupt_crc_reports_chunk_offset() {
+    let mut state = 0xc0c0_c0deu64;
+    // Two chunks' worth of records so the second chunk's offset is nonzero.
+    let records: Vec<TraceRecord> = (0..10_000).map(|_| random_record(&mut state)).collect();
+    let mut w = TraceWriter::new(Vec::new()).unwrap();
+    for r in &records {
+        w.push(*r).unwrap();
+    }
+    let good = w.finish().unwrap();
+    // Locate the second chunk by walking the chunk headers.
+    let len0 = u32::from_le_bytes(good[HEADER + 4..HEADER + 8].try_into().unwrap()) as usize;
+    let chunk1 = HEADER + CHUNK_HEADER + len0;
+    assert!(chunk1 + CHUNK_HEADER < good.len(), "need a second chunk");
+
+    // Flip one payload byte in the second chunk: the reader must deliver
+    // every first-chunk record, then fail at the second chunk's offset.
+    let mut bytes = good.clone();
+    bytes[chunk1 + CHUNK_HEADER] ^= 0x01;
+    let mut r = TraceReader::new(&bytes[..]).unwrap();
+    let mut delivered = 0usize;
+    let err = loop {
+        match r.next() {
+            Some(Ok(rec)) => {
+                assert_eq!(rec, records[delivered], "pre-corruption record");
+                delivered += 1;
+            }
+            Some(Err(TraceReadError::Malformed(e))) => break e,
+            Some(Err(e)) => panic!("unexpected io error: {e}"),
+            None => panic!("corrupt chunk must not decode cleanly"),
+        }
+    };
+    assert!(delivered > 0, "first chunk decodes before the bad one");
+    assert_eq!(err.kind, TraceErrorKind::CrcMismatch);
+    assert_eq!(err.offset, chunk1, "error names the corrupt chunk's offset");
+
+    // Same defect through the resident decode path.
+    let err = Trace::from_bytes(&bytes).expect_err("corrupt CRC");
+    assert_eq!(err.kind, TraceErrorKind::CrcMismatch);
+    assert_eq!(err.offset, chunk1);
+}
+
+#[test]
+fn legacy_truncated_body_reports_offset_of_partial_record() {
+    let mut state = 0xbad_c0deu64;
+    let t: Trace = (0..5).map(|_| random_record(&mut state)).collect();
+    let full = t.to_legacy_bytes();
     // Chop anywhere that is not a whole number of records: the reported
     // offset must be the start of the partial record.
     for cut in 1..RECORD_BYTES * 5 {
@@ -104,14 +206,15 @@ fn truncated_body_reports_offset_of_partial_record() {
             HEADER + cut / RECORD_BYTES * RECORD_BYTES,
             "cut at body byte {cut}"
         );
+        assert_eq!(err.kind, TraceErrorKind::Truncated, "cut at body byte {cut}");
     }
 }
 
 #[test]
-fn bad_records_report_their_own_offset() {
+fn legacy_bad_records_report_their_own_offset() {
     let mut state = 0xfeed_beefu64;
     let t: Trace = (0..4).map(|_| random_record(&mut state)).collect();
-    let good = t.to_bytes();
+    let good = t.to_legacy_bytes();
     for i in 0..4 {
         let rec = HEADER + i * RECORD_BYTES;
         // Zero length.
@@ -120,16 +223,19 @@ fn bad_records_report_their_own_offset() {
         bytes[rec + 3] = 0;
         let err = Trace::from_bytes(&bytes).expect_err("len 0");
         assert_eq!(err.offset, rec, "zero len in record {i}");
+        assert_eq!(err.kind, TraceErrorKind::BadLen);
         // Length beyond a page.
         let mut bytes = good.clone();
         bytes[rec + 2..rec + 4].copy_from_slice(&(PAGE as u16 + 1).to_le_bytes());
         let err = Trace::from_bytes(&bytes).expect_err("len > PAGE");
         assert_eq!(err.offset, rec, "oversized len in record {i}");
+        assert_eq!(err.kind, TraceErrorKind::BadLen);
         // Non-boolean write flag.
         let mut bytes = good.clone();
         bytes[rec + 1] = 2;
         let err = Trace::from_bytes(&bytes).expect_err("flag 2");
         assert_eq!(err.offset, rec, "bad flag in record {i}");
+        assert_eq!(err.kind, TraceErrorKind::BadFlag);
     }
     // Only the FIRST defect is reported.
     let mut bytes = good.clone();
@@ -140,7 +246,43 @@ fn bad_records_report_their_own_offset() {
 }
 
 #[test]
+fn chunked_decode_rejects_out_of_range_len() {
+    // Hand-craft a chunk whose record claims len 0 and one claiming
+    // len > PAGE: `check_len` must fire on the decode path with the
+    // record's offset, even though the CRC is valid.
+    for bad_len in [0u64, PAGE as u64 + 1] {
+        let mut payload = Vec::new();
+        payload.push(0u8); // core
+        // varint((len << 1) | write=0)
+        let mut v = bad_len << 1;
+        loop {
+            let b = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                payload.push(b);
+                break;
+            }
+            payload.push(b | 0x80);
+        }
+        payload.push(0u8); // varint(zigzag(0)) — addr delta 0
+        let crc = memsim::trace::chunk_crc32c(&payload);
+        let mut bytes = b"TVT2".to_vec();
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let err = Trace::from_bytes(&bytes).expect_err("len {bad_len} must be rejected");
+        assert_eq!(err.kind, TraceErrorKind::BadLen, "len {bad_len}");
+        assert_eq!(
+            err.offset,
+            HEADER + CHUNK_HEADER,
+            "record offset for len {bad_len}"
+        );
+    }
+}
+
+#[test]
 fn error_display_names_the_offset() {
     let err = Trace::from_bytes(b"XXXX").unwrap_err();
-    assert_eq!(err.to_string(), "malformed trace at byte 0");
+    assert_eq!(err.to_string(), "malformed trace at byte 0: bad magic");
 }

@@ -186,6 +186,19 @@ impl Hist {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// Drain this histogram, returning its contents and leaving the identity
+    /// ([`Hist::new`]) behind — the interval-snapshot primitive.
+    ///
+    /// Unlike `Counters`, a histogram has no sound `delta_since`: interval
+    /// `min`/`max` (and hence interval quantile clamping) are not derivable
+    /// from two cumulative snapshots. A soak loop therefore `take`s the hist
+    /// at each interval boundary instead; merging the taken intervals back
+    /// together (any order, any grouping, per the [`Hist::merge`] contract)
+    /// is bit-identical to one histogram fed the whole stream.
+    pub fn take(&mut self) -> Hist {
+        std::mem::replace(self, Hist::new())
+    }
 }
 
 #[cfg(test)]
@@ -267,6 +280,23 @@ mod tests {
         let mut h2 = h.clone();
         h2.merge(&Hist::new());
         assert_eq!(h2, h);
+    }
+
+    #[test]
+    fn take_drains_and_intervals_remerge() {
+        let mut live = Hist::new();
+        let mut oracle = Hist::new();
+        let mut remerged = Hist::new();
+        for (i, v) in [3u64, 70_000, 12, 9_999_999, 64, 1, 80_000].iter().enumerate() {
+            live.record(*v);
+            oracle.record(*v);
+            if i % 3 == 2 {
+                remerged.merge(&live.take());
+                assert_eq!(live, Hist::new(), "take leaves the identity");
+            }
+        }
+        remerged.merge(&live.take());
+        assert_eq!(remerged, oracle);
     }
 
     #[test]

@@ -133,6 +133,31 @@ fn quantiles_bracket_true_sample() {
 }
 
 #[test]
+fn taken_intervals_remerge_to_monolithic() {
+    // The soak-campaign snapshot contract: `take()` at random interval
+    // boundaries drains the live histogram; re-merging the taken intervals
+    // (any grouping) is bit-identical to one histogram fed the whole
+    // stream, and each take leaves the merge identity behind.
+    for seed in 1..=20u64 {
+        let samples = stream(seed, 800);
+        let monolithic = hist_of(&samples);
+        let mut cut_rng = Lcg(seed ^ 0x7a4e);
+        let mut live = Hist::new();
+        let mut remerged = Hist::new();
+        for &v in &samples {
+            live.record(v);
+            if cut_rng.next() % 50 == 0 {
+                let interval = live.take();
+                assert_eq!(live, Hist::new(), "seed {seed}: take leaves identity");
+                remerged.merge(&interval);
+            }
+        }
+        remerged.merge(&live.take());
+        assert_eq!(remerged, monolithic, "seed {seed}");
+    }
+}
+
+#[test]
 fn count_sum_extrema_survive_merge() {
     for seed in 1..=20u64 {
         let a = stream(seed, 300);

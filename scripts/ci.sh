@@ -52,6 +52,30 @@ if awk -F, 'NR > 1 && $10 == "lost"' results/crashsim_campaign.csv | grep -q .; 
     exit 1
 fi
 
+echo "=== soak_campaign --jobs determinism (short horizon) ==="
+# The soak binary itself exits non-zero if any cell's merged interval
+# snapshots differ from the machine's monolithic stats (DESIGN.md §16);
+# on top of that, the CSV must be byte-identical at any --jobs width.
+soak_bin="$PWD/target/release/soak_campaign"
+soak_tmp="$(mktemp -d)"
+trap 'rm -rf "$soak_tmp"' EXIT
+mkdir -p "$soak_tmp/j1" "$soak_tmp/j4"
+(cd "$soak_tmp/j1" && TVARAK_SCALE=quick \
+    "$soak_bin" --intervals 3 --ops-per-interval 256 --jobs 1 > stdout.txt)
+(cd "$soak_tmp/j4" && TVARAK_SCALE=quick \
+    "$soak_bin" --intervals 3 --ops-per-interval 256 --jobs 4 > stdout.txt)
+for f in results/soak_campaign.csv stdout.txt; do
+    if ! diff -q "$soak_tmp/j1/$f" "$soak_tmp/j4/$f"; then
+        echo "ci: soak_campaign $f differs between --jobs 1 and --jobs 4" >&2
+        exit 1
+    fi
+done
+echo "ci: soak_campaign CSV and stdout byte-identical at --jobs 1 and 4"
+mkdir -p results
+cp "$soak_tmp/j1/results/soak_campaign.csv" results/soak_campaign.csv
+rm -rf "$soak_tmp"
+trap - EXIT
+
 echo "=== perf_baseline (quick smoke) ==="
 # Runs the simulator-performance baseline in quick mode and checks that
 # BENCH_perf.json comes out well-formed. The committed BENCH_perf.json is
@@ -61,10 +85,21 @@ repo_root="$PWD"
 perf_tmp="$(mktemp -d)"
 trap 'rm -rf "$perf_tmp"' EXIT
 (cd "$perf_tmp" && "$repo_root/target/release/perf_baseline" --quick > /dev/null)
-for key in '"schema"' '"line_speedup"' '"sim_cycles_per_sec"' '"cells_per_sec"'; do
+for key in '"schema"' '"line_speedup"' '"sim_cycles_per_sec"' '"cells_per_sec"' \
+           '"trace_encode_mib_s"' '"trace_decode_mib_s"' '"rss_peak_kb"'; do
     grep -q "$key" "$perf_tmp/BENCH_perf.json" \
         || { echo "ci: BENCH_perf.json missing key $key" >&2; exit 1; }
 done
+
+echo "=== perf_dashboard (smoke) ==="
+# The dashboard generator must run cleanly against the repo's git history
+# (old schemas included) and the soak CSV the smoke above just produced.
+scripts/perf_dashboard.sh
+for f in results/perf_dashboard.csv results/perf_dashboard.md; do
+    [ -s "$f" ] || { echo "ci: perf_dashboard produced empty $f" >&2; exit 1; }
+done
+grep -q 'soak campaign' results/perf_dashboard.md \
+    || { echo "ci: perf_dashboard.md missing the soak section" >&2; exit 1; }
 
 echo "=== bound-weave CSV differential (fig8_fio at 1/4/8 engine threads) ==="
 # The bound-weave hard requirement: campaign output is byte-identical at any
@@ -146,7 +181,7 @@ for attempt in 1 2 3; do
         (cd "$perf_tmp" && "$repo_root/target/release/perf_baseline" --quick > /dev/null)
     }
     gate_ok=yes
-    for key in sim_cycles_per_sec line_slice8_mib_s; do
+    for key in sim_cycles_per_sec line_slice8_mib_s trace_encode_mib_s trace_decode_mib_s; do
         committed=$(perf_metric BENCH_perf.json "$key")
         current=$(perf_metric "$perf_tmp/BENCH_perf.json" "$key")
         if [ -z "$committed" ] || [ -z "$current" ]; then
