@@ -30,6 +30,7 @@ use apps::driver::{AppError, Design, Machine};
 use apps::kv::PersistentKv;
 use apps::rbtree::RbTree;
 use apps::rng::Rng;
+use bench::capture::CampaignTrace;
 use bench::runner::{self, Cell};
 use memsim::addr::{LineAddr, PAGE};
 use memsim::{FaultKind, FaultPlan, FirmwareFault};
@@ -532,7 +533,8 @@ fn run_kv_chaos(
 
 /// Raw-file chaos (fio-style): 64 B reads/writes at random line offsets
 /// with a per-line shadow. Writes go through the transactional interface
-/// under software designs so their checksums stay maintained.
+/// under software designs so their checksums stay maintained. The op
+/// stream is captured to `results/traces/` as chunked `TVT2`.
 fn run_raw_chaos(design: Design, kind: FaultKind, ops: u64, events: usize) -> (Outcome, Vec<String>) {
     let mut m = Machine::builder().small().design(design).data_pages(256).build();
     let mut txm = match design.sw_scheme() {
@@ -562,13 +564,16 @@ fn run_raw_chaos(design: Design, kind: FaultKind, ops: u64, events: usize) -> (O
         m.design().label(),
         kind.label()
     );
+    let mut trace = CampaignTrace::create(&format!("chaos {ctx}")).expect("open trace capture");
     let mut ctl = ChaosCtl::new(seed_for("fio", design, kind), ops, events, kind, lines, ctx);
     let mut rng = Rng::new(0xf10_0000 ^ seed_for("fio", design, kind));
     for op in 0..ops {
         ctl.before_op(&mut m, op);
         let l = rng.below(nlines);
         let off = l * 64;
-        if rng.below(2) == 0 {
+        let is_write = rng.below(2) == 0;
+        trace.record(is_write, file.addr(off), 64);
+        if is_write {
             // Write.
             let data = pattern(l, op + 1);
             let result = match txm.as_mut() {
@@ -617,6 +622,10 @@ fn run_raw_chaos(design: Design, kind: FaultKind, ops: u64, events: usize) -> (O
             }
         }
         ctl.after_op(&mut m, op);
+    }
+    match trace.finish() {
+        Ok(n) => ctl.log.push(format!("{} trace: {n} records captured", ctl.ctx)),
+        Err(e) => ctl.out.violations.push(format!("{}: {e}", ctl.ctx)),
     }
     ctl.finish(&mut m, &file, ops);
     ctl.check_invariants(&mut m, &file, inline_cl_verified(design));

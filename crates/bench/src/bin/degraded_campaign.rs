@@ -42,6 +42,7 @@ use apps::btree::BTree;
 use apps::driver::{AppError, Design, Machine};
 use apps::kv::PersistentKv;
 use apps::rng::Rng;
+use bench::capture::CampaignTrace;
 use bench::runner::{self, Cell};
 use memsim::addr::PAGE;
 use memsim::RaidLevel;
@@ -222,16 +223,23 @@ trait Workload {
     /// Run op `op`; account wrong data / fail-closed into `out`. Returns
     /// `false` if the application crashed (loud failure; the cell aborts).
     fn step(&mut self, m: &mut Machine, op: u64, out: &mut Outcome) -> bool;
+    /// Surrender the streaming trace capture, if this workload records
+    /// one, so the cell can close and verify it.
+    fn take_capture(&mut self) -> Option<CampaignTrace> {
+        None
+    }
 }
 
 /// fio-style raw file I/O: 64 B reads/writes at seeded random line offsets
-/// with a per-line shadow of the acknowledged value.
+/// with a per-line shadow of the acknowledged value. When a capture is
+/// attached, every op streams to a chunked `TVT2` file as it is issued.
 struct FioWorkload {
     file: FileHandle,
     txm: Option<pmemfs::tx::TxManager>,
     shadow: Vec<Option<u64>>,
     rng: Rng,
     nlines: u64,
+    cap: Option<CampaignTrace>,
 }
 
 fn fio_pattern(l: u64, v: u64) -> [u8; 64] {
@@ -243,7 +251,7 @@ fn fio_pattern(l: u64, v: u64) -> [u8; 64] {
 }
 
 impl FioWorkload {
-    fn new(m: &mut Machine, seed: u64) -> Self {
+    fn new(m: &mut Machine, seed: u64, cap: Option<CampaignTrace>) -> Self {
         let txm = match m.design().sw_scheme() {
             pmemfs::tx::SwScheme::None => None,
             _ => Some(m.tx_manager(64 * 1024).expect("pool fits tx log")),
@@ -262,6 +270,7 @@ impl FioWorkload {
             shadow: vec![Some(0); nlines as usize],
             rng: Rng::new(0xf10_0000 ^ seed),
             nlines,
+            cap,
         }
     }
 }
@@ -275,7 +284,11 @@ impl Workload for FioWorkload {
         let l = self.rng.below(self.nlines);
         let off = l * 64;
         let file = self.file;
-        if self.rng.below(2) == 0 {
+        let is_write = self.rng.below(2) == 0;
+        if let Some(cap) = self.cap.as_mut() {
+            cap.record(is_write, file.addr(off), 64);
+        }
+        if is_write {
             let data = fio_pattern(l, op + 1);
             let result = match self.txm.as_mut() {
                 Some(txm) => match m.check_poison(&file, off, 64) {
@@ -312,6 +325,10 @@ impl Workload for FioWorkload {
             }
         }
         true
+    }
+
+    fn take_capture(&mut self) -> Option<CampaignTrace> {
+        self.cap.take()
     }
 }
 
@@ -475,9 +492,17 @@ fn enable_pipeline(m: &mut Machine, file: &FileHandle) {
     }
 }
 
-fn make_workload(app: &str, m: &mut Machine, seed: u64) -> Box<dyn Workload> {
+/// Build the app's workload. Only fio has a raw address stream worth
+/// capturing; `cap` is ignored for the KV apps (their ops are index
+/// operations, not addressed I/O).
+fn make_workload(
+    app: &str,
+    m: &mut Machine,
+    seed: u64,
+    cap: Option<CampaignTrace>,
+) -> Box<dyn Workload> {
     match app {
-        "fio" => Box::new(FioWorkload::new(m, seed)),
+        "fio" => Box::new(FioWorkload::new(m, seed, cap)),
         _ => Box::new(KvWorkload::new(m, seed)),
     }
 }
@@ -523,7 +548,9 @@ fn run_faulted(
     let seed = seed_for(app, scenario);
     let mut out = Outcome::default();
     let mut m = build_machine(design);
-    let mut w = make_workload(app, &mut m, seed);
+    let cap = (app == "fio")
+        .then(|| CampaignTrace::create(&format!("degraded {ctx}")).expect("open trace capture"));
+    let mut w = make_workload(app, &mut m, seed, cap);
     let file = *w.file();
     m.flush();
     enable_pipeline(&mut m, &file);
@@ -625,6 +652,16 @@ fn run_faulted(
     };
 
     m.flush();
+    if let Some(cap) = w.take_capture() {
+        match cap.finish() {
+            // Every fio op — across all four phases — must round-trip.
+            Ok(n) if n != op => out.violations.push(format!(
+                "{ctx}: trace captured {n} records for {op} ops"
+            )),
+            Ok(_) => {}
+            Err(e) => out.violations.push(format!("{ctx}: {e}")),
+        }
+    }
     out.total_ops = op;
     out.content_hash = m.sys.memory().content_hash();
     let rs = m.sys.memory().raid_stats();
@@ -651,7 +688,9 @@ fn run_faulted(
 fn run_oracle(app: &str, design: Design, scenario: Scenario, total_ops: u64) -> u64 {
     let seed = seed_for(app, scenario);
     let mut m = build_machine(design);
-    let mut w = make_workload(app, &mut m, seed);
+    // No capture: the oracle replays the same stream the faulted run
+    // already recorded.
+    let mut w = make_workload(app, &mut m, seed, None);
     let file = *w.file();
     m.flush();
     enable_pipeline(&mut m, &file);

@@ -224,6 +224,13 @@ fn main() {
         (40_000, 200_000, 25, 2_000_000)
     };
     let hw = memsim::crc::hw_available();
+    // Detected hardware parallelism: the scaling points below only show real
+    // speedup when the replay workers get their own cores, so readers (and
+    // the CI gate) need this next to the curve to interpret it.
+    let hw_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("# host parallelism: {hw_threads} hardware thread(s)");
 
     eprintln!("# checksum microbench ({csum_iters} iters per input size, hw_crc32c={hw})");
     let line_by = checksum_throughput(crc32c_bytewise, 64, csum_iters * 8);
@@ -313,10 +320,11 @@ fn main() {
     let cells_per_sec = results.len() as f64 / grid_wall.max(1e-9);
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": 5,");
+    let _ = writeln!(json, "  \"schema\": 6,");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"jobs\": {jobs},");
     let _ = writeln!(json, "  \"hw_crc32c\": {hw},");
+    let _ = writeln!(json, "  \"hw_threads\": {hw_threads},");
     let _ = writeln!(json, "  \"checksum\": {{");
     let _ = writeln!(json, "    \"line_bytewise_mib_s\": {},", json_f(line_by));
     let _ = writeln!(json, "    \"line_slice8_mib_s\": {},", json_f(line_s8));

@@ -1,0 +1,101 @@
+//! Streaming trace capture for campaign binaries.
+//!
+//! Campaign cells that drive a raw file-I/O stream record each op into a
+//! chunked `TVT2` file under `results/traces/` through [`TraceWriter`],
+//! bounding memory at one chunk regardless of run length (the campaigns
+//! used to hold a whole in-memory record vector before serializing — that
+//! path is gone). [`CampaignTrace::finish`] closes the file and re-reads
+//! it through [`TraceReader`], so a capture that cannot be decoded back
+//! record-for-record surfaces as a cell violation, not a silently corrupt
+//! artifact.
+
+use memsim::addr::PhysAddr;
+use memsim::trace::{TraceReader, TraceRecord, TraceWriter};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
+
+/// One cell's streaming capture: a `TVT2` writer over a buffered file.
+pub struct CampaignTrace {
+    writer: TraceWriter<BufWriter<File>>,
+    path: PathBuf,
+}
+
+/// Map a cell context label (`app=fio design=Tvarak fault=...`) to a
+/// filesystem-safe stem: every non-alphanumeric run collapses to one `-`.
+fn sanitize(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut dash = false;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+            dash = false;
+        } else if !dash && !out.is_empty() {
+            out.push('-');
+            dash = true;
+        }
+    }
+    out.truncate(out.trim_end_matches('-').len());
+    out
+}
+
+impl CampaignTrace {
+    /// Open `results/traces/<sanitized label>.tvt2` for streaming capture.
+    pub fn create(label: &str) -> std::io::Result<CampaignTrace> {
+        let dir = PathBuf::from("results/traces");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.tvt2", sanitize(label)));
+        let writer = TraceWriter::new(BufWriter::new(File::create(&path)?))?;
+        Ok(CampaignTrace { writer, path })
+    }
+
+    /// Append one op. Capture failures are loud: a campaign whose artifact
+    /// silently stopped growing would lie about what it replayed.
+    pub fn record(&mut self, write: bool, addr: PhysAddr, len: u16) {
+        self.writer
+            .push(TraceRecord { core: 0, write, addr, len })
+            .expect("trace capture write");
+    }
+
+    /// Flush, close, and verify the capture by decoding it back. Returns
+    /// the record count on success; a human-readable defect otherwise.
+    pub fn finish(self) -> Result<u64, String> {
+        let written = self.writer.records_written();
+        let path = self.path;
+        let buf = self
+            .writer
+            .finish()
+            .map_err(|e| format!("trace {}: finish failed: {e}", path.display()))?;
+        buf.into_inner()
+            .map_err(|e| format!("trace {}: flush failed: {e}", path.display()))?;
+        let f = File::open(&path)
+            .map_err(|e| format!("trace {}: reopen failed: {e}", path.display()))?;
+        let mut r = TraceReader::new(BufReader::new(f))
+            .map_err(|e| format!("trace {}: bad header: {e}", path.display()))?;
+        for rec in &mut r {
+            rec.map_err(|e| format!("trace {}: decode failed: {e}", path.display()))?;
+        }
+        if r.records_read() != written {
+            return Err(format!(
+                "trace {}: decoded {} records, wrote {written}",
+                path.display(),
+                r.records_read()
+            ));
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sanitize;
+
+    #[test]
+    fn labels_sanitize_to_safe_stems() {
+        assert_eq!(
+            sanitize("app=fio design=Tvarak fault=sticky bitflips"),
+            "app-fio-design-tvarak-fault-sticky-bitflips"
+        );
+        assert_eq!(sanitize("  ==x== "), "x");
+    }
+}

@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod capture;
 pub mod report;
 pub mod runner;
 pub mod serve;

@@ -98,18 +98,21 @@ fn golden_grid() -> Vec<Cell<(&'static str, Design, Outcome)>> {
 }
 
 /// Captured per-cell goldens: (label, eviction-order digest, runtime
-/// cycles) for the golden fio grid, recorded on the pre-SoA `Entry` cache
-/// layout. A cache data-layout refactor must reproduce every digest —
-/// `Stats::evict_hash` folds each array's victim-choice history, so any
-/// change to eviction order or victim selection shows up here even when the
-/// aggregate counters happen to agree.
+/// cycles) for the golden fio grid. A cache data-layout refactor must
+/// reproduce every digest — `Stats::evict_hash` folds each array's
+/// victim-choice history, so any change to eviction order or victim
+/// selection shows up here even when the aggregate counters happen to
+/// agree. Re-recorded for the sharded weave engine: DIMM queueing is now
+/// per-(dimm × LLC-bank) lane with weighted busy accounting, and
+/// redundancy lines are homed with the bank of their *own* interleave
+/// (both deliberate model changes; the digests moved with them).
 const CELL_GOLDENS: [(&str, u64, u64); 6] = [
-    ("fio seq-write Baseline", 6011100812734918193, 1507537),
-    ("fio seq-write Tvarak", 2300232934720110932, 1705915),
-    ("fio rand-read Baseline", 15666639143644649525, 1507321),
-    ("fio rand-read Tvarak", 15666639143644649525, 1764165),
-    ("fio rand-write Baseline", 17216780476607221409, 1507321),
-    ("fio rand-write Tvarak", 747070783379293554, 1764157),
+    ("fio seq-write Baseline", 6011100812734918193, 1507329),
+    ("fio seq-write Tvarak", 2300232934720110932, 1554085),
+    ("fio rand-read Baseline", 15666639143644649525, 1507186),
+    ("fio rand-read Tvarak", 15666639143644649525, 1708633),
+    ("fio rand-write Baseline", 17216780476607221409, 1507186),
+    ("fio rand-write Tvarak", 12555696862574539594, 1714843),
 ];
 
 /// The digest a machine reports when no array ever evicted: the fixed-order

@@ -1,0 +1,179 @@
+//! Adversarial cross-shard epoch generators for the dependency-vector
+//! weave engine: access streams crafted to stress exactly the admission
+//! protocol's hard cases —
+//!
+//! - **hook fan-out**: cache-line-granular TVARAK scatters every write's
+//!   redundancy work (checksum + parity lines) across other banks, so
+//!   epochs routinely carry multi-shard footprints;
+//! - **back-to-back DIMM-global epochs**: the page-granular ablation makes
+//!   every NVM writeback's footprint page-wide (all shards), chaining
+//!   full-mask epochs that must serialize through every shard turn;
+//! - **single-shard storms**: all cores hammer one LLC bank, funneling
+//!   every epoch through one shard's turn counter.
+//!
+//! Each generator must be bit-identical to its sequential oracle — same
+//! `Stats`, same media hash — at engine threads {2, 4, 8} × weave shards
+//! {1, 2, 4}, and must actually run on the weave path (a silent sequential
+//! fallback would make the differential vacuous).
+
+use apps::driver::{AppError, Design, Machine, ThreadedRun};
+use bench::workloads::{machine, Variant};
+use memsim::addr::PAGE;
+use memsim::stats::Stats;
+use tvarak::controller::TvarakConfig;
+
+const THREADS: [usize; 3] = [2, 4, 8];
+const SHARDS: [usize; 3] = [1, 2, 4];
+
+/// Emitter cores driving the stream.
+const CORES: usize = 4;
+/// Lines each core owns (footprint ≫ the small hierarchy, so writebacks
+/// flow continuously).
+const LINES_PER_CORE: u64 = 2048;
+/// Ops per core per run.
+const OPS: u64 = 1200;
+
+#[derive(Clone, Copy, Debug)]
+enum Gen {
+    /// Scattered writes under cl-granular TVARAK: redundancy hooks fan
+    /// epochs out across banks.
+    FanOut,
+    /// Pure write stream under the page-granular ablation: every
+    /// writeback is a DIMM-global (all-shard) epoch.
+    GlobalStorm,
+    /// Every core pinned to LLC bank 0: all epochs funnel through one
+    /// shard (under Baseline the footprint is exactly the line's bank).
+    SingleShardStorm,
+}
+
+impl Gen {
+    fn design(self) -> Design {
+        match self {
+            Gen::FanOut => Design::Tvarak,
+            Gen::GlobalStorm => Design::TvarakAblated(TvarakConfig::naive()),
+            Gen::SingleShardStorm => Design::Baseline,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Gen::FanOut => "hook-fan-out",
+            Gen::GlobalStorm => "dimm-global-storm",
+            Gen::SingleShardStorm => "single-shard-storm",
+        }
+    }
+}
+
+fn pattern(l: u64, v: u64) -> [u8; 64] {
+    let mut p = [0u8; 64];
+    p[..8].copy_from_slice(&l.to_le_bytes());
+    p[8..16].copy_from_slice(&v.to_le_bytes());
+    p
+}
+
+/// Run one generator at `threads` engine threads and `shards` weave
+/// shards; returns the run's stats, media hash, and execution mode.
+fn run(gen: Gen, threads: usize, shards: usize) -> (Stats, u64, ThreadedRun) {
+    let v = Variant::of(gen.design()).weave_shards(shards);
+    let total_lines = CORES as u64 * LINES_PER_CORE;
+    let file_pages = total_lines / 64; // LINES_PER_PAGE with 4 KiB pages
+    let mut m: Machine = machine(v, file_pages + 1024);
+    let file = m.create_dax_file("adv", file_pages * PAGE as u64).expect("pool fits");
+    m.reinit_redundancy(&file);
+    m.flush();
+    let banks = m.sys.config().llc_banks as u64;
+    // Bank of a line is `line.0 % banks`; align each core's pinned stream
+    // so every access lands in bank 0 regardless of the file's base line.
+    let base = file.addr(0).line().0;
+    let align = (banks - base % banks) % banks;
+    m.reset_stats();
+    let mode = apps::driver::run_clocked_threads(&mut m, CORES, OPS, threads, |m, c, i| {
+        let span = c as u64 * LINES_PER_CORE;
+        let (l, write) = match gen {
+            // Stride 13 is coprime to the power-of-two region: the sweep
+            // visits every line, rotating through all banks.
+            Gen::FanOut => (span + (i * 13 + c as u64) % LINES_PER_CORE, i % 4 != 3),
+            Gen::GlobalStorm => (span + (i * 13) % LINES_PER_CORE, true),
+            Gen::SingleShardStorm => {
+                (span + align + (i % (LINES_PER_CORE / banks - 1)) * banks, i % 4 != 3)
+            }
+        };
+        let off = l * 64;
+        if write {
+            m.write_file(&file, c, off, &pattern(l, i))?;
+        } else {
+            let mut buf = [0u8; 64];
+            m.read_file(&file, c, off, &mut buf)?;
+        }
+        Ok(())
+    });
+    let mode = match mode {
+        Ok(mode) => mode,
+        Err(AppError::Poisoned(e)) => panic!("unexpected poison: {e:?}"),
+        Err(e) => panic!("unexpected app error: {e}"),
+    };
+    m.flush();
+    (m.stats(), m.sys.memory().content_hash(), mode)
+}
+
+/// The parallel run must really weave (with the pinned shard count), and
+/// must never fall back: the generators are crafted to be eligible and
+/// divergence-free.
+fn assert_woven(gen: Gen, mode: &ThreadedRun, shards: usize, threads: usize) {
+    match mode {
+        ThreadedRun::Woven(r) => assert_eq!(
+            r.shards(),
+            shards,
+            "{}: wrong shard count at {threads} threads",
+            gen.label()
+        ),
+        ThreadedRun::Sequential(elig) => panic!(
+            "{}: fell back to sequential ({elig:?}) at {threads} threads, {shards} shards",
+            gen.label()
+        ),
+        ThreadedRun::Diverged(kind) => panic!(
+            "{}: diverged ({kind:?}) at {threads} threads, {shards} shards",
+            gen.label()
+        ),
+    }
+}
+
+fn differential(gen: Gen) {
+    let (seq_stats, seq_hash, seq_mode) = run(gen, 1, 1);
+    assert!(
+        matches!(seq_mode, ThreadedRun::Sequential(_)),
+        "{}: single-threaded run is the oracle",
+        gen.label()
+    );
+    for threads in THREADS {
+        for shards in SHARDS {
+            let (stats, hash, mode) = run(gen, threads, shards);
+            assert_woven(gen, &mode, shards, threads);
+            assert_eq!(
+                seq_stats, stats,
+                "{}: stats mismatch at {threads} threads, {shards} shards",
+                gen.label()
+            );
+            assert_eq!(
+                seq_hash, hash,
+                "{}: media mismatch at {threads} threads, {shards} shards",
+                gen.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn hook_fan_out_is_bit_identical() {
+    differential(Gen::FanOut);
+}
+
+#[test]
+fn back_to_back_dimm_global_epochs_are_bit_identical() {
+    differential(Gen::GlobalStorm);
+}
+
+#[test]
+fn single_shard_storm_is_bit_identical() {
+    differential(Gen::SingleShardStorm);
+}

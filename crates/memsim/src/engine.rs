@@ -34,11 +34,156 @@ use crate::addr::{LineAddr, PageNum, PhysAddr, CACHE_LINE, LINES_PER_PAGE};
 use crate::cache::{CacheArray, Evicted, NO_OWNER};
 use crate::config::SystemConfig;
 use crate::mem::{Device, Memory};
+use crate::spsc::ShardCell;
 use crate::stats::{Counters, Stats};
 use std::any::Any;
+use std::cell::Cell;
 use std::error::Error;
 use std::fmt;
 use std::ops::Range;
+
+/// Per-thread weave-replay context, installed by a shard worker for the
+/// duration of one epoch application (see [`crate::weave`]).
+///
+/// It carries the sinks that make hot-path accounting shard-safe — a pointer
+/// to the worker's private [`Counters`] shard and crash-event tally — plus
+/// the epoch's *declared* shard footprint, which [`assert_weave_shard`]
+/// cross-checks on every partitioned-state access. A footprint violation is
+/// a protocol bug (the bound side under-declared the epoch's shards), so it
+/// panics; the worker's `catch_unwind` converts that into a `WorkerPanic`
+/// divergence and the cell reruns on the sequential oracle.
+#[derive(Clone, Copy)]
+struct WeaveTls {
+    /// Worker-private counter shard (merged at session join).
+    ctrs: *mut Counters,
+    /// Worker-private crash-event tally (summed into `CrashState` at join).
+    crash_events: *mut u64,
+    /// Bit `s` set ⇔ the epoch being applied declared shard `s`.
+    mask: u8,
+    /// Session shard count (bank → shard reduction).
+    shards: u8,
+    /// Set when replay hits a state transition it cannot apply (private-
+    /// cache back-invalidation); drained by `weave_tls_take_diverged`.
+    diverged: bool,
+}
+
+thread_local! {
+    static WEAVE_TLS: Cell<Option<WeaveTls>> = const { Cell::new(None) };
+}
+
+/// Install the replay context for one epoch application. The pointed-to
+/// storage must stay untouched by the caller until [`weave_tls_clear`].
+pub(crate) fn weave_tls_install(
+    ctrs: &mut Counters,
+    crash_events: &mut u64,
+    mask: u8,
+    shards: u8,
+) {
+    WEAVE_TLS.with(|t| {
+        t.set(Some(WeaveTls {
+            ctrs,
+            crash_events,
+            mask,
+            shards,
+            diverged: false,
+        }));
+    });
+}
+
+/// Remove the replay context (the worker finished the epoch).
+pub(crate) fn weave_tls_clear() {
+    WEAVE_TLS.with(|t| t.set(None));
+}
+
+/// Flag a replay-side divergence from the sequential oracle (called by the
+/// replay path when it meets a transition it cannot apply).
+fn weave_tls_set_diverged() {
+    WEAVE_TLS.with(|t| {
+        if let Some(mut tls) = t.get() {
+            tls.diverged = true;
+            t.set(Some(tls));
+        }
+    });
+}
+
+/// Read-and-clear the replay divergence flag.
+fn weave_tls_take_diverged() -> bool {
+    WEAVE_TLS.with(|t| match t.get() {
+        Some(mut tls) if tls.diverged => {
+            tls.diverged = false;
+            t.set(Some(tls));
+            true
+        }
+        _ => false,
+    })
+}
+
+/// The installed worker counter sink, if a replay context is active.
+fn weave_tls_counters() -> Option<*mut Counters> {
+    WEAVE_TLS.with(|t| t.get().map(|tls| tls.ctrs))
+}
+
+/// The installed crash-event sink, if a replay context is active.
+fn weave_tls_crash() -> Option<*mut u64> {
+    WEAVE_TLS.with(|t| t.get().map(|tls| tls.crash_events))
+}
+
+/// Cross-check that touching LLC bank `bank` (or its DIMM lane) is covered
+/// by the epoch's declared shard footprint.
+///
+/// No-op outside weave replay (no context installed). During replay a
+/// violation means the bound-side footprint computation missed a shard the
+/// epoch actually touches — a protocol bug that would silently corrupt
+/// concurrent state — so it panics; the worker's `catch_unwind` turns the
+/// panic into a divergence fallback. Exported for redundancy controllers
+/// that keep their own bank-partitioned state (e.g. the Tvarak on-controller
+/// cache).
+#[inline]
+pub fn assert_weave_shard(bank: usize) {
+    WEAVE_TLS.with(|t| {
+        if let Some(tls) = t.get() {
+            let shard = bank % tls.shards as usize;
+            assert!(
+                tls.mask >> shard & 1 == 1,
+                "weave replay touched bank {bank} (shard {shard}) outside the \
+                 epoch's declared footprint mask {:#010b}",
+                tls.mask
+            );
+        }
+    });
+}
+
+/// Redundancy-line footprint of one data line, declared by a controller's
+/// [`FootprintOracle`] so the bound side can compute which LLC-bank shards
+/// an epoch's replay will touch.
+#[derive(Debug, Clone, Copy)]
+pub struct RedFootprint {
+    /// Checksum line covering the data line (cache-line-granular schemes).
+    pub cs: Option<LineAddr>,
+    /// Parity line covering the data line.
+    pub parity: Option<LineAddr>,
+    /// The scheme touches redundancy page/stripe-wide on this line's events
+    /// (page-granular checksums walk all 64 data lines): the epoch must
+    /// synchronize on every shard.
+    pub page_wide: bool,
+}
+
+/// Bound-side oracle for a controller's redundancy-line routing: a cheap,
+/// immutable snapshot of *where* the controller's replay-side work lands,
+/// never *what* it computes. The weave engine uses it to stamp epoch
+/// descriptors with per-shard dependencies; [`assert_weave_shard`] verifies
+/// the declaration during replay.
+pub trait FootprintOracle: Send + Sync {
+    /// Whether NVM fills of managed lines verify (read the checksum line).
+    fn verify_reads(&self) -> bool;
+    /// Whether clean→dirty transitions capture diffs in the LLC diff
+    /// partition (the early-writeback path can then touch a *second* data
+    /// line's redundancy on diff eviction).
+    fn data_diffs(&self) -> bool;
+    /// Redundancy lines the controller may touch for events on `line`, or
+    /// `None` when the line is outside every managed (DAX-mapped) range.
+    fn red_lines(&self, line: LineAddr) -> Option<RedFootprint>;
+}
 
 /// A checksum mismatch detected by the redundancy controller on an NVM read.
 ///
@@ -104,16 +249,17 @@ impl CrashState {
 /// Environment handed to redundancy hooks: everything the controller hardware
 /// can reach (memory, the LLC partitions, clocks, counters) without the
 /// private caches (which it cannot see).
+///
+/// Internally this is just a shared borrow of the [`System`]: every access
+/// routes through the shard-cell accessors, so the same hook code runs both
+/// sequentially and inside concurrent weave replay (where the admission
+/// protocol guarantees exclusivity per shard and [`assert_weave_shard`]
+/// cross-checks the epoch's declared footprint).
 #[allow(missing_debug_implementations)]
 pub struct HookEnv<'a> {
     /// System configuration.
     pub cfg: &'a SystemConfig,
-    mem: &'a mut Memory,
-    llc: &'a mut [CacheArray],
-    clocks: &'a mut [u64],
-    dimms: &'a mut [DimmState],
-    counters: &'a mut Counters,
-    crash: &'a mut CrashState,
+    sys: &'a System,
 }
 
 /// The LLC bank holding `line` under line-granular interleaving. Bank
@@ -133,7 +279,7 @@ impl<'a> HookEnv<'a> {
     /// The LLC bank holding `line` (lines are bank-interleaved).
     #[inline]
     pub fn bank_of(&self, line: LineAddr) -> usize {
-        bank_interleave(line, self.llc.len())
+        bank_interleave(line, self.cfg.llc_banks)
     }
 
     /// LLC way range reserved for application data.
@@ -156,13 +302,13 @@ impl<'a> HookEnv<'a> {
     /// Advance `core`'s clock by `cycles`.
     #[inline]
     pub fn charge(&mut self, core: usize, cycles: u64) {
-        self.clocks[core] += cycles;
+        *self.sys.clocks[core].get() += cycles;
     }
 
     /// Mutable access to the counters.
     #[inline]
     pub fn counters(&mut self) -> &mut Counters {
-        self.counters
+        self.sys.ctrs()
     }
 
     /// Read a redundancy line from NVM.
@@ -171,20 +317,20 @@ impl<'a> HookEnv<'a> {
     /// (writeback path) only occupy DIMM bandwidth. Counted as a redundancy
     /// NVM read.
     pub fn nvm_read_red(&mut self, core: usize, line: LineAddr, demand: bool) -> [u8; CACHE_LINE] {
-        self.counters.nvm_red_reads += 1;
+        self.sys.ctrs().nvm_red_reads += 1;
         self.nvm_timing(core, line, false, demand);
-        self.mem.read_line(line)
+        self.sys.mem_read_line(line)
     }
 
     /// Write a redundancy line to NVM (posted; occupies DIMM bandwidth only).
     /// Counted as a redundancy NVM write.
     pub fn nvm_write_red(&mut self, core: usize, line: LineAddr, data: &[u8; CACHE_LINE]) {
-        self.counters.nvm_red_writes += 1;
+        self.sys.ctrs().nvm_red_writes += 1;
         self.nvm_timing(core, line, true, false);
-        if self.crash.admit() {
-            self.mem.write_line(line, data);
+        if self.sys.crash_admit() {
+            self.sys.mem_write_line(line, data);
         } else {
-            self.counters.nvm_suppressed_writes += 1;
+            self.sys.ctrs().nvm_suppressed_writes += 1;
         }
     }
 
@@ -194,9 +340,9 @@ impl<'a> HookEnv<'a> {
     /// occupancy is consumed — the core does not stall further. Counted as a
     /// redundancy NVM read.
     pub fn nvm_read_red_overlapped(&mut self, core: usize, line: LineAddr) -> [u8; CACHE_LINE] {
-        self.counters.nvm_red_reads += 1;
+        self.sys.ctrs().nvm_red_reads += 1;
         self.nvm_timing(core, line, false, false);
-        self.mem.read_line(line)
+        self.sys.mem_read_line(line)
     }
 
     /// Read a data line's *current media content* via the firmware (used by
@@ -207,19 +353,19 @@ impl<'a> HookEnv<'a> {
     }
 
     fn nvm_timing(&mut self, core: usize, line: LineAddr, write: bool, demand: bool) {
-        let dimm = match self.mem.device_of(line) {
+        let dimm = match self.sys.mem_ref().device_of(line) {
             Device::Nvm { dimm } => dimm,
             Device::Dram => {
                 // Redundancy for DRAM lines should never arise; treat as DRAM access.
-                self.counters.dram_accesses += 1;
+                self.sys.ctrs().dram_accesses += 1;
                 if demand {
                     let lat = self.cfg.ns_to_cycles(self.cfg.dram.read_ns);
-                    self.clocks[core] += lat;
+                    *self.sys.clocks[core].get() += lat;
                 }
                 return;
             }
         };
-        let now = self.clocks[core];
+        let now = *self.sys.clocks[core].get_ref();
         let occ = self.cfg.ns_to_cycles(if write {
             self.cfg.nvm.write_occupancy_ns
         } else {
@@ -231,11 +377,11 @@ impl<'a> HookEnv<'a> {
             } else {
                 self.cfg.nvm.read_ns
             });
-            let wait = self.dimms[dimm].demand(now, occ);
-            self.counters.demand_queue_cycles += wait;
-            self.clocks[core] = now + wait + lat;
+            let wait = self.sys.dimm_lane(dimm, line).demand(now, occ);
+            self.sys.ctrs().demand_queue_cycles += wait;
+            *self.sys.clocks[core].get() = now + wait + lat;
         } else {
-            self.dimms[dimm].posted(now, occ);
+            self.sys.dimm_lane(dimm, line).posted(now, occ);
         }
     }
 
@@ -247,13 +393,13 @@ impl<'a> HookEnv<'a> {
         line: LineAddr,
         demand: bool,
     ) -> Option<[u8; CACHE_LINE]> {
-        self.counters.llc_redundancy_accesses += 1;
+        self.sys.ctrs().llc_redundancy_accesses += 1;
         if demand {
-            self.clocks[core] += self.cfg.llc.latency_cycles;
+            *self.sys.clocks[core].get() += self.cfg.llc.latency_cycles;
         }
         let bank = self.bank_of(line);
         let ways = self.red_ways();
-        self.llc[bank].lookup(line, ways).map(|e| *e.data)
+        self.sys.llc_bank(bank).lookup(line, ways).map(|e| *e.data)
     }
 
     /// Insert a redundancy line into the LLC redundancy partition; a dirty
@@ -268,19 +414,19 @@ impl<'a> HookEnv<'a> {
         data: &[u8; CACHE_LINE],
         dirty: bool,
     ) -> Option<Evicted> {
-        self.counters.llc_redundancy_accesses += 1;
+        self.sys.ctrs().llc_redundancy_accesses += 1;
         let bank = self.bank_of(line);
         let ways = self.red_ways();
-        self.llc[bank].insert_absent(line, data, dirty, ways)
+        self.sys.llc_bank(bank).insert_absent(line, data, dirty, ways)
     }
 
     /// Update a redundancy line in place in the LLC partition if present,
     /// marking it dirty. Returns whether it was present.
     pub fn llc_red_update(&mut self, line: LineAddr, data: &[u8; CACHE_LINE]) -> bool {
-        self.counters.llc_redundancy_accesses += 1;
+        self.sys.ctrs().llc_redundancy_accesses += 1;
         let bank = self.bank_of(line);
         let ways = self.red_ways();
-        if let Some(mut e) = self.llc[bank].lookup(line, ways) {
+        if let Some(mut e) = self.sys.llc_bank(bank).lookup(line, ways) {
             *e.data = *data;
             e.set_dirty(true);
             true
@@ -293,7 +439,7 @@ impl<'a> HookEnv<'a> {
     pub fn llc_red_invalidate(&mut self, line: LineAddr) -> Option<Evicted> {
         let bank = self.bank_of(line);
         let ways = self.red_ways();
-        self.llc[bank].invalidate(line, ways)
+        self.sys.llc_bank(bank).invalidate(line, ways)
     }
 
     /// Drain the whole LLC redundancy partition (flush path) into a
@@ -301,17 +447,20 @@ impl<'a> HookEnv<'a> {
     /// allocation across flushes.
     pub fn llc_red_drain_into(&mut self, out: &mut Vec<Evicted>) {
         let ways = self.red_ways();
-        for bank in self.llc.iter_mut() {
-            bank.drain_into(ways.clone(), out);
+        for bank in 0..self.cfg.llc_banks {
+            self.sys.llc_bank(bank).drain_into(ways.clone(), out);
         }
     }
 
     /// Look up the data diff for `data_line` in the diff partition.
     pub fn llc_diff_lookup(&mut self, data_line: LineAddr) -> Option<[u8; CACHE_LINE]> {
-        self.counters.llc_redundancy_accesses += 1;
+        self.sys.ctrs().llc_redundancy_accesses += 1;
         let bank = self.bank_of(data_line);
         let ways = self.diff_ways();
-        self.llc[bank].lookup(data_line, ways).map(|e| *e.data)
+        self.sys
+            .llc_bank(bank)
+            .lookup(data_line, ways)
+            .map(|e| *e.data)
     }
 
     /// Store the pre-modification content of `data_line` in the diff
@@ -322,17 +471,17 @@ impl<'a> HookEnv<'a> {
         data_line: LineAddr,
         old_data: &[u8; CACHE_LINE],
     ) -> Option<Evicted> {
-        self.counters.llc_redundancy_accesses += 1;
+        self.sys.ctrs().llc_redundancy_accesses += 1;
         let bank = self.bank_of(data_line);
         let ways = self.diff_ways();
-        self.llc[bank].insert(data_line, old_data, false, ways)
+        self.sys.llc_bank(bank).insert(data_line, old_data, false, ways)
     }
 
     /// Drop the diff for `data_line` (its data line was written back).
     pub fn llc_diff_invalidate(&mut self, data_line: LineAddr) -> Option<Evicted> {
         let bank = self.bank_of(data_line);
         let ways = self.diff_ways();
-        self.llc[bank].invalidate(data_line, ways)
+        self.sys.llc_bank(bank).invalidate(data_line, ways)
     }
 
     /// Drain the whole diff partition (flush path) into a caller-provided
@@ -340,8 +489,8 @@ impl<'a> HookEnv<'a> {
     /// the buffer lets the controller avoid a per-flush allocation entirely.
     pub fn llc_diff_drain_into(&mut self, out: &mut Vec<Evicted>) {
         let ways = self.diff_ways();
-        for bank in self.llc.iter_mut() {
-            bank.drain_into(ways.clone(), out);
+        for bank in 0..self.cfg.llc_banks {
+            self.sys.llc_bank(bank).drain_into(ways.clone(), out);
         }
     }
 
@@ -351,7 +500,7 @@ impl<'a> HookEnv<'a> {
     pub fn llc_data_take_dirty(&mut self, line: LineAddr) -> Option<[u8; CACHE_LINE]> {
         let bank = self.bank_of(line);
         let ways = self.data_ways();
-        match self.llc[bank].lookup(line, ways) {
+        match self.sys.llc_bank(bank).lookup(line, ways) {
             Some(mut e) if e.dirty() => {
                 e.set_dirty(false);
                 Some(*e.data)
@@ -363,18 +512,19 @@ impl<'a> HookEnv<'a> {
     /// Write an application data line to NVM on behalf of the controller
     /// (early writeback path). Counted as a *data* NVM write, posted.
     pub fn nvm_write_data(&mut self, core: usize, line: LineAddr, data: &[u8; CACHE_LINE]) {
-        self.counters.nvm_data_writes += 1;
+        self.sys.ctrs().nvm_data_writes += 1;
         self.nvm_timing(core, line, true, false);
-        if self.crash.admit() {
-            self.mem.write_line(line, data);
+        if self.sys.crash_admit() {
+            self.sys.mem_write_line(line, data);
         } else {
-            self.counters.nvm_suppressed_writes += 1;
+            self.sys.ctrs().nvm_suppressed_writes += 1;
         }
     }
 
-    /// Direct access to the memory devices (used by parity recovery).
+    /// Direct access to the memory devices (used by parity recovery, which
+    /// is sequential-only — never reachable from weave replay).
     pub fn memory(&mut self) -> &mut Memory {
-        self.mem
+        self.sys.mem_seq()
     }
 }
 
@@ -383,7 +533,13 @@ impl<'a> HookEnv<'a> {
 /// The engine invokes these hooks for NVM lines only; the baseline system
 /// uses [`NullHooks`]. Implementations charge their own latencies and
 /// counters through the [`HookEnv`].
-pub trait RedundancyHooks {
+///
+/// The three hot-path hooks take `&self` because they run inside concurrent
+/// weave replay: any mutable controller state they touch must be partitioned
+/// by LLC bank in [`ShardCell`]s (guarded by [`assert_weave_shard`]) so the
+/// epoch admission protocol serializes access per shard. `flush`/`on_crash`
+/// remain `&mut self` — they only run sequentially.
+pub trait RedundancyHooks: Send + Sync {
     /// A line is being filled from NVM into the LLC. Verify it.
     ///
     /// # Errors
@@ -391,7 +547,7 @@ pub trait RedundancyHooks {
     /// Returns [`CorruptionDetected`] if a checksum mismatch is found; the
     /// engine aborts the fill and propagates the error to the caller.
     fn on_nvm_fill(
-        &mut self,
+        &self,
         core: usize,
         line: LineAddr,
         data: &[u8; CACHE_LINE],
@@ -401,7 +557,7 @@ pub trait RedundancyHooks {
     /// A dirty line is being written back from the LLC to NVM. Update its
     /// redundancy. Called *before* the data write reaches the media.
     fn on_nvm_writeback(
-        &mut self,
+        &self,
         core: usize,
         line: LineAddr,
         new_data: &[u8; CACHE_LINE],
@@ -411,7 +567,7 @@ pub trait RedundancyHooks {
     /// An LLC data line transitioned clean→dirty; `old_data` is its
     /// pre-modification content (data-diff capture opportunity).
     fn on_llc_clean_to_dirty(
-        &mut self,
+        &self,
         core: usize,
         line: LineAddr,
         old_data: &[u8; CACHE_LINE],
@@ -420,6 +576,14 @@ pub trait RedundancyHooks {
 
     /// End of run: write back all dirty redundancy state.
     fn flush(&mut self, env: &mut HookEnv<'_>);
+
+    /// A cheap routing oracle for the bound side's epoch shard-footprint
+    /// computation (see [`FootprintOracle`]). `None` (the default) means the
+    /// hooks touch no redundancy state, so an epoch's footprint is just the
+    /// banks of its event lines.
+    fn footprint_oracle(&self) -> Option<Box<dyn FootprintOracle>> {
+        None
+    }
 
     /// The machine lost power: all volatile controller state (on-controller
     /// caches, in-flight work) is gone. Invoked by
@@ -441,7 +605,7 @@ pub struct NullHooks;
 
 impl RedundancyHooks for NullHooks {
     fn on_nvm_fill(
-        &mut self,
+        &self,
         _core: usize,
         _line: LineAddr,
         _data: &[u8; CACHE_LINE],
@@ -451,7 +615,7 @@ impl RedundancyHooks for NullHooks {
     }
 
     fn on_nvm_writeback(
-        &mut self,
+        &self,
         _core: usize,
         _line: LineAddr,
         _new_data: &[u8; CACHE_LINE],
@@ -460,7 +624,7 @@ impl RedundancyHooks for NullHooks {
     }
 
     fn on_llc_clean_to_dirty(
-        &mut self,
+        &self,
         _core: usize,
         _line: LineAddr,
         _old_data: &[u8; CACHE_LINE],
@@ -515,9 +679,9 @@ impl RedundancyRegion {
     }
 }
 
-/// Per-DIMM bandwidth state for the utilization-based queueing model.
+/// Per-DIMM-lane bandwidth state for the utilization-based queueing model.
 ///
-/// Every access (demand or posted) contributes its occupancy to the DIMM's
+/// Every access (demand or posted) contributes its occupancy to the lane's
 /// cumulative busy time; demand reads additionally pay an M/D/1-style queue
 /// delay `occ * rho / (2 * (1 - rho))` derived from the utilization `rho`
 /// observed so far. This smooth model captures what matters at this
@@ -525,14 +689,25 @@ impl RedundancyRegion {
 /// saturates as utilization approaches 1 — without the artificial convoys a
 /// strict per-request horizon produces under deterministic round-robin
 /// scheduling (real OOO cores overlap misses; real threads drift).
+///
+/// A DIMM's bandwidth is modeled as `weight` equal lanes, one per LLC bank
+/// (see [`System`]'s `dimms` field): each lane owns `1/weight` of the DIMM's
+/// bandwidth, so an access's occupancy is scaled by `weight` before it
+/// accumulates into the lane's busy time. Under bank-uniform traffic each
+/// lane's utilization then matches the whole-DIMM model's; the partitioning
+/// is what lets weave epochs on disjoint banks apply concurrently without
+/// sharing queue state. A default-constructed state is a whole-DIMM model
+/// (`weight` ≤ 1 scales by 1).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DimmState {
-    /// Cumulative occupancy (cycles) of all accesses to this DIMM.
+    /// Cumulative scaled occupancy (cycles) of all accesses to this lane.
     busy: u64,
     /// Cumulative demand accesses (diagnostics).
     demand_count: u64,
     /// Cumulative posted accesses (diagnostics).
     posted_count: u64,
+    /// Lanes per DIMM (occupancy scale factor); 0 or 1 = whole-DIMM model.
+    weight: u64,
 }
 
 impl DimmState {
@@ -541,12 +716,20 @@ impl DimmState {
     /// feedback).
     const MAX_RHO: f64 = 0.96;
 
+    /// A lane owning `1/weight` of a DIMM's bandwidth.
+    pub fn lane(weight: u64) -> DimmState {
+        DimmState {
+            weight,
+            ..DimmState::default()
+        }
+    }
+
     /// Schedule a demand access of `occ` cycles at `now`: returns the queue
     /// delay to charge on top of the device latency.
     #[inline]
     pub fn demand(&mut self, now: u64, occ: u64) -> u64 {
         let rho = self.utilization(now);
-        self.busy += occ;
+        self.busy += occ * self.weight.max(1);
         self.demand_count += 1;
         // M/D/1 mean queueing delay, in units of this access's service time.
         (occ as f64 * rho / (2.0 * (1.0 - rho))).round() as u64
@@ -556,7 +739,7 @@ impl DimmState {
     /// traffic): consumes bandwidth, never stalls the poster.
     #[inline]
     pub fn posted(&mut self, _now: u64, occ: u64) {
-        self.busy += occ;
+        self.busy += occ * self.weight.max(1);
         self.posted_count += 1;
     }
 
@@ -588,28 +771,37 @@ struct PrivCaches {
 }
 
 /// The simulated machine.
+///
+/// Every piece of state a weave epoch may touch lives in a [`ShardCell`]:
+/// the LLC banks and DIMM lanes are partitioned by `bank_interleave`, the
+/// replay clocks are single-writer per emitter core, and counters/crash
+/// tallies redirect to worker-private storage during replay (see the
+/// thread-local machinery at the top of this module). That makes `System`
+/// itself `Sync`, so weave workers share it through a plain `Arc` — no
+/// global lock, no turn token — with the dependency-vector admission
+/// protocol (see [`crate::weave`]) providing the per-shard exclusivity the
+/// cells require.
 pub struct System {
     cfg: SystemConfig,
-    cores: Vec<PrivCaches>,
-    llc: Vec<CacheArray>,
-    mem: Memory,
-    clocks: Vec<u64>,
-    dimms: Vec<DimmState>,
-    counters: Counters,
-    hooks: Box<dyn RedundancyHooks + Send>,
+    cores: Vec<ShardCell<PrivCaches>>,
+    llc: Vec<ShardCell<CacheArray>>,
+    mem: ShardCell<Memory>,
+    clocks: Vec<ShardCell<u64>>,
+    /// Per-(DIMM × LLC-bank) bandwidth lanes, indexed `dimm * llc_banks +
+    /// bank`, so an epoch's DIMM-model mutations stay inside its banks'
+    /// shards.
+    dimms: Vec<ShardCell<DimmState>>,
+    counters: ShardCell<Counters>,
+    hooks: Box<dyn RedundancyHooks>,
     red_region: Option<RedundancyRegion>,
     scrub_accounting: bool,
-    crash: CrashState,
+    crash: ShardCell<CrashState>,
     /// Victim buffer reused across [`System::flush`] calls (see `flush`).
     flush_scratch: Vec<Evicted>,
     /// Bound-phase context while a bound-weave session is active (see
     /// [`crate::weave`]): shared-state accesses are predicted locally and
     /// emitted as events instead of touching the (moved-out) LLC/memory.
     bound: Option<crate::weave::BoundCtx>,
-    /// Set when replay discovers the bound phase's single-owner assumption
-    /// was wrong (cross-core sharing, inclusion back-invalidation, …); the
-    /// whole run is discarded and redone on the sequential oracle.
-    weave_divergence: bool,
 }
 
 impl fmt::Debug for System {
@@ -628,20 +820,24 @@ impl System {
     /// # Panics
     ///
     /// Panics if `cfg` is inconsistent (see [`SystemConfig::validate`]).
-    pub fn new(cfg: SystemConfig, hooks: Box<dyn RedundancyHooks + Send>) -> Self {
+    pub fn new(cfg: SystemConfig, hooks: Box<dyn RedundancyHooks>) -> Self {
         cfg.validate();
         let cores = (0..cfg.cores)
-            .map(|_| PrivCaches {
-                l1d: CacheArray::new(cfg.l1d.sets(), cfg.l1d.ways, 1),
-                l2: CacheArray::new(cfg.l2.sets(), cfg.l2.ways, 1),
+            .map(|_| {
+                ShardCell::new(PrivCaches {
+                    l1d: CacheArray::new(cfg.l1d.sets(), cfg.l1d.ways, 1),
+                    l2: CacheArray::new(cfg.l2.sets(), cfg.l2.ways, 1),
+                })
             })
             .collect();
         let llc = (0..cfg.llc_banks)
-            .map(|_| CacheArray::new(cfg.llc.sets(), cfg.llc.ways, cfg.llc_banks as u64))
+            .map(|_| ShardCell::new(CacheArray::new(cfg.llc.sets(), cfg.llc.ways, cfg.llc_banks as u64)))
             .collect();
-        let mem = Memory::new(cfg.nvm.dimms);
-        let clocks = vec![0; cfg.cores];
-        let dimms = vec![DimmState::default(); cfg.nvm.dimms];
+        let mem = ShardCell::new(Memory::new(cfg.nvm.dimms));
+        let clocks = (0..cfg.cores).map(|_| ShardCell::new(0)).collect();
+        let dimms = (0..cfg.nvm.dimms * cfg.llc_banks)
+            .map(|_| ShardCell::new(DimmState::lane(cfg.llc_banks as u64)))
+            .collect();
         System {
             cfg,
             cores,
@@ -649,14 +845,120 @@ impl System {
             mem,
             clocks,
             dimms,
-            counters: Counters::default(),
+            counters: ShardCell::new(Counters::default()),
             hooks,
             red_region: None,
             scrub_accounting: false,
-            crash: CrashState::default(),
+            crash: ShardCell::new(CrashState::default()),
             flush_scratch: Vec::new(),
             bound: None,
-            weave_divergence: false,
+        }
+    }
+
+    /// Whether this `System` is the weave-side replay skeleton (no private
+    /// caches — they stay with the bound thread).
+    #[inline]
+    fn is_weave_replay(&self) -> bool {
+        self.cores.is_empty()
+    }
+
+    /// The LLC bank array, footprint-checked during weave replay.
+    #[inline]
+    fn llc_bank(&self, bank: usize) -> &mut CacheArray {
+        if self.is_weave_replay() {
+            assert_weave_shard(bank);
+        }
+        self.llc[bank].get()
+    }
+
+    /// The DIMM queue lane for (`dimm`, bank of `line`) — the per-(DIMM ×
+    /// bank) partition of the bandwidth model, aligned with shard routing.
+    #[inline]
+    fn dimm_lane(&self, dimm: usize, line: LineAddr) -> &mut DimmState {
+        let banks = self.cfg.llc_banks;
+        let bank = bank_interleave(line, banks);
+        if self.is_weave_replay() {
+            assert_weave_shard(bank);
+        }
+        self.dimms[dimm * banks + bank].get()
+    }
+
+    /// The live counter block: worker-private during weave replay (merged at
+    /// session join), the shared block otherwise.
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // same contract as ShardCell::get
+    fn ctrs(&self) -> &mut Counters {
+        if self.is_weave_replay() {
+            if let Some(p) = weave_tls_counters() {
+                // SAFETY: points into the calling worker's private storage,
+                // untouched by that worker until it clears the TLS context.
+                return unsafe { &mut *p };
+            }
+        }
+        self.counters.get()
+    }
+
+    /// Count an NVM media-write event; returns whether it reaches the media.
+    /// During weave replay the event lands in the worker's private tally
+    /// (weave eligibility guarantees no budget is armed, so the answer is
+    /// always "admitted") and the shared `CrashState` is never touched.
+    #[inline]
+    fn crash_admit(&self) -> bool {
+        if self.is_weave_replay() {
+            if let Some(p) = weave_tls_crash() {
+                // SAFETY: worker-private tally, as in `ctrs`.
+                unsafe { *p += 1 };
+            }
+            return true;
+        }
+        self.crash.get().admit()
+    }
+
+    /// Whether the armed crash budget is exhausted. Always false during
+    /// weave replay (eligibility excludes armed budgets) — checked without
+    /// touching the shared cell.
+    #[inline]
+    fn crash_crashed(&self) -> bool {
+        if self.is_weave_replay() {
+            return false;
+        }
+        self.crash.get_ref().crashed()
+    }
+
+    /// Shared read access to the media.
+    #[inline]
+    fn mem_ref(&self) -> &Memory {
+        self.mem.get_ref()
+    }
+
+    /// Exclusive media access — sequential contexts only.
+    #[inline]
+    fn mem_seq(&self) -> &mut Memory {
+        debug_assert!(
+            !self.is_weave_replay(),
+            "exclusive Memory access during weave replay"
+        );
+        self.mem.get()
+    }
+
+    /// Read a line via the firmware. Weave replay uses the lock-free shared
+    /// path (faults and RAID are weave-ineligible, so it is equivalent).
+    #[inline]
+    fn mem_read_line(&self, line: LineAddr) -> [u8; CACHE_LINE] {
+        if self.is_weave_replay() {
+            self.mem.get_ref().read_line_shared(line)
+        } else {
+            self.mem.get().read_line(line)
+        }
+    }
+
+    /// Write a line via the firmware (shared path during replay, as above).
+    #[inline]
+    fn mem_write_line(&self, line: LineAddr, data: &[u8; CACHE_LINE]) {
+        if self.is_weave_replay() {
+            self.mem.get_ref().write_line_shared(line, data);
+        } else {
+            self.mem.get().write_line(line, data);
         }
     }
 
@@ -710,13 +1012,13 @@ impl System {
     /// Direct access to the memory devices (fault injection, ground truth).
     pub fn memory_mut(&mut self) -> &mut Memory {
         self.assert_unbound("memory_mut");
-        &mut self.mem
+        self.mem.get_mut()
     }
 
     /// Shared access to the memory devices.
     pub fn memory(&self) -> &Memory {
         self.assert_unbound("memory");
-        &self.mem
+        self.mem.get_ref()
     }
 
     /// The redundancy hooks (for controller management APIs via downcast).
@@ -732,26 +1034,30 @@ impl System {
         f: impl FnOnce(&mut dyn RedundancyHooks, &mut HookEnv<'_>) -> T,
     ) -> T {
         self.assert_unbound("with_hooks_env");
-        let mut env = HookEnv {
-            cfg: &self.cfg,
-            mem: &mut self.mem,
-            llc: &mut self.llc,
-            clocks: &mut self.clocks,
-            dimms: &mut self.dimms,
-            counters: &mut self.counters,
-            crash: &mut self.crash,
+        // The env borrows the whole System shared while `f` needs the hooks
+        // exclusively, so park the hooks outside `self` for the duration.
+        // None of the env's methods touch `self.hooks`, so the placeholder
+        // is never invoked.
+        let mut hooks = std::mem::replace(&mut self.hooks, Box::new(NullHooks));
+        let out = {
+            let mut env = HookEnv {
+                cfg: &self.cfg,
+                sys: self,
+            };
+            f(hooks.as_mut(), &mut env)
         };
-        f(self.hooks.as_mut(), &mut env)
+        self.hooks = hooks;
+        out
     }
 
     /// Current cycle count of `core`.
     pub fn clock(&self, core: usize) -> u64 {
-        self.clocks[core]
+        *self.clocks[core].get_ref()
     }
 
     /// Charge `cycles` of compute work to `core`.
     pub fn compute(&mut self, core: usize, cycles: u64) {
-        self.clocks[core] += cycles;
+        *self.clocks[core].get_mut() += cycles;
     }
 
     /// Advance `core`'s clock to at least `cycle` (idle until a timestamp;
@@ -760,7 +1066,7 @@ impl System {
     /// timestamp: a core that drained its queue sits idle until the next
     /// arrival, exactly like a polled NVMe submission queue.
     pub fn idle_until(&mut self, core: usize, cycle: u64) {
-        let c = &mut self.clocks[core];
+        let c = self.clocks[core].get_mut();
         *c = (*c).max(cycle);
     }
 
@@ -768,16 +1074,16 @@ impl System {
     /// counted for L1-I energy). Applications use this as a coarse per-op
     /// instruction cost; see DESIGN.md §7.
     pub fn instr(&mut self, core: usize, count: u64) {
-        self.counters.l1i_accesses += count;
-        self.clocks[core] += count;
+        self.counters.get_mut().l1i_accesses += count;
+        *self.clocks[core].get_mut() += count;
     }
 
     /// Synchronize all core clocks to the maximum (a barrier).
     pub fn barrier(&mut self) {
         self.assert_unbound("barrier");
-        let m = self.clocks.iter().copied().max().unwrap_or(0);
+        let m = self.clocks.iter().map(|c| *c.get_ref()).max().unwrap_or(0);
         for c in &mut self.clocks {
-            *c = m;
+            *c.get_mut() = m;
         }
     }
 
@@ -786,18 +1092,31 @@ impl System {
     /// phase.
     pub fn reset_stats(&mut self) {
         self.assert_unbound("reset_stats");
-        self.counters = Counters::default();
+        *self.counters.get_mut() = Counters::default();
         for c in &mut self.clocks {
-            *c = 0;
+            *c.get_mut() = 0;
         }
+        let banks = self.cfg.llc_banks as u64;
         for d in &mut self.dimms {
-            *d = DimmState::default();
+            *d.get_mut() = DimmState::lane(banks);
         }
     }
 
-    /// Per-DIMM (demand, posted) access counts (diagnostics).
+    /// Per-DIMM (demand, posted) access counts (diagnostics), aggregated
+    /// over each DIMM's bank lanes.
     pub fn dimm_access_counts(&self) -> Vec<(u64, u64)> {
-        self.dimms.iter().map(|d| d.access_counts()).collect()
+        self.assert_unbound("dimm_access_counts");
+        let banks = self.cfg.llc_banks;
+        (0..self.dimms.len() / banks)
+            .map(|d| {
+                self.dimms[d * banks..(d + 1) * banks]
+                    .iter()
+                    .fold((0, 0), |(dm, po), lane| {
+                        let (a, b) = lane.get_ref().access_counts();
+                        (dm + a, po + b)
+                    })
+            })
+            .collect()
     }
 
     /// Snapshot statistics.
@@ -811,22 +1130,22 @@ impl System {
             evict_hash = (evict_hash ^ x).wrapping_mul(0x0000_0100_0000_01b3);
         };
         for core in &self.cores {
-            fold(core.l1d.evict_hash());
-            fold(core.l2.evict_hash());
+            fold(core.get_ref().l1d.evict_hash());
+            fold(core.get_ref().l2.evict_hash());
         }
         for bank in &self.llc {
-            fold(bank.evict_hash());
+            fold(bank.get_ref().evict_hash());
         }
         Stats {
-            counters: self.counters,
-            core_cycles: self.clocks.clone(),
+            counters: *self.counters.get_ref(),
+            core_cycles: self.clocks.iter().map(|c| *c.get_ref()).collect(),
             evict_hash,
         }
     }
 
     #[inline]
     fn bank_of(&self, line: LineAddr) -> usize {
-        bank_interleave(line, self.llc.len())
+        bank_interleave(line, self.cfg.llc_banks)
     }
 
     fn data_ways(&self) -> Range<usize> {
@@ -852,7 +1171,7 @@ impl System {
             let lo = a.line_offset();
             let n = (CACHE_LINE - lo).min(buf.len() - off);
             let idx = self.ensure_line(core, line, false)?;
-            let e = self.cores[core].l1d.entry_mut(idx);
+            let e = self.cores[core].get_mut().l1d.entry_mut(idx);
             buf[off..off + n].copy_from_slice(&e.data[lo..lo + n]);
             off += n;
         }
@@ -878,7 +1197,7 @@ impl System {
             let lo = a.line_offset();
             let n = (CACHE_LINE - lo).min(data.len() - off);
             let idx = self.ensure_line(core, line, true)?;
-            let mut e = self.cores[core].l1d.entry_mut(idx);
+            let mut e = self.cores[core].get_mut().l1d.entry_mut(idx);
             e.data[lo..lo + n].copy_from_slice(&data[off..off + n]);
             e.set_dirty(true);
             off += n;
@@ -900,25 +1219,25 @@ impl System {
         let l2_ways = 0..self.cfg.l2.ways;
 
         // L1 hit?
-        if let Some(idx) = self.cores[core].l1d.lookup_idx(line, l1_ways.clone()) {
-            self.counters.l1d_hits += 1;
-            self.clocks[core] += self.cfg.l1d.latency_cycles;
-            if !for_write || self.cores[core].l1d.entry_mut(idx).excl() {
+        if let Some(idx) = self.cores[core].get_mut().l1d.lookup_idx(line, l1_ways.clone()) {
+            self.counters.get_mut().l1d_hits += 1;
+            *self.clocks[core].get_mut() += self.cfg.l1d.latency_cycles;
+            if !for_write || self.cores[core].get_mut().l1d.entry_mut(idx).excl() {
                 return Ok(idx);
             }
             // Upgrade: fall through to the LLC for ownership, keeping data.
             self.upgrade_for_write(core, line);
             return Ok(idx);
         }
-        self.counters.l1d_misses += 1;
-        self.clocks[core] += self.cfg.l1d.latency_cycles;
+        self.counters.get_mut().l1d_misses += 1;
+        *self.clocks[core].get_mut() += self.cfg.l1d.latency_cycles;
 
         // L2 hit?
-        if let Some(idx) = self.cores[core].l2.lookup_idx(line, l2_ways.clone()) {
-            self.counters.l2_hits += 1;
-            self.clocks[core] += self.cfg.l2.latency_cycles;
+        if let Some(idx) = self.cores[core].get_mut().l2.lookup_idx(line, l2_ways.clone()) {
+            self.counters.get_mut().l2_hits += 1;
+            *self.clocks[core].get_mut() += self.cfg.l2.latency_cycles;
             let (data, excl) = {
-                let e = self.cores[core].l2.entry_mut(idx);
+                let e = self.cores[core].get_mut().l2.entry_mut(idx);
                 (*e.data, e.excl())
             };
             if for_write && !excl {
@@ -927,8 +1246,8 @@ impl System {
             let excl_now = excl || for_write;
             return Ok(self.fill_l1(core, line, &data, excl_now));
         }
-        self.counters.l2_misses += 1;
-        self.clocks[core] += self.cfg.l2.latency_cycles;
+        self.counters.get_mut().l2_misses += 1;
+        *self.clocks[core].get_mut() += self.cfg.l2.latency_cycles;
 
         // LLC.
         if self.bound.is_some() {
@@ -961,15 +1280,20 @@ impl System {
         for other in 0..self.cfg.cores {
             if other != core
                 && (self.cores[other]
+                    .get_ref()
                     .l1d
                     .probe(line, 0..self.cfg.l1d.ways)
                     .is_some()
-                    || self.cores[other].l2.probe(line, 0..self.cfg.l2.ways).is_some())
+                    || self.cores[other]
+                        .get_ref()
+                        .l2
+                        .probe(line, 0..self.cfg.l2.ways)
+                        .is_some())
             {
                 foreign = true;
             }
         }
-        let ts = self.clocks[core];
+        let ts = *self.clocks[core].get_ref();
         let b = self.bound.as_mut().expect("bound_fill outside bound phase");
         if foreign {
             b.flag_divergence(crate::weave::DivergenceKind::ForeignPrivateCopy);
@@ -994,22 +1318,23 @@ impl System {
             // the LLC directory, which the bound phase cannot see. Grant
             // exclusivity benignly and bail to the sequential oracle.
             b.flag_divergence(crate::weave::DivergenceKind::WriteUpgrade);
-            if let Some(mut e) = self.cores[core].l1d.lookup(line, 0..self.cfg.l1d.ways) {
+            let c = self.cores[core].get_mut();
+            if let Some(mut e) = c.l1d.lookup(line, 0..self.cfg.l1d.ways) {
                 e.set_excl(true);
             }
-            if let Some(mut e) = self.cores[core].l2.lookup(line, 0..self.cfg.l2.ways) {
+            if let Some(mut e) = c.l2.lookup(line, 0..self.cfg.l2.ways) {
                 e.set_excl(true);
             }
             return;
         }
-        self.clocks[core] += self.cfg.l2.latency_cycles + self.cfg.llc.latency_cycles;
-        self.counters.llc_hits += 1;
+        *self.clocks[core].get_mut() += self.cfg.l2.latency_cycles + self.cfg.llc.latency_cycles;
+        self.counters.get_mut().llc_hits += 1;
         let bank = self.bank_of(line);
         let ways = self.data_ways();
         // Inclusion should make a miss here unreachable; tolerate gracefully.
-        let found = self.llc[bank].lookup_idx(line, ways);
+        let found = self.llc_bank(bank).lookup_idx(line, ways);
         let sharers = match found {
-            Some(idx) => *self.llc[bank].entry_mut(idx).sharers,
+            Some(idx) => *self.llc_bank(bank).entry_mut(idx).sharers,
             None => 0,
         };
         for other in 0..self.cfg.cores {
@@ -1018,7 +1343,7 @@ impl System {
                     if dirty {
                         // Other core's modified data merges into the LLC.
                         if let Some(idx) = found {
-                            let mut e = self.llc[bank].entry_mut(idx);
+                            let mut e = self.llc_bank(bank).entry_mut(idx);
                             *e.data = d;
                             e.set_dirty(true);
                         }
@@ -1027,28 +1352,31 @@ impl System {
             }
         }
         if let Some(idx) = found {
-            let e = self.llc[bank].entry_mut(idx);
+            let e = self.llc_bank(bank).entry_mut(idx);
             *e.sharers = 1 << core;
             *e.owner = core as u8;
         }
         // Grant exclusivity in this core's private copies.
-        if let Some(mut e) = self.cores[core].l1d.lookup(line, 0..self.cfg.l1d.ways) {
+        let c = self.cores[core].get_mut();
+        if let Some(mut e) = c.l1d.lookup(line, 0..self.cfg.l1d.ways) {
             e.set_excl(true);
         }
-        if let Some(mut e) = self.cores[core].l2.lookup(line, 0..self.cfg.l2.ways) {
+        if let Some(mut e) = c.l2.lookup(line, 0..self.cfg.l2.ways) {
             e.set_excl(true);
         }
     }
 
     /// LLC-level access: returns the line data and whether the core obtains
-    /// exclusive (writable) permission.
+    /// exclusive (writable) permission. `&self` because it runs both
+    /// sequentially and inside concurrent weave replay (all state behind
+    /// shard cells).
     fn llc_access(
-        &mut self,
+        &self,
         core: usize,
         line: LineAddr,
         for_write: bool,
     ) -> Result<([u8; CACHE_LINE], bool), CorruptionDetected> {
-        self.clocks[core] += self.cfg.llc.latency_cycles;
+        *self.clocks[core].get() += self.cfg.llc.latency_cycles;
         let bank = self.bank_of(line);
         let ways = self.data_ways();
 
@@ -1057,10 +1385,10 @@ impl System {
         // the slot by index. Interleaved hook work only ever inserts into
         // the redundancy/diff partitions, which cannot displace a
         // data-partition slot.
-        if let Some(idx) = self.llc[bank].lookup_idx(line, ways) {
-            self.counters.llc_hits += 1;
+        if let Some(idx) = self.llc_bank(bank).lookup_idx(line, ways) {
+            self.ctrs().llc_hits += 1;
             let (mut data, sharers, owner) = {
-                let e = self.llc[bank].entry_mut(idx);
+                let e = self.llc_bank(bank).entry_mut(idx);
                 (*e.data, *e.sharers, *e.owner)
             };
             // Pull the newest copy from a remote owner.
@@ -1068,12 +1396,12 @@ impl System {
                 if let Some((d, dirty)) = self.priv_invalidate(owner as usize, line) {
                     if dirty {
                         data = d;
-                        let mut e = self.llc[bank].entry_mut(idx);
+                        let mut e = self.llc_bank(bank).entry_mut(idx);
                         *e.data = d;
                         e.set_dirty(true);
                     }
                 }
-                self.clocks[core] += self.cfg.l2.latency_cycles;
+                *self.clocks[core].get() += self.cfg.l2.latency_cycles;
             }
             if for_write {
                 // Invalidate all other sharers.
@@ -1082,19 +1410,19 @@ impl System {
                         if let Some((d, dirty)) = self.priv_invalidate(other, line) {
                             if dirty {
                                 data = d;
-                                let mut e = self.llc[bank].entry_mut(idx);
+                                let mut e = self.llc_bank(bank).entry_mut(idx);
                                 *e.data = d;
                                 e.set_dirty(true);
                             }
                         }
                     }
                 }
-                let e = self.llc[bank].entry_mut(idx);
+                let e = self.llc_bank(bank).entry_mut(idx);
                 *e.sharers = 1 << core;
                 *e.owner = core as u8;
                 Ok((data, true))
             } else {
-                let e = self.llc[bank].entry_mut(idx);
+                let e = self.llc_bank(bank).entry_mut(idx);
                 *e.sharers |= 1 << core;
                 *e.owner = NO_OWNER;
                 let excl = *e.sharers == (1 << core);
@@ -1104,19 +1432,19 @@ impl System {
                 Ok((data, excl))
             }
         } else {
-            self.counters.llc_misses += 1;
+            self.ctrs().llc_misses += 1;
             // Fill from memory. The tag scan above just missed, and the
             // hooks run by the demand read only touch the red/diff
             // partitions, so the line is provably absent from the data ways.
             let data = self.mem_demand_read(core, line)?;
             let (victim, idx) = {
                 let ways = self.data_ways();
-                self.llc[bank].insert_absent_get(line, &data, false, ways)
+                self.llc_bank(bank).insert_absent_get(line, &data, false, ways)
             };
             if let Some(v) = victim {
                 self.process_llc_victim(core, v);
             }
-            let e = self.llc[bank].entry_mut(idx);
+            let e = self.llc_bank(bank).entry_mut(idx);
             *e.sharers = 1 << core;
             *e.owner = core as u8; // E state: sole sharer.
             Ok((data, true))
@@ -1126,63 +1454,48 @@ impl System {
     /// Demand read of `line` from its memory device, with verification for
     /// NVM lines.
     fn mem_demand_read(
-        &mut self,
+        &self,
         core: usize,
         line: LineAddr,
     ) -> Result<[u8; CACHE_LINE], CorruptionDetected> {
-        match self.mem.device_of(line) {
+        match self.mem_ref().device_of(line) {
             Device::Dram => {
-                self.counters.dram_accesses += 1;
-                self.clocks[core] += self.cfg.ns_to_cycles(self.cfg.dram.read_ns);
-                Ok(self.mem.read_line(line))
+                self.ctrs().dram_accesses += 1;
+                *self.clocks[core].get() += self.cfg.ns_to_cycles(self.cfg.dram.read_ns);
+                Ok(self.mem_read_line(line))
             }
             Device::Nvm { dimm } => {
                 if self.is_red_line(line) {
-                    self.counters.nvm_red_reads += 1;
+                    self.ctrs().nvm_red_reads += 1;
                 } else if self.scrub_accounting {
-                    self.counters.scrub_reads += 1;
+                    self.ctrs().scrub_reads += 1;
                 } else {
-                    self.counters.nvm_data_reads += 1;
+                    self.ctrs().nvm_data_reads += 1;
                 }
                 let occ = self.cfg.ns_to_cycles(self.cfg.nvm.read_occupancy_ns);
-                let wait = self.dimms[dimm].demand(self.clocks[core], occ);
-                self.counters.demand_queue_cycles += wait;
-                self.clocks[core] += wait + self.cfg.ns_to_cycles(self.cfg.nvm.read_ns);
+                let wait = self.dimm_lane(dimm, line).demand(*self.clocks[core].get_ref(), occ);
+                self.ctrs().demand_queue_cycles += wait;
+                *self.clocks[core].get() += wait + self.cfg.ns_to_cycles(self.cfg.nvm.read_ns);
                 // Degraded-mode amplification: a dead line is served by
                 // reconstructing from the surviving stripe members, costing
                 // that many extra media reads before the fill can complete.
-                let amp = self.mem.degraded_read_width(line);
+                let amp = self.mem_ref().degraded_read_width(line);
                 if amp > 0 {
-                    self.counters.degraded_fills += 1;
-                    self.clocks[core] += amp as u64 * self.cfg.ns_to_cycles(self.cfg.nvm.read_ns);
+                    self.ctrs().degraded_fills += 1;
+                    *self.clocks[core].get() +=
+                        amp as u64 * self.cfg.ns_to_cycles(self.cfg.nvm.read_ns);
                 }
-                let data = self.mem.read_line(line);
+                let data = self.mem_read_line(line);
                 // After the crash budget runs out the machine is logically
                 // powered off; media content may predate suppressed
                 // writebacks, so verifying fills would report phantom
                 // corruption for a run that never actually executes.
-                if !self.crash.crashed() {
-                    let System {
-                        cfg,
-                        mem,
-                        llc,
-                        clocks,
-                        dimms,
-                        counters,
-                        hooks,
-                        crash,
-                        ..
-                    } = self;
+                if !self.crash_crashed() {
                     let mut env = HookEnv {
-                        cfg,
-                        mem,
-                        llc,
-                        clocks,
-                        dimms,
-                        counters,
-                        crash,
+                        cfg: &self.cfg,
+                        sys: self,
                     };
-                    hooks.on_nvm_fill(core, line, &data, &mut env)?;
+                    self.hooks.on_nvm_fill(core, line, &data, &mut env)?;
                 }
                 Ok(data)
             }
@@ -1191,54 +1504,38 @@ impl System {
 
     /// Posted write of `line` to its memory device, with redundancy updates
     /// for NVM lines.
-    fn mem_posted_write(&mut self, core: usize, line: LineAddr, data: &[u8; CACHE_LINE]) {
-        match self.mem.device_of(line) {
+    fn mem_posted_write(&self, core: usize, line: LineAddr, data: &[u8; CACHE_LINE]) {
+        match self.mem_ref().device_of(line) {
             Device::Dram => {
-                self.counters.dram_accesses += 1;
-                self.mem.write_line(line, data);
+                self.ctrs().dram_accesses += 1;
+                self.mem_write_line(line, data);
             }
             Device::Nvm { dimm } => {
                 if self.is_red_line(line) {
-                    self.counters.nvm_red_writes += 1;
+                    self.ctrs().nvm_red_writes += 1;
                 } else {
-                    self.counters.nvm_data_writes += 1;
+                    self.ctrs().nvm_data_writes += 1;
                 }
-                let now = self.clocks[core];
+                let now = *self.clocks[core].get_ref();
                 let occ = self.cfg.ns_to_cycles(self.cfg.nvm.write_occupancy_ns);
-                self.dimms[dimm].posted(now, occ);
-                let admitted = self.crash.admit();
+                self.dimm_lane(dimm, line).posted(now, occ);
+                let admitted = self.crash_admit();
                 // The redundancy update for the k-th (final) admitted write
                 // is also suppressed: the controller performs it *with* the
                 // media write, and the crash interrupts exactly there. The
                 // post-crash audit must tolerate (and repair) that torn
                 // state.
-                if !self.crash.crashed() {
-                    let System {
-                        cfg,
-                        mem,
-                        llc,
-                        clocks,
-                        dimms,
-                        counters,
-                        hooks,
-                        crash,
-                        ..
-                    } = self;
+                if !self.crash_crashed() {
                     let mut env = HookEnv {
-                        cfg,
-                        mem,
-                        llc,
-                        clocks,
-                        dimms,
-                        counters,
-                        crash,
+                        cfg: &self.cfg,
+                        sys: self,
                     };
-                    hooks.on_nvm_writeback(core, line, data, &mut env);
+                    self.hooks.on_nvm_writeback(core, line, data, &mut env);
                 }
                 if admitted {
-                    self.mem.write_line(line, data);
+                    self.mem_write_line(line, data);
                 } else {
-                    self.counters.nvm_suppressed_writes += 1;
+                    self.ctrs().nvm_suppressed_writes += 1;
                 }
             }
         }
@@ -1246,7 +1543,7 @@ impl System {
 
     /// Handle an LLC data-partition eviction: back-invalidate private copies
     /// (inclusion), then write back if dirty.
-    fn process_llc_victim(&mut self, core: usize, v: Evicted) {
+    fn process_llc_victim(&self, core: usize, v: Evicted) {
         let mut data = v.data;
         let mut dirty = v.dirty;
         for other in 0..self.cfg.cores {
@@ -1266,18 +1563,19 @@ impl System {
 
     /// Remove `line` from `core`'s L1 and L2, returning the newest private
     /// data and whether it was dirty.
-    fn priv_invalidate(&mut self, core: usize, line: LineAddr) -> Option<([u8; CACHE_LINE], bool)> {
-        if self.cores.is_empty() {
+    fn priv_invalidate(&self, core: usize, line: LineAddr) -> Option<([u8; CACHE_LINE], bool)> {
+        if self.is_weave_replay() {
             // Weave-side replay: the private caches live on the bound
             // thread, so a back-invalidation here (remote-owner pull,
             // cross-core sharer shootdown, or an inclusion victim still
             // held privately) cannot be applied. Flag divergence; the run
             // is redone on the sequential oracle.
-            self.weave_divergence = true;
+            weave_tls_set_diverged();
             return None;
         }
-        let l1 = self.cores[core].l1d.invalidate(line, 0..self.cfg.l1d.ways);
-        let l2 = self.cores[core].l2.invalidate(line, 0..self.cfg.l2.ways);
+        let c = self.cores[core].get();
+        let l1 = c.l1d.invalidate(line, 0..self.cfg.l1d.ways);
+        let l2 = c.l2.invalidate(line, 0..self.cfg.l2.ways);
         match (l1, l2) {
             (Some(a), Some(b)) => {
                 if a.dirty {
@@ -1298,13 +1596,14 @@ impl System {
         // Only reached after an L1 lookup miss; nothing between it and here
         // inserts into this L1 (lower-level fills only back-invalidate).
         let ways = 0..self.cfg.l1d.ways;
-        let (victim, idx) = self.cores[core].l1d.insert_absent_get(line, data, false, ways);
-        self.cores[core].l1d.entry_mut(idx).set_excl(excl);
+        let c = self.cores[core].get_mut();
+        let (victim, idx) = c.l1d.insert_absent_get(line, data, false, ways);
+        c.l1d.entry_mut(idx).set_excl(excl);
         if let Some(v) = victim {
             if v.dirty {
                 // L2 must hold the line (inclusion).
                 let l2_ways = 0..self.cfg.l2.ways;
-                if let Some(mut e) = self.cores[core].l2.lookup(v.line, l2_ways) {
+                if let Some(mut e) = self.cores[core].get_mut().l2.lookup(v.line, l2_ways) {
                     *e.data = v.data;
                     e.set_dirty(true);
                 } else {
@@ -1320,11 +1619,12 @@ impl System {
     fn fill_l2(&mut self, core: usize, line: LineAddr, data: &[u8; CACHE_LINE], excl: bool) {
         // Only reached after an L2 lookup miss (same argument as fill_l1).
         let ways = 0..self.cfg.l2.ways;
-        let (victim, idx) = self.cores[core].l2.insert_absent_get(line, data, false, ways);
-        self.cores[core].l2.entry_mut(idx).set_excl(excl);
+        let c = self.cores[core].get_mut();
+        let (victim, idx) = c.l2.insert_absent_get(line, data, false, ways);
+        c.l2.entry_mut(idx).set_excl(excl);
         if let Some(v) = victim {
             // L1 copy must go too (L1 ⊆ L2); it may be newer.
-            let l1 = self.cores[core].l1d.invalidate(v.line, 0..self.cfg.l1d.ways);
+            let l1 = c.l1d.invalidate(v.line, 0..self.cfg.l1d.ways);
             let (data, dirty) = match l1 {
                 Some(a) if a.dirty => (a.data, true),
                 _ => (v.data, v.dirty),
@@ -1337,12 +1637,12 @@ impl System {
     /// LLC copy, firing the clean→dirty diff-capture hook when appropriate,
     /// and clear this core's directory presence.
     fn spill_to_llc(&mut self, core: usize, line: LineAddr, data: &[u8; CACHE_LINE], dirty: bool) {
+        let ts = *self.clocks[core].get_ref();
         if let Some(b) = self.bound.as_mut() {
             // Bound phase: a dirty spill makes the LLC copy the line's
             // newest below-private content, so the fill-prediction overlay
             // must learn it; clean spills leave content untouched but still
             // clear the directory presence bit, so every spill is replayed.
-            let ts = self.clocks[core];
             if dirty {
                 b.overlay_insert(line, *data);
             }
@@ -1355,41 +1655,31 @@ impl System {
             });
             return;
         }
+        self.spill_to_llc_shared(core, line, data, dirty);
+    }
+
+    /// The shared half of a private-cache spill (runs inline sequentially
+    /// and on weave workers during replay).
+    fn spill_to_llc_shared(&self, core: usize, line: LineAddr, data: &[u8; CACHE_LINE], dirty: bool) {
         let bank = self.bank_of(line);
         let ways = self.data_ways();
-        let found = self.llc[bank].lookup_idx(line, ways);
+        let found = self.llc_bank(bank).lookup_idx(line, ways);
         let info = found.map(|idx| {
-            let e = self.llc[bank].entry_mut(idx);
+            let e = self.llc_bank(bank).entry_mut(idx);
             (*e.data, e.dirty())
         });
         match info {
             Some((old_data, was_dirty)) => {
                 if dirty && !was_dirty && line.is_nvm() {
-                    let System {
-                        cfg,
-                        mem,
-                        llc,
-                        clocks,
-                        dimms,
-                        counters,
-                        hooks,
-                        crash,
-                        ..
-                    } = self;
                     let mut env = HookEnv {
-                        cfg,
-                        mem,
-                        llc,
-                        clocks,
-                        dimms,
-                        counters,
-                        crash,
+                        cfg: &self.cfg,
+                        sys: self,
                     };
-                    hooks.on_llc_clean_to_dirty(core, line, &old_data, &mut env);
+                    self.hooks.on_llc_clean_to_dirty(core, line, &old_data, &mut env);
                 }
                 // The diff-capture hook above only touches the diff/red
                 // partitions, so the data-partition slot index still holds.
-                let mut e = self.llc[bank].entry_mut(found.expect("checked above"));
+                let mut e = self.llc_bank(bank).entry_mut(found.expect("checked above"));
                 if dirty {
                     *e.data = *data;
                     e.set_dirty(true);
@@ -1424,12 +1714,13 @@ impl System {
         for core in 0..self.cfg.cores {
             victims.clear();
             self.cores[core]
+                .get_mut()
                 .l1d
                 .drain_into(0..self.cfg.l1d.ways, &mut victims);
             for v in &victims {
                 if v.dirty {
                     let ways = 0..self.cfg.l2.ways;
-                    if let Some(mut e) = self.cores[core].l2.lookup(v.line, ways) {
+                    if let Some(mut e) = self.cores[core].get_mut().l2.lookup(v.line, ways) {
                         *e.data = v.data;
                         e.set_dirty(true);
                     } else {
@@ -1439,6 +1730,7 @@ impl System {
             }
             victims.clear();
             self.cores[core]
+                .get_mut()
                 .l2
                 .drain_into(0..self.cfg.l2.ways, &mut victims);
             for v in &victims {
@@ -1449,7 +1741,7 @@ impl System {
         let ways = self.data_ways();
         for bank in 0..self.llc.len() {
             victims.clear();
-            self.llc[bank].drain_into(ways.clone(), &mut victims);
+            self.llc[bank].get_mut().drain_into(ways.clone(), &mut victims);
             for v in &victims {
                 if v.dirty {
                     self.mem_posted_write(0, v.line, &v.data);
@@ -1457,27 +1749,17 @@ impl System {
             }
         }
         // Controller state (redundancy partition + on-controller caches).
-        let System {
-            cfg,
-            mem,
-            llc,
-            clocks,
-            dimms,
-            counters,
-            hooks,
-            crash,
-            ..
-        } = self;
-        let mut env = HookEnv {
-            cfg,
-            mem,
-            llc,
-            clocks,
-            dimms,
-            counters,
-            crash,
-        };
-        hooks.flush(&mut env);
+        // As in `with_hooks_env`, park the hooks outside `self` so the env
+        // can borrow the System shared while `flush` has them exclusively.
+        let mut hooks = std::mem::replace(&mut self.hooks, Box::new(NullHooks));
+        {
+            let mut env = HookEnv {
+                cfg: &self.cfg,
+                sys: self,
+            };
+            hooks.flush(&mut env);
+        }
+        self.hooks = hooks;
         victims.clear();
         self.flush_scratch = victims;
     }
@@ -1489,7 +1771,7 @@ impl System {
     /// after the k-th writeback would leave. With `None` the window only
     /// counts events (the reference run that enumerates crash points).
     pub fn crash_window_start(&mut self, budget: Option<u64>) {
-        self.crash = CrashState {
+        *self.crash.get_mut() = CrashState {
             budget,
             events: 0,
             suppressed: 0,
@@ -1499,17 +1781,17 @@ impl System {
     /// Whether the armed crash budget has been exhausted (the simulated
     /// machine has logically lost power).
     pub fn crashed(&self) -> bool {
-        self.crash.crashed()
+        self.crash.get_ref().crashed()
     }
 
     /// NVM media-write events observed since [`Self::crash_window_start`].
     pub fn crash_events(&self) -> u64 {
-        self.crash.events
+        self.crash.get_ref().events
     }
 
     /// NVM media writes suppressed because they arrived after the budget.
     pub fn crash_suppressed(&self) -> u64 {
-        self.crash.suppressed
+        self.crash.get_ref().suppressed
     }
 
     /// Whether a crash-window media-write budget is currently armed
@@ -1517,13 +1799,13 @@ impl System {
     /// to reproduce a precise crash image, so it stays on the sequential
     /// oracle).
     pub fn crash_armed(&self) -> bool {
-        self.crash.budget.is_some()
+        self.crash.get_ref().budget.is_some()
     }
 
     /// Disarm the crash budget (subsequent writes reach the media again).
     /// Event counts are preserved. The recovery phase runs after this.
     pub fn crash_disarm(&mut self) {
-        self.crash.budget = None;
+        self.crash.get_mut().budget = None;
     }
 
     /// Simulate the power loss itself: every volatile structure — private
@@ -1535,16 +1817,18 @@ impl System {
     /// mount).
     pub fn lose_volatile_state(&mut self) {
         for core in &mut self.cores {
+            let core = core.get_mut();
             let w = core.l1d.all_ways();
             core.l1d.clear(w);
             let w = core.l2.all_ways();
             core.l2.clear(w);
         }
         for bank in &mut self.llc {
+            let bank = bank.get_mut();
             let w = bank.all_ways();
             bank.clear(w);
         }
-        self.crash.budget = None;
+        self.crash.get_mut().budget = None;
         self.hooks.on_crash();
     }
 
@@ -1561,6 +1845,7 @@ impl System {
         // line would expose the stale L2 data.
         let mut private_newest: Option<[u8; CACHE_LINE]> = None;
         for c in &mut self.cores {
+            let c = c.get_mut();
             let w = c.l1d.all_ways();
             let l1_dirty = match c.l1d.lookup(line, w) {
                 Some(mut e) if e.dirty() => {
@@ -1585,13 +1870,13 @@ impl System {
                 private_newest = Some(d);
             }
         }
+        let ts = *self.clocks[core].get_ref();
         if let Some(b) = self.bound.as_mut() {
             // Bound phase: the private sweep above is clock-independent and
             // already done; the shared half (LLC latency, LLC refresh, the
             // posted media write and its redundancy hook) replays on the
             // weave thread. After a clwb the line's below-private content is
             // the swept value, so the overlay learns it.
-            let ts = self.clocks[core];
             if let Some(d) = private_newest {
                 b.overlay_insert(line, d);
             }
@@ -1612,16 +1897,16 @@ impl System {
     /// latency charge moved here from the head of `clwb` — the private sweep
     /// never reads clocks, so the final state is identical.
     pub(crate) fn clwb_shared(
-        &mut self,
+        &self,
         core: usize,
         line: LineAddr,
         private_newest: Option<[u8; CACHE_LINE]>,
     ) {
-        self.clocks[core] += self.cfg.llc.latency_cycles;
+        *self.clocks[core].get() += self.cfg.llc.latency_cycles;
         let bank = self.bank_of(line);
         let ways = self.data_ways();
         let mut to_write: Option<[u8; CACHE_LINE]> = None;
-        if let Some(mut e) = self.llc[bank].lookup(line, ways) {
+        if let Some(mut e) = self.llc_bank(bank).lookup(line, ways) {
             if let Some(d) = private_newest {
                 *e.data = d;
                 e.set_dirty(false);
@@ -1660,12 +1945,13 @@ impl System {
         for i in 0..LINES_PER_PAGE {
             let line = page.line(i);
             for core in 0..self.cfg.cores {
-                self.cores[core].l1d.invalidate(line, 0..self.cfg.l1d.ways);
-                self.cores[core].l2.invalidate(line, 0..self.cfg.l2.ways);
+                let c = self.cores[core].get_mut();
+                c.l1d.invalidate(line, 0..self.cfg.l1d.ways);
+                c.l2.invalidate(line, 0..self.cfg.l2.ways);
             }
             let bank = self.bank_of(line);
             let ways = self.data_ways();
-            self.llc[bank].invalidate(line, ways);
+            self.llc[bank].get_mut().invalidate(line, ways);
         }
     }
 
@@ -1698,17 +1984,19 @@ impl System {
         // private copy equals the LLC copy, so seeding the overlay with the
         // *dirty* lines only (LLC data ways, then per-core L2 then L1 so
         // newer levels override) makes overlay ∪ snapshot exact.
-        let snapshot = self.mem.snapshot();
+        let snapshot = self.mem.get_ref().snapshot();
         let mut overlay = crate::hash::FxHashMap::default();
         let data_ways = self.data_ways();
         for bank in &self.llc {
-            bank.for_each_valid(data_ways.clone(), |line, dirty, data| {
-                if dirty {
-                    overlay.insert(line.0, *data);
-                }
-            });
+            bank.get_ref()
+                .for_each_valid(data_ways.clone(), |line, dirty, data| {
+                    if dirty {
+                        overlay.insert(line.0, *data);
+                    }
+                });
         }
         for core in &self.cores {
+            let core = core.get_ref();
             core.l2.for_each_valid(0..self.cfg.l2.ways, |line, dirty, data| {
                 if dirty {
                     overlay.insert(line.0, *data);
@@ -1724,23 +2012,21 @@ impl System {
             cfg: self.cfg.clone(),
             cores: Vec::new(),
             llc: std::mem::take(&mut self.llc),
-            mem: std::mem::replace(&mut self.mem, Memory::new(self.cfg.nvm.dimms)),
+            mem: std::mem::replace(&mut self.mem, ShardCell::new(Memory::new(self.cfg.nvm.dimms))),
             clocks: self.clocks.clone(),
             dimms: std::mem::take(&mut self.dimms),
-            counters: std::mem::take(&mut self.counters),
+            counters: ShardCell::new(std::mem::take(self.counters.get_mut())),
             hooks: std::mem::replace(&mut self.hooks, Box::new(NullHooks)),
             red_region: self.red_region,
             scrub_accounting: self.scrub_accounting,
-            crash: std::mem::take(&mut self.crash),
+            crash: ShardCell::new(std::mem::take(self.crash.get_mut())),
             flush_scratch: Vec::new(),
             bound: None,
-            weave_divergence: false,
         };
         let shards = crate::weave::resolve_shards(self.cfg.weave_shards, self.cfg.llc_banks);
         let (session, ctx) =
             crate::weave::WeaveSession::spawn(weave_sys, self.cfg.cores, shards, snapshot, overlay);
         self.bound = Some(ctx);
-        self.weave_divergence = false;
         session
     }
 
@@ -1754,18 +2040,20 @@ impl System {
         }
     }
 
-    /// Swap `shard` with the live counter block. Weave workers call this
-    /// around each epoch they apply so every hot-path counter increment
-    /// lands in the worker's private shard (merged at session join via
-    /// [`Counters::merge`]); the pre-session counter block rides in `self`
-    /// between epochs, untouched.
-    pub(crate) fn weave_counters_swap(&mut self, shard: &mut Counters) {
-        std::mem::swap(&mut self.counters, shard);
-    }
-
     /// Number of LLC banks (shard routing on the weave side).
     pub(crate) fn llc_banks(&self) -> usize {
-        self.llc.len()
+        self.cfg.llc_banks
+    }
+
+    /// Clones of the LLC bank arrays (the bound side's shadow LLC seeds from
+    /// the session-start state; see [`crate::weave::ShadowLlc`]).
+    pub(crate) fn clone_llc_arrays(&self) -> Vec<CacheArray> {
+        self.llc.iter().map(|b| b.get_ref().clone()).collect()
+    }
+
+    /// The hooks' routing oracle for bound-side footprint computation.
+    pub(crate) fn footprint_oracle(&self) -> Option<Box<dyn FootprintOracle>> {
+        self.hooks.footprint_oracle()
     }
 
     /// Record the outcome of the bound-weave configuration eligibility
@@ -1775,13 +2063,14 @@ impl System {
     /// them — are identical across `MEMSIM_ENGINE_THREADS` values.
     pub fn note_weave_eligibility(&mut self, e: crate::weave::WeaveEligibility) {
         use crate::weave::WeaveEligibility as E;
+        let c = self.counters.get_mut();
         match e {
-            E::Eligible => self.counters.weave_eligible_runs += 1,
-            E::SwScheme => self.counters.weave_inel_sw_scheme += 1,
-            E::ScrubDaemon => self.counters.weave_inel_scrub += 1,
-            E::CrashWindow => self.counters.weave_inel_crash += 1,
-            E::ArmedFaults => self.counters.weave_inel_faults += 1,
-            E::Raid => self.counters.weave_inel_raid += 1,
+            E::Eligible => c.weave_eligible_runs += 1,
+            E::SwScheme => c.weave_inel_sw_scheme += 1,
+            E::ScrubDaemon => c.weave_inel_scrub += 1,
+            E::CrashWindow => c.weave_inel_crash += 1,
+            E::ArmedFaults => c.weave_inel_faults += 1,
+            E::Raid => c.weave_inel_raid += 1,
         }
     }
 
@@ -1800,21 +2089,25 @@ impl System {
     /// Panics if no session is active.
     pub fn weave_end(&mut self, session: crate::weave::WeaveSession) -> crate::weave::WeaveReport {
         let mut ctx = self.bound.take().expect("no bound-weave session active");
-        ctx.finish(); // posts the close sentinel; the workers drain and exit
+        ctx.finish(); // posts the close sentinels; the workers drain and exit
         drop(ctx);
-        let (weave_sys, stalls, worker_shards, report) = session.join();
-        let bound_counters = std::mem::replace(&mut self.counters, weave_sys.counters);
-        self.counters += bound_counters;
-        self.counters.merge(&worker_shards);
+        let (mut weave_sys, stalls, worker_shards, crash_events, report) = session.join();
+        // Side-table pages materialized by concurrent replay writes fold
+        // into the arena now that the session is single-threaded again.
+        weave_sys.mem.get_mut().merge_weave_side();
+        let shared = std::mem::take(weave_sys.counters.get_mut());
+        let bound_counters = std::mem::replace(self.counters.get_mut(), shared);
+        *self.counters.get_mut() += bound_counters;
+        self.counters.get_mut().merge(&worker_shards);
         self.llc = weave_sys.llc;
         self.mem = weave_sys.mem;
         self.dimms = weave_sys.dimms;
         self.hooks = weave_sys.hooks;
         self.crash = weave_sys.crash;
+        self.crash.get_mut().events += crash_events;
         for (clock, stall) in self.clocks.iter_mut().zip(stalls) {
-            *clock += stall;
+            *clock.get_mut() += stall;
         }
-        self.weave_divergence = false;
         report
     }
 
@@ -1826,7 +2119,7 @@ impl System {
     /// consistent with the bound phase's predictions, or the divergence
     /// cause otherwise.
     pub(crate) fn weave_apply(
-        &mut self,
+        &self,
         ev: crate::weave::Event,
         stall: &mut u64,
     ) -> Option<crate::weave::DivergenceKind> {
@@ -1840,22 +2133,20 @@ impl System {
                 ts,
                 predicted,
             } => {
-                self.clocks[core] = ts + *stall;
+                *self.clocks[core].get() = ts + *stall;
                 match self.llc_access(core, line, for_write) {
                     Ok((data, excl)) => {
-                        if self.weave_divergence {
+                        if weave_tls_take_diverged() {
                             kind = Some(DivergenceKind::InclusionVictim);
                         } else if data != predicted || !excl {
-                            self.weave_divergence = true;
                             kind = Some(DivergenceKind::FillMismatch);
                         }
                     }
                     Err(_) => {
-                        self.weave_divergence = true;
                         kind = Some(DivergenceKind::HookFault);
                     }
                 }
-                *stall = self.clocks[core] - ts;
+                *stall = *self.clocks[core].get_ref() - ts;
             }
             Event::Spill {
                 core,
@@ -1864,12 +2155,12 @@ impl System {
                 dirty,
                 ts,
             } => {
-                self.clocks[core] = ts + *stall;
-                self.spill_to_llc(core, line, &data, dirty);
-                if self.weave_divergence {
+                *self.clocks[core].get() = ts + *stall;
+                self.spill_to_llc_shared(core, line, &data, dirty);
+                if weave_tls_take_diverged() {
                     kind = Some(DivergenceKind::InclusionVictim);
                 }
-                *stall = self.clocks[core] - ts;
+                *stall = *self.clocks[core].get_ref() - ts;
             }
             Event::Clwb {
                 core,
@@ -1877,12 +2168,12 @@ impl System {
                 newest,
                 ts,
             } => {
-                self.clocks[core] = ts + *stall;
+                *self.clocks[core].get() = ts + *stall;
                 self.clwb_shared(core, line, newest);
-                if self.weave_divergence {
+                if weave_tls_take_diverged() {
                     kind = Some(DivergenceKind::InclusionVictim);
                 }
-                *stall = self.clocks[core] - ts;
+                *stall = *self.clocks[core].get_ref() - ts;
             }
         }
         kind
@@ -2023,40 +2314,40 @@ mod tests {
     /// A hook that records events, for engine-hook contract tests.
     #[derive(Default)]
     struct RecordingHooks {
-        fills: Vec<LineAddr>,
-        writebacks: Vec<LineAddr>,
-        dirties: Vec<LineAddr>,
+        fills: std::sync::Mutex<Vec<LineAddr>>,
+        writebacks: std::sync::Mutex<Vec<LineAddr>>,
+        dirties: std::sync::Mutex<Vec<LineAddr>>,
         flushed: bool,
     }
 
     impl RedundancyHooks for RecordingHooks {
         fn on_nvm_fill(
-            &mut self,
+            &self,
             _core: usize,
             line: LineAddr,
             _data: &[u8; CACHE_LINE],
             _env: &mut HookEnv<'_>,
         ) -> Result<(), CorruptionDetected> {
-            self.fills.push(line);
+            self.fills.lock().unwrap().push(line);
             Ok(())
         }
         fn on_nvm_writeback(
-            &mut self,
+            &self,
             _core: usize,
             line: LineAddr,
             _new: &[u8; CACHE_LINE],
             _env: &mut HookEnv<'_>,
         ) {
-            self.writebacks.push(line);
+            self.writebacks.lock().unwrap().push(line);
         }
         fn on_llc_clean_to_dirty(
-            &mut self,
+            &self,
             _core: usize,
             line: LineAddr,
             _old: &[u8; CACHE_LINE],
             _env: &mut HookEnv<'_>,
         ) {
-            self.dirties.push(line);
+            self.dirties.lock().unwrap().push(line);
         }
         fn flush(&mut self, _env: &mut HookEnv<'_>) {
             self.flushed = true;
@@ -2080,8 +2371,16 @@ mod tests {
             .as_any_mut()
             .downcast_mut::<RecordingHooks>()
             .unwrap();
-        assert_eq!(hooks.fills, vec![line], "write-allocate fill verified");
-        assert_eq!(hooks.writebacks, vec![line], "flush wrote the line back");
+        assert_eq!(
+            *hooks.fills.lock().unwrap(),
+            vec![line],
+            "write-allocate fill verified"
+        );
+        assert_eq!(
+            *hooks.writebacks.lock().unwrap(),
+            vec![line],
+            "flush wrote the line back"
+        );
         assert!(hooks.flushed);
     }
 
@@ -2101,7 +2400,7 @@ mod tests {
             .downcast_mut::<RecordingHooks>()
             .unwrap();
         assert!(
-            hooks.dirties.contains(&nvm(0).line()),
+            hooks.dirties.lock().unwrap().contains(&nvm(0).line()),
             "dirty spill to the LLC must fire the diff-capture hook"
         );
     }
@@ -2187,8 +2486,11 @@ mod tests {
 
     #[test]
     fn demand_reads_queue_behind_dimm_utilization() {
-        // Saturate a DIMM with posted writes, then issue a demand read: its
-        // latency must exceed an idle-system read's.
+        // Saturate one DIMM lane with posted writes, then issue a demand
+        // read to a line in the *same* lane (same DIMM, same LLC-bank
+        // interleave — queues are per (dimm × bank) lane): its latency must
+        // exceed an idle-system read's.
+        let banks = SystemConfig::small().llc_banks;
         let mut s = sys();
         s.compute(0, 1000); // establish a nonzero wall clock
         s.with_hooks_env(|_h, env| {
@@ -2199,7 +2501,7 @@ mod tests {
         });
         let t0 = s.clock(0);
         let mut buf = [0u8; 8];
-        s.read(0, PhysAddr(crate::addr::nvm_page(0).line(1).base().0), &mut buf)
+        s.read(0, PhysAddr(crate::addr::nvm_page(0).line(banks).base().0), &mut buf)
             .unwrap();
         let busy_latency = s.clock(0) - t0;
         let mut s2 = sys();
@@ -2324,7 +2626,7 @@ mod tests {
         s.clwb(0, nvm(256).line());
         assert_eq!(s.memory().peek_line(nvm(256).line()), [2u8; 64]);
         let line = nvm(256).line();
-        let core = &mut s.cores[0];
+        let core = s.cores[0].get_mut();
         let w = core.l2.all_ways();
         if let Some(e) = core.l2.lookup(line, w) {
             assert_eq!(*e.data, [2u8; 64], "L2 copy must be refreshed");
@@ -2353,7 +2655,7 @@ mod tests {
         struct AlwaysFail;
         impl RedundancyHooks for AlwaysFail {
             fn on_nvm_fill(
-                &mut self,
+                &self,
                 _core: usize,
                 line: LineAddr,
                 _data: &[u8; CACHE_LINE],
@@ -2362,7 +2664,7 @@ mod tests {
                 Err(CorruptionDetected { line })
             }
             fn on_nvm_writeback(
-                &mut self,
+                &self,
                 _c: usize,
                 _l: LineAddr,
                 _d: &[u8; CACHE_LINE],
@@ -2370,7 +2672,7 @@ mod tests {
             ) {
             }
             fn on_llc_clean_to_dirty(
-                &mut self,
+                &self,
                 _c: usize,
                 _l: LineAddr,
                 _d: &[u8; CACHE_LINE],
@@ -2398,7 +2700,7 @@ mod tests {
         struct FailingHooks;
         impl RedundancyHooks for FailingHooks {
             fn on_nvm_fill(
-                &mut self,
+                &self,
                 _core: usize,
                 line: LineAddr,
                 _data: &[u8; CACHE_LINE],
@@ -2407,7 +2709,7 @@ mod tests {
                 Err(CorruptionDetected { line })
             }
             fn on_nvm_writeback(
-                &mut self,
+                &self,
                 _c: usize,
                 _l: LineAddr,
                 _d: &[u8; CACHE_LINE],
@@ -2415,7 +2717,7 @@ mod tests {
             ) {
             }
             fn on_llc_clean_to_dirty(
-                &mut self,
+                &self,
                 _c: usize,
                 _l: LineAddr,
                 _d: &[u8; CACHE_LINE],

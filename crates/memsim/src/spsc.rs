@@ -22,6 +22,86 @@ use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// A shard-owned cell: interior mutability whose exclusivity is enforced by
+/// the weave partitioning protocol rather than by a lock.
+///
+/// The dependency-vector admission protocol (see [`crate::weave`]) guarantees
+/// that at any instant each shard's slice of simulator state — an LLC bank, a
+/// DIMM queue lane, a core's replay clock — is touched by at most one thread:
+/// either the single bound thread (sequential phase, `&mut System` in hand) or
+/// the one weave worker currently holding that shard's turn. `ShardCell` turns
+/// that protocol-level exclusivity into `&mut T` access through a shared
+/// reference, so `System` can be shared (`Arc<System>`) across workers without
+/// a global lock.
+///
+/// # Safety contract for callers
+///
+/// * Never touch a cell for a shard whose turn you do not hold (the engine
+///   cross-checks this in replay via a thread-local footprint mask and panics
+///   on violation, which the worker converts into a divergence fallback).
+/// * Take a fresh `get()` per statement; never hold the returned `&mut T`
+///   across a call that may re-enter the same cell.
+#[repr(transparent)]
+pub struct ShardCell<T>(UnsafeCell<T>);
+
+// SAFETY: the admission protocol (above) serializes all access per cell; the
+// per-shard turn counters' release/acquire pairs order the handoffs.
+unsafe impl<T: Send> Sync for ShardCell<T> {}
+unsafe impl<T: Send> Send for ShardCell<T> {}
+
+impl<T> ShardCell<T> {
+    /// Wrap `v` in a shard-owned cell.
+    pub fn new(v: T) -> Self {
+        ShardCell(UnsafeCell::new(v))
+    }
+
+    /// Shared-reference mutable access. Caller must hold the cell's shard
+    /// turn (see the safety contract above).
+    #[allow(clippy::mut_from_ref)]
+    pub fn get(&self) -> &mut T {
+        // SAFETY: exclusivity is guaranteed by the shard admission protocol;
+        // see the type-level safety contract.
+        unsafe { &mut *self.0.get() }
+    }
+
+    /// Shared-reference read access, same exclusivity contract as [`Self::get`].
+    pub fn get_ref(&self) -> &T {
+        // SAFETY: as `get`; no concurrent writer exists while the caller
+        // holds the shard turn.
+        unsafe { &*self.0.get() }
+    }
+
+    /// Plain exclusive access — no protocol needed, `&mut self` proves it.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut()
+    }
+
+    /// Unwrap the cell, consuming it.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+impl<T: Clone> Clone for ShardCell<T> {
+    fn clone(&self) -> Self {
+        // &self clone is only reachable from contexts that may read the cell
+        // (bound phase, or a worker holding the shard turn).
+        ShardCell::new(self.get_ref().clone())
+    }
+}
+
+impl<T: Default> Default for ShardCell<T> {
+    fn default() -> Self {
+        ShardCell::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ShardCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ShardCell").field(self.get_ref()).finish()
+    }
+}
+
 /// Pad-and-align wrapper so the producer and consumer cursors live on
 /// different cache lines (no false sharing between push and pop).
 #[repr(align(64))]

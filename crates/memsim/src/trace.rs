@@ -31,7 +31,7 @@
 //!
 //! The legacy fixed-width `TVTR` format (12 bytes per record, no chunking)
 //! is still decoded by [`Trace::from_bytes`] and [`TraceReader`] for old
-//! fixtures; [`Trace::to_legacy_bytes`] can still produce it.
+//! fixtures; nothing in the library writes it any more.
 
 use crate::addr::PhysAddr;
 use crate::engine::{CorruptionDetected, System};
@@ -212,10 +212,29 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
 
 /// Decode a LEB128 varint from `buf[*pos..]`, advancing `*pos`. `None` on
 /// overrun (more than 10 bytes or past the buffer).
+///
+/// The single-byte case (values < 128) dominates decoded streams — the
+/// len/write-flag pair of every small access and the address delta of every
+/// sequential/strided pattern fit in one byte — so it is peeled out of the
+/// loop entirely: one bounds check, one branch, no shift state.
+#[inline]
 fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let b0 = *buf.get(*pos)?;
+    if b0 & 0x80 == 0 {
+        *pos += 1;
+        return Some(u64::from(b0));
+    }
+    get_varint_multi(buf, pos)
+}
+
+/// Multi-byte continuation of [`get_varint`], out of the hot path. The
+/// iteration count is bounded up front (a u64 needs at most 10 LEB128
+/// bytes), so the loop carries no separate overrun check.
+#[cold]
+fn get_varint_multi(buf: &[u8], pos: &mut usize) -> Option<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
-    loop {
+    for _ in 0..10 {
         let b = *buf.get(*pos)?;
         *pos += 1;
         if shift == 63 && b > 1 {
@@ -226,10 +245,8 @@ fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
             return Some(v);
         }
         shift += 7;
-        if shift > 63 {
-            return None;
-        }
     }
+    None
 }
 
 /// Zigzag-encode a signed delta.
@@ -237,9 +254,10 @@ fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
-/// Invert [`zigzag`].
+/// Invert [`zigzag`] (branchless: the sign bit expands to a full mask via
+/// `wrapping_neg`, then XOR undoes the interleave).
 fn unzigzag(v: u64) -> i64 {
-    ((v >> 1) as i64) ^ -((v & 1) as i64)
+    ((v >> 1) ^ (v & 1).wrapping_neg()) as i64
 }
 
 /// Validate an access length decoded from any format.
@@ -312,22 +330,6 @@ impl Trace {
             w.push(*r).expect("Vec write cannot fail");
         }
         w.finish().expect("Vec write cannot fail")
-    }
-
-    /// Serialize to the legacy fixed-width `TVTR` representation (12 bytes
-    /// per record). Kept for fixture generation and the legacy-decode
-    /// tests; new captures should use [`Trace::to_bytes`] or a
-    /// [`TraceWriter`].
-    pub fn to_legacy_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(4 + self.records.len() * RECORD_BYTES);
-        out.extend_from_slice(MAGIC_LEGACY);
-        for r in &self.records {
-            out.push(r.core);
-            out.push(u8::from(r.write));
-            out.extend_from_slice(&r.len.to_le_bytes());
-            out.extend_from_slice(&r.addr.0.to_le_bytes());
-        }
-        out
     }
 
     /// Parse a serialized trace, accepting both the chunked `TVT2` format
@@ -924,8 +926,14 @@ mod tests {
             addr: PhysAddr(NVM_BASE),
             len: 4096,
         });
-        let bytes = t.to_legacy_bytes();
-        assert_eq!(&bytes[..4], MAGIC_LEGACY);
+        // Hand-encoded TVTR bytes: the library only decodes this format now.
+        let mut bytes = MAGIC_LEGACY.to_vec();
+        for r in &t.records {
+            bytes.push(r.core);
+            bytes.push(u8::from(r.write));
+            bytes.extend_from_slice(&r.len.to_le_bytes());
+            bytes.extend_from_slice(&r.addr.0.to_le_bytes());
+        }
         assert_eq!(Trace::from_bytes(&bytes).unwrap(), t);
     }
 

@@ -11,18 +11,13 @@
 //!   dirty-line overlay ∪ media snapshot and emitted as an [`Event`] carrying
 //!   the core's bound-local timestamp.
 //! - **Weave phase** (`shards` worker threads): events are replayed against
-//!   the real shared state in emission order. For each event the true core
-//!   clock is reconstructed as `bound_local_ts + stall_offset[core]`, the
-//!   operation is applied exactly as sequential execution would apply it, and
-//!   the newly charged shared-state cycles are folded back into the core's
-//!   stall offset, published for the bound-side scheduler to read.
+//!   the real shared state. For each event the true core clock is
+//!   reconstructed as `bound_local_ts + stall_offset[core]`, the operation is
+//!   applied exactly as sequential execution would apply it, and the newly
+//!   charged shared-state cycles are folded back into the core's stall
+//!   offset, published for the bound-side scheduler to read.
 //!
-//! # Sharded transport: epochs, SPSC rings, and the turn token
-//!
-//! The first-generation engine funneled every event through one
-//! `std::sync::mpsc` channel into one weave thread, paying an allocation
-//! plus cross-thread synchronization *per event* (measured occupancy ≈ 0.19,
-//! parallel mode slower than sequential). This generation replaces it with:
+//! # Transport: epochs, SPSC rings, per-emitter directories
 //!
 //! - **Per-(core × shard) bounded SPSC rings** ([`crate::spsc::SpscRing`]):
 //!   an event emitted by core `c` targeting LLC bank `b` travels on ring
@@ -31,38 +26,65 @@
 //!   `MEMSIM_WEAVE_SHARDS`, or auto).
 //! - **Epoch batching**: the bound side batches every event of one scheduler
 //!   step (one application instruction, same emitter core) into one *epoch*.
-//!   At step end it publishes a descriptor (emitter, per-shard event counts)
-//!   to the owning worker's directory ring and then streams the events to
-//!   the per-shard rings. Publishing the descriptor *before* the events
-//!   makes the protocol deadlock-free: a producer blocked on a full ring is
-//!   always blocked on an epoch whose descriptor is already visible, so its
-//!   owner is already draining it.
-//! - **Deterministic (epoch, emitter, seq) drain order**: epochs are densely
-//!   numbered in emission order and applied strictly in that order, enforced
-//!   by a single atomic *turn token*. Worker `emitter mod S` owns the epoch:
-//!   it pops the descriptor from its directory ring (FIFO ⇒ its epochs
-//!   arrive in order), waits for `turn == epoch`, drains the emitter's
-//!   per-shard rings, merges the events back into per-epoch `seq` order,
-//!   applies them, and releases the token. Within an epoch every event
-//!   carries its emission sequence number, so the applied order is exactly
-//!   the sequential shared-access order — the same bit-identity argument as
-//!   the single-threaded weave, now independent of how events were sharded.
+//!   At step end it publishes a descriptor to the emitter's directory ring
+//!   and then streams the events to the per-shard rings. Publishing the
+//!   descriptor *before* the events makes the protocol deadlock-free: a
+//!   producer blocked on a full ring is always blocked on an epoch whose
+//!   descriptor is already visible, so its owner is already draining it.
 //!
-//! The turn token serializes *state mutation* (LLC banks interleave lines
-//! finer than pages, hooks route redundancy across banks, and DIMM queues
-//! are global, so truly independent per-shard state is not partitionable
-//! without changing simulated results). The speedup therefore comes from
-//! the transport — epoch batching, allocation-free rings — and from moving
-//! replay off the bound thread, not from concurrent state mutation; see
-//! DESIGN.md §14 for the honest accounting.
+//! # Dependency-vector admission (concurrent state mutation)
+//!
+//! Earlier generations serialized *all* epoch application behind a single
+//! atomic turn token, so the speedup was transport-only. This generation
+//! partitions the shared state by shard — LLC bank arrays, per-(DIMM × bank)
+//! queue lanes, per-core replay clocks, the hooks' bank-partitioned caches —
+//! behind [`crate::spsc::ShardCell`]s, and admits epochs by *dependency
+//! vector*:
+//!
+//! - At publish time the bound side knows the epoch's **shard footprint**:
+//!   the shards of every event's own line, plus every shard the redundancy
+//!   hooks will touch during replay. The latter is computed from a
+//!   [`ShadowLlc`] — a bound-side mirror of the LLC data/diff partitions fed
+//!   the same events replay will apply — plus the controller's
+//!   [`FootprintOracle`] (checksum/parity line routing). Most epochs are
+//!   single-shard by construction of the bank interleave.
+//! - The descriptor carries, per footprint shard `s`, a **dependency ticket**
+//!   `deps[s]`: how many earlier epochs touch `s`. A worker may apply epoch
+//!   `e` exactly when `shard_turn[s] == deps[e][s]` for every `s` in the
+//!   mask, and afterwards release-stores `deps[e][s] + 1` into each. Epochs
+//!   with disjoint footprints therefore apply concurrently, while epochs
+//!   sharing a shard apply in publish order on that shard — the sequential
+//!   order projected onto the shard.
+//! - Worker `c mod S` owns every epoch core `c` emits and round-robins its
+//!   owned emitters with a one-deep pending slot per emitter. Same-emitter
+//!   epochs thus apply in emission order (their stall offsets accumulate in
+//!   order, which clock reconstruction `ts + stall` depends on), while
+//!   different emitters' epochs interleave freely under the dependency
+//!   vectors.
+//!
+//! Deadlock-freedom: tickets are assigned by the single bound thread in
+//! publish order, so the per-shard orders embed into one total order. The
+//! earliest unapplied epoch in that order always has its tickets matched
+//! (every earlier epoch has applied), sits at the head of its emitter's
+//! FIFO directory (earlier same-emitter epochs are applied, hence popped),
+//! and its events are fully streamed (descriptors precede events and
+//! `close_epoch` is synchronous) — so some worker can always make progress.
+//!
+//! Replay itself is safe because every piece of replay-mutable state is
+//! either **shard-local** (LLC bank, DIMM lane — guarded by the admission
+//! protocol and cross-checked by `assert_weave_shard`), **single-writer**
+//! (core clocks and stall offsets: core `c`'s epochs all apply on worker
+//! `c mod S`), or a **commutative merge** (worker-private counter shards and
+//! crash tallies, merged at join).
 //!
 //! # Mergeable per-shard statistics
 //!
 //! Workers never touch a shared counter: while applying an epoch, a worker
-//! swaps its *own* [`Counters`] shard into the system, so every increment on
-//! the replay hot path lands in worker-private memory. The shards are merged
-//! once at session join via [`Counters::merge`] (associative, commutative,
-//! identity = `Counters::default()` — see `memsim/tests/stats_merge.rs`).
+//! installs its *own* [`Counters`] shard in thread-local storage, so every
+//! increment on the replay hot path lands in worker-private memory. The
+//! shards are merged once at session join via [`Counters::merge`]
+//! (associative, commutative, identity = `Counters::default()` — see
+//! `memsim/tests/stats_merge.rs`).
 //!
 //! # Determinism
 //!
@@ -71,29 +93,36 @@
 //! published stall offsets that are *exact* (all of that core's events woven)
 //! for the candidate and monotone lower bounds for its competitors. Events
 //! are therefore emitted in exactly the sequential shared-access order, and
-//! the weave workers replay them in that order under the turn token — so
-//! every LLC eviction, hook invocation, DIMM queue transition, and stall
+//! per-shard application order equals that order projected onto the shard —
+//! so every LLC eviction, hook invocation, DIMM queue transition, and stall
 //! cycle is bit-identical to the sequential oracle, at any thread count and
 //! any shard count. If a prediction is ever wrong (private-cache sharing
 //! between instances, an exclusivity upgrade, a hook fault), the session
 //! flags *divergence* with a [`DivergenceKind`] and the caller reruns the
 //! cell sequentially — correctness never depends on the predictions, only
-//! the speedup does.
+//! the speedup does. An epoch that touches a shard outside its declared
+//! footprint is a protocol bug; replay panics on it (`assert_weave_shard`)
+//! and the worker converts the panic into a `WorkerPanic` divergence, so
+//! even an oracle bug degrades to the sequential oracle instead of silent
+//! corruption.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::addr::{LineAddr, CACHE_LINE};
-use crate::engine::System;
+use crate::cache::CacheArray;
+use crate::engine::{
+    bank_interleave, weave_tls_clear, weave_tls_install, FootprintOracle, RedFootprint, System,
+};
 use crate::hash::FxHashMap;
 use crate::mem::MemSnapshot;
 use crate::spsc::SpscRing;
 use crate::stats::Counters;
 
-/// Upper bound on shard workers (descriptor counts are fixed-size arrays).
+/// Upper bound on shard workers (descriptor vectors are fixed-size arrays).
 pub const MAX_SHARDS: usize = 8;
 
 /// Capacity of each per-(core × shard) event ring. A producer meeting a
@@ -102,7 +131,7 @@ pub const MAX_SHARDS: usize = 8;
 /// in-flight window, not correctness.
 const RING_CAP: usize = 256;
 
-/// Capacity of each worker's epoch-directory ring.
+/// Capacity of each emitter's epoch-directory ring.
 const DIR_CAP: usize = 256;
 
 /// Why a bound-weave session abandoned the parallel path and fell back to
@@ -270,19 +299,29 @@ struct SeqEvent {
     ev: Event,
 }
 
-/// Epoch descriptor published to the owning worker's directory ring
-/// *before* the epoch's events hit the per-shard rings.
+/// Epoch descriptor published to the emitter's directory ring *before* the
+/// epoch's events hit the per-shard rings.
 #[derive(Debug, Clone, Copy)]
 struct EpochDesc {
-    /// Dense epoch number (the turn-token value that admits it).
-    epoch: u64,
     /// Emitting core, or `u32::MAX` for the close sentinel.
     emitter: u32,
+    /// Shard footprint: bit `s` set ⇔ replaying this epoch touches shard `s`.
+    mask: u8,
+    /// Dependency vector: for each footprint shard `s`, the number of
+    /// earlier epochs touching `s`. The epoch is admitted on `s` when
+    /// `shard_turn[s] == deps[s]`.
+    deps: [u64; MAX_SHARDS],
     /// Events routed to each shard ring.
     counts: [u32; MAX_SHARDS],
 }
 
 const SENTINEL: u32 = u32::MAX;
+
+/// One per-shard turn counter, padded to a cache line so concurrent release
+/// stores on different shards never false-share.
+#[repr(align(64))]
+#[derive(Debug)]
+struct ShardTurn(AtomicU64);
 
 /// Shared transport and synchronization state of one weave session.
 #[derive(Debug)]
@@ -291,10 +330,11 @@ struct WeaveCore {
     /// Ring `(c, s)` has one producer (the bound thread) and one consumer
     /// (worker `c mod shards`, the owner of every epoch core `c` emits).
     rings: Vec<SpscRing<SeqEvent>>,
-    /// Per-worker epoch-directory rings.
+    /// Per-emitter epoch-directory rings (consumer: worker `c mod shards`).
+    /// FIFO per emitter is what keeps same-emitter epochs in emission order.
     dir: Vec<SpscRing<EpochDesc>>,
-    /// The turn token: the epoch number currently admitted for replay.
-    turn: AtomicU64,
+    /// Per-shard turn counters: how many epochs have applied on each shard.
+    shard_turn: Vec<ShardTurn>,
     /// Per-core count of emitted-but-not-yet-woven events.
     unwoven: Vec<AtomicUsize>,
     /// Per-core published stall offsets (weave-charged cycles).
@@ -320,6 +360,29 @@ impl WeaveCore {
     fn divergence(&self) -> Option<DivergenceKind> {
         DivergenceKind::from_u8(self.cause.load(Ordering::Acquire))
     }
+
+    /// Whether every footprint shard of `desc` has reached its dependency
+    /// ticket. Acquire loads pair with the applying workers' release stores,
+    /// so admission also publishes their state writes.
+    fn admitted(&self, desc: &EpochDesc) -> bool {
+        for s in 0..self.shards {
+            if desc.mask >> s & 1 == 1 && self.shard_turn[s].0.load(Ordering::Acquire) != desc.deps[s]
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Release the epoch's shards: advance each footprint shard's turn to
+    /// the successor ticket, publishing this worker's state writes.
+    fn release(&self, desc: &EpochDesc) {
+        for s in 0..self.shards {
+            if desc.mask >> s & 1 == 1 {
+                self.shard_turn[s].0.store(desc.deps[s] + 1, Ordering::Release);
+            }
+        }
+    }
 }
 
 /// Adaptive wait: brief busy-spin for cross-core latency, then yield so a
@@ -337,6 +400,10 @@ impl Backoff {
 
     fn new() -> Backoff {
         Backoff(0)
+    }
+
+    fn reset(&mut self) {
+        self.0 = 0;
     }
 
     fn snooze(&mut self) {
@@ -361,9 +428,259 @@ fn host_can_spin() -> bool {
     *CAN.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()) > 1)
 }
 
+/// Bound-side mirror of the replay-visible LLC partitions, used to compute
+/// each epoch's shard footprint *before* the epoch is published.
+///
+/// The footprint of an event is the shard of its own line plus every shard
+/// the redundancy hooks touch while replaying it — checksum and parity line
+/// banks (from the controller's [`FootprintOracle`]) and, on a diff-partition
+/// eviction, the redundancy of the *evicted diff's* data line. Which line a
+/// partition evicts depends on LRU state, so the shadow applies every event
+/// to cloned LLC bank arrays, mirroring exactly the data-way and diff-way
+/// transitions replay will perform.
+///
+/// The mirror is exact because per-bank victim choice depends only on the
+/// relative order of stamping operations within a way partition: the shadow
+/// performs the same data-way and diff-way operations in the same (emission)
+/// order as replay, and replay's only non-mirrored divergences (private-cache
+/// back-invalidation merges) flag session divergence anyway, discarding the
+/// run. Redundancy-way operations are *not* mirrored: a red-partition victim
+/// resident in bank `b` always has `bank_of(line) == b`, so its writeback
+/// lands in an already-declared shard, and red-way stamps never influence
+/// data/diff-way victim choice.
+struct ShadowLlc {
+    /// Clones of the LLC bank arrays at session start.
+    banks: Vec<CacheArray>,
+    /// The controller's redundancy-line routing, `None` for hook-less runs
+    /// (every footprint is then just the event's own line).
+    oracle: Option<Box<dyn FootprintOracle>>,
+    /// LLC bank count (shard routing: `bank_of(line) mod shards`).
+    nbanks: usize,
+    /// Session shard count.
+    shards: usize,
+    /// LLC way range reserved for application data.
+    data_ways: std::ops::Range<usize>,
+    /// LLC way range reserved for data diffs.
+    diff_ways: std::ops::Range<usize>,
+    /// Bit set covering every shard (page-wide hook work).
+    all_mask: u8,
+}
+
+impl std::fmt::Debug for ShadowLlc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShadowLlc")
+            .field("banks", &self.banks.len())
+            .field("shards", &self.shards)
+            .field("oracle", &self.oracle.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShadowLlc {
+    fn new(sys: &System, shards: usize) -> ShadowLlc {
+        let cfg = sys.config();
+        let d = cfg.llc_data_ways();
+        let r = cfg.controller.redundancy_ways;
+        let df = cfg.controller.diff_ways;
+        ShadowLlc {
+            banks: sys.clone_llc_arrays(),
+            oracle: sys.footprint_oracle(),
+            nbanks: sys.llc_banks(),
+            shards,
+            data_ways: 0..d,
+            diff_ways: d + r..d + r + df,
+            all_mask: ((1u32 << shards) - 1) as u8,
+        }
+    }
+
+    #[inline]
+    fn bank_of(&self, line: LineAddr) -> usize {
+        bank_interleave(line, self.nbanks)
+    }
+
+    #[inline]
+    fn line_bit(&self, line: LineAddr) -> u8 {
+        1 << (self.bank_of(line) % self.shards)
+    }
+
+    /// Shards of the redundancy lines covering `fp` (writeback path:
+    /// checksum + parity update).
+    fn red_mask(&self, fp: &RedFootprint) -> u8 {
+        if fp.page_wide {
+            return self.all_mask;
+        }
+        let mut m = 0;
+        if let Some(cs) = fp.cs {
+            m |= self.line_bit(cs);
+        }
+        if let Some(p) = fp.parity {
+            m |= self.line_bit(p);
+        }
+        m
+    }
+
+    /// Footprint of verifying an NVM fill of `line` (`on_nvm_fill`): the
+    /// checksum line's shard, or every shard for page-granular schemes.
+    fn verify_mask(&self, line: LineAddr) -> u8 {
+        match self.oracle.as_ref() {
+            Some(o) if o.verify_reads() => match o.red_lines(line) {
+                Some(fp) if fp.page_wide => self.all_mask,
+                Some(fp) => fp.cs.map_or(0, |cs| self.line_bit(cs)),
+                None => 0,
+            },
+            _ => 0,
+        }
+    }
+
+    /// Footprint of an NVM writeback of `line` (`on_nvm_writeback`),
+    /// mirroring its diff-partition consumption (`old_data_for`).
+    fn writeback_mask(&mut self, line: LineAddr) -> u8 {
+        if !line.is_nvm() {
+            return 0;
+        }
+        let (fp, diffs) = match self.oracle.as_ref() {
+            Some(o) => match o.red_lines(line) {
+                Some(fp) => (fp, o.data_diffs()),
+                None => return 0,
+            },
+            None => return 0,
+        };
+        if diffs {
+            // `old_data_for` consumes the diff before the delta update.
+            let bank = self.bank_of(line);
+            let ways = self.diff_ways.clone();
+            self.banks[bank].invalidate(line, ways);
+        }
+        self.red_mask(&fp)
+    }
+
+    /// Footprint of a clean→dirty transition on `line`
+    /// (`on_llc_clean_to_dirty`): mirror the diff-partition insert; when it
+    /// evicts a diff, mirror the early writeback of the evicted diff's data
+    /// line (marked clean) and charge that line's redundancy shards.
+    fn clean_to_dirty_mask(&mut self, line: LineAddr, old_data: &[u8; CACHE_LINE]) -> u8 {
+        let mapped = match self.oracle.as_ref() {
+            Some(o) if o.data_diffs() => o.red_lines(line).is_some(),
+            _ => false,
+        };
+        if !mapped {
+            return 0;
+        }
+        let bank = self.bank_of(line);
+        let ways = self.diff_ways.clone();
+        let evicted = self.banks[bank].insert(line, old_data, false, ways);
+        let mut m = 0;
+        if let Some(d) = evicted {
+            // §III-D early writeback: the diff's data line (same bank — the
+            // diff partition routes by the data line's bank) is written back
+            // and marked clean, if still cached dirty.
+            let ways = self.data_ways.clone();
+            let dirty = match self.banks[bank].lookup_idx(d.line, ways) {
+                Some(idx) => {
+                    let mut e = self.banks[bank].entry_mut(idx);
+                    let was = e.dirty();
+                    if was {
+                        e.set_dirty(false);
+                    }
+                    was
+                }
+                None => false,
+            };
+            if dirty {
+                if let Some(fp) = self.oracle.as_ref().and_then(|o| o.red_lines(d.line)) {
+                    m |= self.red_mask(&fp);
+                }
+            }
+        }
+        m
+    }
+
+    /// Apply one bound-phase event to the mirror and return its full shard
+    /// footprint (own line ∪ hook work), exactly as replay will perform it.
+    fn apply(&mut self, ev: &Event) -> u8 {
+        let mut mask = self.line_bit(ev.line());
+        match ev {
+            Event::Fill { line, predicted, .. } => {
+                // Mirrors `llc_access`.
+                let line = *line;
+                let bank = self.bank_of(line);
+                let ways = self.data_ways.clone();
+                if self.banks[bank].lookup_idx(line, ways).is_none() {
+                    // Miss: the demand read verifies (hook), then the line
+                    // installs and a dirty victim writes back (hook).
+                    if line.is_nvm() {
+                        mask |= self.verify_mask(line);
+                    }
+                    let ways = self.data_ways.clone();
+                    let (victim, _) =
+                        self.banks[bank].insert_absent_get(line, predicted, false, ways);
+                    if let Some(v) = victim {
+                        if v.dirty {
+                            mask |= self.writeback_mask(v.line);
+                        }
+                    }
+                }
+                // Hit: directory-only updates, no hook work, no victim.
+            }
+            Event::Spill { line, data, dirty, .. } => {
+                // Mirrors `spill_to_llc_shared`.
+                let line = *line;
+                let bank = self.bank_of(line);
+                let ways = self.data_ways.clone();
+                match self.banks[bank].lookup_idx(line, ways) {
+                    Some(idx) => {
+                        let (old_data, was_dirty) = {
+                            let e = self.banks[bank].entry_mut(idx);
+                            (*e.data, e.dirty())
+                        };
+                        if *dirty && !was_dirty && line.is_nvm() {
+                            mask |= self.clean_to_dirty_mask(line, &old_data);
+                        }
+                        let mut e = self.banks[bank].entry_mut(idx);
+                        if *dirty {
+                            *e.data = *data;
+                            e.set_dirty(true);
+                        }
+                    }
+                    None => {
+                        // Inclusion violated: straight writeback if dirty.
+                        if *dirty {
+                            mask |= self.writeback_mask(line);
+                        }
+                    }
+                }
+            }
+            Event::Clwb { line, newest, .. } => {
+                // Mirrors `clwb_shared`.
+                let line = *line;
+                let bank = self.bank_of(line);
+                let ways = self.data_ways.clone();
+                let mut write = false;
+                if let Some(idx) = self.banks[bank].lookup_idx(line, ways) {
+                    let mut e = self.banks[bank].entry_mut(idx);
+                    if let Some(d) = newest {
+                        *e.data = *d;
+                        e.set_dirty(false);
+                        write = true;
+                    } else if e.dirty() {
+                        e.set_dirty(false);
+                        write = true;
+                    }
+                } else if newest.is_some() {
+                    write = true;
+                }
+                if write {
+                    mask |= self.writeback_mask(line);
+                }
+            }
+        }
+        mask
+    }
+}
+
 /// Bound-phase state owned by the [`System`] while a session is active:
-/// the current epoch batch, the fill predictor (overlay ∪ snapshot), and
-/// the shared transport handle.
+/// the current epoch batch, the fill predictor (overlay ∪ snapshot), the
+/// footprint mirror, and the shared transport handle.
 #[derive(Debug)]
 pub(crate) struct BoundCtx {
     core: Arc<WeaveCore>,
@@ -374,10 +691,15 @@ pub(crate) struct BoundCtx {
     snapshot: MemSnapshot,
     /// Events of the currently open epoch (one scheduler step).
     batch: Vec<Event>,
-    /// Next epoch number to publish.
-    next_epoch: u64,
+    /// Accumulated shard footprint of the open epoch.
+    epoch_mask: u8,
+    /// Next dependency ticket per shard (= epochs published so far that
+    /// touch the shard).
+    next_dep: [u64; MAX_SHARDS],
     /// LLC bank count (shard routing: `bank_of(line) mod shards`).
     banks: usize,
+    /// Footprint mirror of the replay-side LLC partitions.
+    shadow: ShadowLlc,
 }
 
 impl BoundCtx {
@@ -395,10 +717,12 @@ impl BoundCtx {
         self.overlay.insert(line.0, data);
     }
 
-    /// Queue an event on the open epoch. The unwoven counter is bumped
-    /// immediately so the scheduler can never observe the event as woven
-    /// while it is still batched or in flight.
+    /// Queue an event on the open epoch, folding its shard footprint (own
+    /// line ∪ predicted hook work) into the epoch mask. The unwoven counter
+    /// is bumped immediately so the scheduler can never observe the event as
+    /// woven while it is still batched or in flight.
     pub(crate) fn send(&mut self, ev: Event) {
+        self.epoch_mask |= self.shadow.apply(&ev);
         self.core.unwoven[ev.core()].fetch_add(1, Ordering::Relaxed);
         self.batch.push(ev);
     }
@@ -409,16 +733,17 @@ impl BoundCtx {
     }
 
     fn shard_of(&self, ev: &Event) -> usize {
-        crate::engine::bank_interleave(ev.line(), self.banks) % self.core.shards
+        bank_interleave(ev.line(), self.banks) % self.core.shards
     }
 
-    /// Close the open epoch: publish its descriptor to the owning worker's
-    /// directory ring, then stream the events to the per-(core × shard)
-    /// rings in emission order. Empty epochs are not numbered or published
-    /// (epoch numbers stay dense, which is what lets the turn token admit
-    /// them by simple increment).
+    /// Close the open epoch: stamp the descriptor with the epoch's shard
+    /// footprint and per-shard dependency tickets, publish it to the
+    /// emitter's directory ring, then stream the events to the
+    /// per-(core × shard) rings in emission order. Empty epochs are not
+    /// published (tickets only advance for epochs that exist).
     pub(crate) fn close_epoch(&mut self) {
         if self.batch.is_empty() {
+            debug_assert_eq!(self.epoch_mask, 0, "footprint without events");
             return;
         }
         let shards = self.core.shards;
@@ -432,12 +757,22 @@ impl BoundCtx {
         for ev in &batch {
             counts[self.shard_of(ev)] += 1;
         }
+        let mask = self.epoch_mask;
+        self.epoch_mask = 0;
+        debug_assert_ne!(mask, 0, "every event contributes its own shard");
+        let mut deps = [0u64; MAX_SHARDS];
+        for (s, dep) in deps.iter_mut().enumerate().take(shards) {
+            if mask >> s & 1 == 1 {
+                *dep = self.next_dep[s];
+            }
+        }
         let desc = EpochDesc {
-            epoch: self.next_epoch,
             emitter: emitter as u32,
+            mask,
+            deps,
             counts,
         };
-        self.push_dir(emitter % shards, desc);
+        self.push_dir(emitter, desc);
         for (seq, ev) in batch.drain(..).enumerate() {
             let shard = self.shard_of(&ev);
             self.push_event(
@@ -450,17 +785,21 @@ impl BoundCtx {
             );
         }
         self.batch = batch; // hand the (now empty) buffer back, keeping its capacity
-        self.next_epoch += 1;
+        for s in 0..shards {
+            if mask >> s & 1 == 1 {
+                self.next_dep[s] += 1;
+            }
+        }
     }
 
-    fn push_dir(&self, worker: usize, mut desc: EpochDesc) {
+    fn push_dir(&self, emitter: usize, mut desc: EpochDesc) {
         let mut bo = Backoff::new();
         loop {
             if self.core.defunct.load(Ordering::Acquire) {
                 self.core.flag(DivergenceKind::WorkerPanic);
                 return;
             }
-            match self.core.dir[worker].try_push(desc) {
+            match self.core.dir[emitter].try_push(desc) {
                 Ok(()) => return,
                 Err(d) => {
                     desc = d;
@@ -489,21 +828,23 @@ impl BoundCtx {
 
     /// Tear down the producer side: discard any open batch (only possible
     /// on an error/divergence exit mid-step — flag it so the caller reruns
-    /// sequentially) and post the close sentinel to every worker.
+    /// sequentially) and post the close sentinel to every emitter directory.
     pub(crate) fn finish(&mut self) {
         if !self.batch.is_empty() {
             self.core.flag(DivergenceKind::StepError);
             for ev in self.batch.drain(..) {
                 self.core.unwoven[ev.core()].fetch_sub(1, Ordering::Relaxed);
             }
+            self.epoch_mask = 0;
         }
         let sentinel = EpochDesc {
-            epoch: u64::MAX,
             emitter: SENTINEL,
+            mask: 0,
+            deps: [0; MAX_SHARDS],
             counts: [0; MAX_SHARDS],
         };
-        for w in 0..self.core.shards {
-            self.push_dir(w, sentinel);
+        for c in 0..self.core.dir.len() {
+            self.push_dir(c, sentinel);
         }
     }
 }
@@ -513,6 +854,9 @@ impl BoundCtx {
 struct WorkerOut {
     /// This worker's private counter shard (merged at join).
     counters: Counters,
+    /// NVM media-write events tallied during this worker's replay (summed
+    /// into the crash window's event counter at join).
+    crash_events: u64,
     /// Replay time attributed to each shard's events.
     shard_busy: [Duration; MAX_SHARDS],
     /// Events applied per shard.
@@ -528,7 +872,7 @@ struct WorkerOut {
 /// [`System::weave_end`](crate::engine::System::weave_end) consumes it.
 pub struct WeaveSession {
     core: Arc<WeaveCore>,
-    sys: Arc<Mutex<System>>,
+    sys: Arc<System>,
     handles: Vec<JoinHandle<WorkerOut>>,
 }
 
@@ -554,10 +898,11 @@ impl WeaveSession {
     ) -> (WeaveSession, BoundCtx) {
         let shards = shards.clamp(1, MAX_SHARDS);
         let banks = sys.llc_banks();
+        let shadow = ShadowLlc::new(&sys, shards);
         let core = Arc::new(WeaveCore {
             rings: (0..cores * shards).map(|_| SpscRing::new(RING_CAP)).collect(),
-            dir: (0..shards).map(|_| SpscRing::new(DIR_CAP)).collect(),
-            turn: AtomicU64::new(0),
+            dir: (0..cores).map(|_| SpscRing::new(DIR_CAP)).collect(),
+            shard_turn: (0..shards).map(|_| ShardTurn(AtomicU64::new(0))).collect(),
             unwoven: (0..cores).map(|_| AtomicUsize::new(0)).collect(),
             stall_offs: (0..cores).map(|_| AtomicU64::new(0)).collect(),
             diverged: AtomicBool::new(false),
@@ -565,7 +910,7 @@ impl WeaveSession {
             defunct: AtomicBool::new(false),
             shards,
         });
-        let sys = Arc::new(Mutex::new(sys));
+        let sys = Arc::new(sys);
 
         let handles = (0..shards)
             .map(|id| {
@@ -575,6 +920,7 @@ impl WeaveSession {
                     let start = Instant::now();
                     let mut out = WorkerOut {
                         counters: Counters::default(),
+                        crash_events: 0,
                         shard_busy: [Duration::ZERO; MAX_SHARDS],
                         shard_events: [0; MAX_SHARDS],
                         wall: Duration::ZERO,
@@ -599,8 +945,10 @@ impl WeaveSession {
             overlay,
             snapshot,
             batch: Vec::with_capacity(64),
-            next_epoch: 0,
+            epoch_mask: 0,
+            next_dep: [0; MAX_SHARDS],
             banks,
+            shadow,
         };
         (WeaveSession { core, sys, handles }, ctx)
     }
@@ -633,9 +981,9 @@ impl WeaveSession {
     }
 
     /// Join every worker, returning the shared-state system, the final
-    /// per-core stall offsets, the merged worker counter shards, and the
-    /// session report.
-    pub(crate) fn join(self) -> (System, Vec<u64>, Counters, WeaveReport) {
+    /// per-core stall offsets, the merged worker counter shards, the summed
+    /// crash-event tally, and the session report.
+    pub(crate) fn join(self) -> (System, Vec<u64>, Counters, u64, WeaveReport) {
         let shards = self.core.shards;
         let mut report = WeaveReport {
             diverged: false,
@@ -647,12 +995,14 @@ impl WeaveSession {
             shard_events: vec![0; shards],
         };
         let mut merged = Counters::default();
+        let mut crash_events = 0u64;
         let mut panicked = false;
         for h in self.handles {
             match h.join() {
                 Ok(out) => {
                     panicked |= out.panicked;
                     merged.merge(&out.counters);
+                    crash_events += out.crash_events;
                     for s in 0..shards {
                         report.shard_busy_s[s] += out.shard_busy[s].as_secs_f64();
                         report.shard_events[s] += out.shard_events[s];
@@ -676,91 +1026,112 @@ impl WeaveSession {
             .map(|s| s.load(Ordering::Acquire))
             .collect();
         let sys = Arc::try_unwrap(self.sys)
-            .expect("weave workers joined; no other System references remain")
-            .into_inner()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        (sys, stalls, merged, report)
+            .unwrap_or_else(|_| panic!("weave workers joined; no other System references remain"));
+        (sys, stalls, merged, crash_events, report)
     }
 }
 
-/// One shard worker: pop epoch descriptors owned by this worker (FIFO ⇒
-/// epoch order), wait for the turn token, drain + seq-merge the emitter's
-/// per-shard rings, and apply under the state lock with this worker's
-/// counter shard swapped in.
-fn worker_loop(
-    id: usize,
-    cores: usize,
-    core: &WeaveCore,
-    sys: &Mutex<System>,
-    out: &mut WorkerOut,
-) {
+/// One weave worker: round-robin the owned emitters (`id`, `id + shards`, …)
+/// with a one-deep pending descriptor per emitter; apply an epoch as soon as
+/// its dependency vector is satisfied, then release its shards.
+///
+/// All hot accumulation lands in locals (counter shard, crash tally, stall
+/// offsets, per-shard timing) and is copied into `out` once at exit, so the
+/// TLS-installed raw pointers never alias a live `&mut` of `out`.
+fn worker_loop(id: usize, cores: usize, core: &WeaveCore, sys: &System, out: &mut WorkerOut) {
     let shards = core.shards;
+    let mut ctrs = Counters::default();
+    let mut crash_events = 0u64;
     // Core c's epochs are all owned by worker c % shards, so these slots
     // are written by exactly one worker across the session.
     let mut stall = vec![0u64; cores];
+    let mut shard_busy = [Duration::ZERO; MAX_SHARDS];
+    let mut shard_events = [0u64; MAX_SHARDS];
     let mut scratch: Vec<SeqEvent> = Vec::with_capacity(64);
-    'session: loop {
-        // Next descriptor for this worker.
-        let desc = {
-            let mut bo = Backoff::new();
-            loop {
-                if core.defunct.load(Ordering::Acquire) {
-                    break 'session;
-                }
-                if let Some(d) = core.dir[id].try_pop() {
-                    break d;
-                }
-                bo.snooze();
+
+    // Emitters whose epochs this worker owns.
+    let owned: Vec<usize> = (id..cores).step_by(shards).collect();
+    // One-deep pending slot per owned emitter: same-emitter epochs must
+    // apply in emission order (stall offsets accumulate in order), so the
+    // next descriptor is only popped once the previous one applied.
+    let mut pending: Vec<Option<EpochDesc>> = owned.iter().map(|_| None).collect();
+    let mut live = owned.len();
+
+    let mut bo = Backoff::new();
+    'session: while live > 0 {
+        let mut progressed = false;
+        for (i, &emitter) in owned.iter().enumerate() {
+            let desc = match &pending[i] {
+                Some(d) => *d,
+                None => match core.dir[emitter].try_pop() {
+                    Some(d) if d.emitter == SENTINEL => {
+                        pending[i] = Some(d);
+                        live -= 1;
+                        progressed = true;
+                        continue;
+                    }
+                    Some(d) => {
+                        pending[i] = Some(d);
+                        progressed = true;
+                        d
+                    }
+                    None => continue,
+                },
+            };
+            if desc.emitter == SENTINEL || !core.admitted(&desc) {
+                continue;
             }
-        };
-        if desc.emitter == SENTINEL {
-            break;
-        }
-        // Global drain order: wait until every earlier epoch has applied.
-        let mut bo = Backoff::new();
-        while core.turn.load(Ordering::Acquire) != desc.epoch {
-            if core.defunct.load(Ordering::Acquire) {
-                break 'session;
-            }
-            bo.snooze();
-        }
-        // Drain this epoch's events; the producer may still be streaming
-        // them (the descriptor is published first), so pop with patience.
-        let emitter = desc.emitter as usize;
-        scratch.clear();
-        for s in 0..shards {
-            let ring = &core.rings[emitter * shards + s];
-            let mut remaining = desc.counts[s];
-            let mut bo = Backoff::new();
-            while remaining > 0 {
-                if let Some(ev) = ring.try_pop() {
-                    scratch.push(ev);
-                    remaining -= 1;
-                } else {
+            // Admitted on every footprint shard: drain the epoch's events.
+            // Round-robin across the emitter's shard rings (the producer
+            // streams in seq order, so draining whatever is available can
+            // never deadlock, even when one epoch overflows a single ring).
+            scratch.clear();
+            let mut remaining = desc.counts;
+            let total: u32 = remaining.iter().sum();
+            let mut got = 0u32;
+            let mut dbo = Backoff::new();
+            while got < total {
+                let mut popped = false;
+                for (s, rem) in remaining.iter_mut().enumerate().take(shards) {
+                    if *rem == 0 {
+                        continue;
+                    }
+                    let ring = &core.rings[emitter * shards + s];
+                    while *rem > 0 {
+                        match ring.try_pop() {
+                            Some(ev) => {
+                                scratch.push(ev);
+                                *rem -= 1;
+                                got += 1;
+                                popped = true;
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                if !popped {
                     if core.defunct.load(Ordering::Acquire) {
                         break 'session;
                     }
-                    bo.snooze();
+                    dbo.snooze();
                 }
             }
-        }
-        // Per-ring order is emission order, so a seq sort restores the
-        // epoch's exact global emission order across shards.
-        scratch.sort_unstable_by_key(|e| e.seq);
-        {
-            let mut sys = sys.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            // Hot-path counter writes land in this worker's private shard.
-            sys.weave_counters_swap(&mut out.counters);
+            // Per-ring order is emission order, so a seq sort restores the
+            // epoch's exact global emission order across shards.
+            scratch.sort_unstable_by_key(|e| e.seq);
+            // Hot-path counter and crash tallies land in this worker's
+            // locals; the footprint mask arms `assert_weave_shard`.
+            weave_tls_install(&mut ctrs, &mut crash_events, desc.mask, shards as u8);
             for sev in scratch.drain(..) {
                 let c = sev.ev.core();
                 let shard = sev.shard as usize;
-                out.shard_events[shard] += 1;
+                shard_events[shard] += 1;
                 if !core.diverged.load(Ordering::Relaxed) {
                     let t0 = Instant::now();
                     if let Some(kind) = sys.weave_apply(sev.ev, &mut stall[c]) {
                         core.flag(kind);
                     }
-                    out.shard_busy[shard] += t0.elapsed();
+                    shard_busy[shard] += t0.elapsed();
                 }
                 // Publish the stall offset before marking the event woven:
                 // a scheduler that observes unwoven == 0 (Acquire) is then
@@ -768,10 +1139,24 @@ fn worker_loop(
                 core.stall_offs[c].store(stall[c], Ordering::Release);
                 core.unwoven[c].fetch_sub(1, Ordering::Release);
             }
-            sys.weave_counters_swap(&mut out.counters);
+            weave_tls_clear();
+            core.release(&desc);
+            pending[i] = None;
+            progressed = true;
         }
-        core.turn.store(desc.epoch + 1, Ordering::Release);
+        if core.defunct.load(Ordering::Acquire) {
+            break 'session;
+        }
+        if progressed {
+            bo.reset();
+        } else {
+            bo.snooze();
+        }
     }
+    out.counters = ctrs;
+    out.crash_events = crash_events;
+    out.shard_busy = shard_busy;
+    out.shard_events = shard_events;
 }
 
 /// Outcome of a bound-weave session, returned by
@@ -844,4 +1229,170 @@ pub(crate) fn resolve_shards(cfg_shards: usize, llc_banks: usize) -> usize {
         }
     };
     n.clamp(1, MAX_SHARDS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::engine::NullHooks;
+
+    /// splitmix64 — the repo's standard seeded generator.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A bound context over a manual core with NO workers attached: every
+    /// published descriptor and event stays in the rings for the test to
+    /// harvest, so the exact publication protocol is observable.
+    fn harness(cores: usize, shards: usize) -> BoundCtx {
+        let sys = System::new(SystemConfig::small(), Box::new(NullHooks));
+        let snapshot = sys.memory().snapshot();
+        let banks = sys.llc_banks();
+        let shadow = ShadowLlc::new(&sys, shards);
+        let core = Arc::new(WeaveCore {
+            rings: (0..cores * shards).map(|_| SpscRing::new(RING_CAP)).collect(),
+            dir: (0..cores).map(|_| SpscRing::new(DIR_CAP)).collect(),
+            shard_turn: (0..shards).map(|_| ShardTurn(AtomicU64::new(0))).collect(),
+            unwoven: (0..cores).map(|_| AtomicUsize::new(0)).collect(),
+            stall_offs: (0..cores).map(|_| AtomicU64::new(0)).collect(),
+            diverged: AtomicBool::new(false),
+            cause: AtomicU8::new(0),
+            defunct: AtomicBool::new(false),
+            shards,
+        });
+        BoundCtx {
+            core,
+            overlay: FxHashMap::default(),
+            snapshot,
+            batch: Vec::new(),
+            epoch_mask: 0,
+            next_dep: [0; MAX_SHARDS],
+            banks,
+            shadow,
+        }
+    }
+
+    fn event(state: &mut u64, emitter: usize, line: LineAddr) -> Event {
+        let ts = splitmix64(state);
+        match splitmix64(state) % 3 {
+            0 => Event::Fill { core: emitter, line, for_write: ts & 1 == 1, ts, predicted: [0; CACHE_LINE] },
+            1 => Event::Spill { core: emitter, line, data: [0; CACHE_LINE], dirty: ts & 1 == 1, ts },
+            _ => Event::Clwb { core: emitter, line, newest: None, ts },
+        }
+    }
+
+    /// The publication protocol's core invariant, property-tested over an
+    /// adversarial epoch mix: for every shard `s`, the subsequence of
+    /// published epochs whose footprint contains `s` carries tickets
+    /// `deps[s] = 0, 1, 2, …` — strictly monotone, dense, and equal to the
+    /// count of earlier `s`-touching epochs. Alongside it: events are only
+    /// routed to declared-footprint shards, and `counts` match what
+    /// actually landed on each ring.
+    #[test]
+    fn dependency_vectors_are_monotone_per_shard() {
+        let cores = 3usize;
+        for shards in [1usize, 2, 4, 8] {
+            let mut ctx = harness(cores, shards);
+            let banks = ctx.banks;
+            let mut state = 0x0de9_0001 ^ shards as u64;
+            let mut expect = [0u64; MAX_SHARDS];
+            let mut last: [Option<u64>; MAX_SHARDS] = [None; MAX_SHARDS];
+            for epoch in 0..600u64 {
+                let emitter = (splitmix64(&mut state) % cores as u64) as usize;
+                // Adversarial phases: random scatter, all-bank fan-out
+                // (every shard in one epoch, back to back), and a
+                // single-shard storm (all events on one bank).
+                let lines: Vec<LineAddr> = match epoch % 3 {
+                    0 => {
+                        let n = 1 + splitmix64(&mut state) % 8;
+                        (0..n).map(|_| LineAddr(splitmix64(&mut state) % 4096)).collect()
+                    }
+                    1 => (0..banks as u64).map(LineAddr).collect(),
+                    _ => {
+                        let bank = splitmix64(&mut state) % banks as u64;
+                        (0..4).map(|k| LineAddr(bank + k * banks as u64)).collect()
+                    }
+                };
+                for l in lines {
+                    let ev = event(&mut state, emitter, l);
+                    ctx.send(ev);
+                }
+                ctx.close_epoch();
+                let desc = ctx.core.dir[emitter].try_pop().expect("one descriptor per epoch");
+                assert!(ctx.core.dir[emitter].is_empty(), "exactly one descriptor");
+                assert_eq!(desc.emitter, emitter as u32, "epoch {epoch}");
+                assert_ne!(desc.mask, 0, "epoch {epoch}: empty footprint published");
+                for s in 0..shards {
+                    let mut drained = 0u32;
+                    while ctx.core.rings[emitter * shards + s].try_pop().is_some() {
+                        drained += 1;
+                    }
+                    assert_eq!(
+                        drained, desc.counts[s],
+                        "epoch {epoch} shard {s}: ring traffic vs descriptor counts"
+                    );
+                    let in_footprint = desc.mask >> s & 1 == 1;
+                    assert!(
+                        drained == 0 || in_footprint,
+                        "epoch {epoch} shard {s}: events routed outside the declared footprint"
+                    );
+                    if in_footprint {
+                        assert_eq!(
+                            desc.deps[s], expect[s],
+                            "epoch {epoch} shard {s}: ticket must equal prior touch count"
+                        );
+                        if let Some(prev) = last[s] {
+                            assert!(desc.deps[s] > prev, "epoch {epoch} shard {s}: not monotone");
+                        }
+                        last[s] = Some(desc.deps[s]);
+                        expect[s] += 1;
+                    }
+                }
+            }
+            // Every shard of every footprint mask stayed in range.
+            for (s, &e) in expect.iter().enumerate().skip(shards) {
+                assert_eq!(e, 0, "shard {s} beyond the configured count was touched");
+            }
+        }
+    }
+
+    /// Admission/release against hand-built descriptors: an epoch is
+    /// admitted iff every footprint shard sits at its ticket, and release
+    /// advances exactly the footprint shards.
+    #[test]
+    fn admission_requires_every_footprint_shard() {
+        let ctx = harness(1, 4);
+        let core = &ctx.core;
+        let mk = |mask: u8, deps: [u64; 4]| EpochDesc {
+            emitter: 0,
+            mask,
+            deps: {
+                let mut d = [0u64; MAX_SHARDS];
+                d[..4].copy_from_slice(&deps);
+                d
+            },
+            counts: [0; MAX_SHARDS],
+        };
+        // All turns start at 0: a {0,2} epoch at tickets (0,0) admits.
+        let a = mk(0b0101, [0, 0, 0, 0]);
+        assert!(core.admitted(&a));
+        // A {1} epoch needing ticket 1 does not admit yet.
+        let b = mk(0b0010, [0, 1, 0, 0]);
+        assert!(!core.admitted(&b));
+        core.release(&a); // shards 0 and 2 advance to 1
+        assert!(!core.admitted(&b), "release must not advance non-footprint shards");
+        // A DIMM-global epoch waits for ALL shards, then releases all.
+        let g = mk(0b1111, [1, 0, 1, 0]);
+        assert!(core.admitted(&g));
+        core.release(&g);
+        let g2 = mk(0b1111, [2, 1, 2, 1]);
+        assert!(core.admitted(&g2), "back-to-back global epochs chain on all shards");
+        core.release(&g2);
+        assert!(core.admitted(&mk(0b0010, [0, 2, 0, 0])));
+    }
 }

@@ -175,7 +175,7 @@ pub fn generate(
                     // phase, on-phase gaps shrunk by `burst`, off-phase
                     // gaps stretched to `2 - 1/burst` so the average gap
                     // stays exactly `mean_gap_cycles`.
-                    if (seq / BURST_PHASE_GAPS) % 2 == 0 {
+                    if (seq / BURST_PHASE_GAPS).is_multiple_of(2) {
                         mean_gap_cycles / burst
                     } else {
                         mean_gap_cycles * (2.0 - 1.0 / burst)

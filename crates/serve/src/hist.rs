@@ -197,7 +197,7 @@ impl Hist {
     /// together (any order, any grouping, per the [`Hist::merge`] contract)
     /// is bit-identical to one histogram fed the whole stream.
     pub fn take(&mut self) -> Hist {
-        std::mem::replace(self, Hist::new())
+        std::mem::take(self)
     }
 }
 
@@ -222,7 +222,8 @@ mod tests {
             }
         }
         let (lo, hi) = bounds_of(index_of(u64::MAX));
-        assert!(lo <= u64::MAX && u64::MAX <= hi);
+        assert!(lo > 0, "top bucket starts above zero");
+        assert_eq!(hi, u64::MAX, "top bucket covers the maximum");
     }
 
     #[test]

@@ -146,7 +146,7 @@ fn taken_intervals_remerge_to_monolithic() {
         let mut remerged = Hist::new();
         for &v in &samples {
             live.record(v);
-            if cut_rng.next() % 50 == 0 {
+            if cut_rng.next().is_multiple_of(50) {
                 let interval = live.take();
                 assert_eq!(live, Hist::new(), "seed {seed}: take leaves identity");
                 remerged.merge(&interval);

@@ -30,7 +30,11 @@ use crate::layout::NvmLayout;
 use crate::parity::parity_delta;
 use memsim::addr::LineAddr;
 use memsim::cache::{CacheArray, Evicted};
-use memsim::engine::{CorruptionDetected, HookEnv, RedundancyHooks};
+use memsim::engine::{
+    assert_weave_shard, CorruptionDetected, FootprintOracle, HookEnv, RedFootprint,
+    RedundancyHooks,
+};
+use memsim::spsc::ShardCell;
 use memsim::{CACHE_LINE, LINES_PER_PAGE};
 use std::any::Any;
 use std::ops::Range;
@@ -103,8 +107,12 @@ pub struct TvarakController {
     cfg: TvarakConfig,
     layout: NvmLayout,
     /// Per-LLC-bank on-controller redundancy caches (inclusive under the LLC
-    /// redundancy partition, kept coherent by write-invalidation).
-    oncache: Vec<CacheArray>,
+    /// redundancy partition). A redundancy line lives with the bank its
+    /// address interleaves to — the same bank that holds its LLC-partition
+    /// copy — so each bank's cache is exclusively owned by whichever context
+    /// holds that bank's shard turn during weave replay (hence the
+    /// [`ShardCell`]s; [`assert_weave_shard`] cross-checks every access).
+    oncache: Vec<ShardCell<CacheArray>>,
     /// DAX-mapped ranges as [start, end) *data-page-index* intervals —
     /// the contents of the per-bank comparators.
     mapped: Vec<Range<u64>>,
@@ -138,7 +146,7 @@ impl TvarakController {
         let lines = cache_bytes / CACHE_LINE;
         let sets = lines / cache_ways;
         let oncache = (0..banks)
-            .map(|_| CacheArray::new(sets, cache_ways, 1))
+            .map(|_| ShardCell::new(CacheArray::new(sets, cache_ways, 1)))
             .collect();
         TvarakController {
             cfg,
@@ -188,10 +196,13 @@ impl TvarakController {
 
     /// Read a redundancy line (checksum or parity) through the redundancy
     /// cache hierarchy: on-controller cache → LLC redundancy partition → NVM.
+    ///
+    /// The bank is derived from the *redundancy* line's own interleave (a
+    /// redundancy line is homed with the controller of the bank it maps to),
+    /// so all its cached state lives in one shard.
     fn read_red_line(
-        &mut self,
+        &self,
         core: usize,
-        bank: usize,
         line: LineAddr,
         urgency: Urgency,
         env: &mut HookEnv<'_>,
@@ -207,14 +218,19 @@ impl TvarakController {
         if !self.cfg.redundancy_caching {
             return nvm_read(env);
         }
+        let bank = env.bank_of(line);
+        assert_weave_shard(bank);
         let demand = urgency != Urgency::Background;
         if demand {
             env.charge(core, env.cfg.controller.cache_latency_cycles);
         }
-        let all = self.oncache[bank].all_ways();
-        if let Some(e) = self.oncache[bank].lookup(line, all) {
-            env.counters().tvarak_cache_hits += 1;
-            return *e.data;
+        {
+            let cache = self.oncache[bank].get();
+            let all = cache.all_ways();
+            if let Some(e) = cache.lookup(line, all) {
+                env.counters().tvarak_cache_hits += 1;
+                return *e.data;
+            }
         }
         env.counters().tvarak_cache_misses += 1;
         let data = if let Some(d) = env.llc_red_lookup(core, line, demand) {
@@ -231,18 +247,20 @@ impl TvarakController {
         // On-controller caches hold clean copies only (write-through to the
         // LLC partition), so their evictions are silent. The line is absent
         // here: the lookup above missed and nothing since touches this bank.
-        let all = self.oncache[bank].all_ways();
-        self.oncache[bank].insert_absent(line, &data, false, all);
+        let cache = self.oncache[bank].get();
+        let all = cache.all_ways();
+        cache.insert_absent(line, &data, false, all);
         data
     }
 
-    /// Write a redundancy line: update this bank's on-controller copy,
-    /// invalidate other banks' copies (write-invalidate coherence), and mark
-    /// the LLC-partition copy dirty (written back to NVM on eviction/flush).
+    /// Write a redundancy line: update its home bank's on-controller copy
+    /// and mark the LLC-partition copy dirty (written back to NVM on
+    /// eviction/flush). A redundancy line is homed with exactly one bank (its
+    /// own interleave), so no cross-bank invalidation is needed: no other
+    /// bank's cache can hold a copy.
     fn write_red_line(
-        &mut self,
+        &self,
         core: usize,
-        bank: usize,
         line: LineAddr,
         data: &[u8; CACHE_LINE],
         env: &mut HookEnv<'_>,
@@ -252,13 +270,12 @@ impl TvarakController {
             return;
         }
         env.counters().tvarak_cache_hits += 1;
-        for (b, cache) in self.oncache.iter_mut().enumerate() {
+        let bank = env.bank_of(line);
+        assert_weave_shard(bank);
+        {
+            let cache = self.oncache[bank].get();
             let all = cache.all_ways();
-            if b == bank {
-                cache.insert(line, data, false, all);
-            } else {
-                cache.invalidate(line, all);
-            }
+            cache.insert(line, data, false, all);
         }
         if !env.llc_red_update(line, data) {
             if let Some(v) = env.llc_red_insert(line, data, true) {
@@ -273,9 +290,8 @@ impl TvarakController {
     /// per the configuration). Also returns the computed checksum of the
     /// provided content so callers can compare.
     fn stored_and_computed_csum(
-        &mut self,
+        &self,
         core: usize,
-        bank: usize,
         line: LineAddr,
         content: &[u8; CACHE_LINE],
         env: &mut HookEnv<'_>,
@@ -289,7 +305,7 @@ impl TvarakController {
                 Urgency::Stall
             };
             let (cs_line, slot) = self.layout.cl_csum_loc(line);
-            let cs = self.read_red_line(core, bank, cs_line, urgency, env);
+            let cs = self.read_red_line(core, cs_line, urgency, env);
             (csum_slot(&cs, slot), line_checksum(content))
         } else {
             // Page-granular (naive): verifying one line means reading the
@@ -307,7 +323,7 @@ impl TvarakController {
                 }
             }
             let (cs_line, slot) = self.layout.page_csum_loc(page);
-            let cs = self.read_red_line(core, bank, cs_line, Urgency::Stall, env);
+            let cs = self.read_red_line(core, cs_line, Urgency::Stall, env);
             (csum_slot(&cs, slot), h.finalize())
         }
     }
@@ -315,21 +331,20 @@ impl TvarakController {
     /// Update checksum and parity for a data line transitioning from `old`
     /// to `new` on the media (the writeback path; always posted).
     fn update_redundancy(
-        &mut self,
+        &self,
         core: usize,
         line: LineAddr,
         old: &[u8; CACHE_LINE],
         new: &[u8; CACHE_LINE],
         env: &mut HookEnv<'_>,
     ) {
-        let bank = env.bank_of(line);
         // Checksum update.
         env.counters().controller_computes += 1;
         if self.cfg.cl_granular_csums {
             let (cs_line, slot) = self.layout.cl_csum_loc(line);
-            let mut cs = self.read_red_line(core, bank, cs_line, Urgency::Background, env);
+            let mut cs = self.read_red_line(core, cs_line, Urgency::Background, env);
             set_csum_slot(&mut cs, slot, line_checksum(new));
-            self.write_red_line(core, bank, cs_line, &cs, env);
+            self.write_red_line(core, cs_line, &cs, env);
         } else {
             // Naive: recompute the page checksum, streaming the rest of the
             // page from NVM through an incremental CRC.
@@ -344,28 +359,27 @@ impl TvarakController {
                 }
             }
             let (cs_line, slot) = self.layout.page_csum_loc(page);
-            let mut cs = self.read_red_line(core, bank, cs_line, Urgency::Background, env);
+            let mut cs = self.read_red_line(core, cs_line, Urgency::Background, env);
             set_csum_slot(&mut cs, slot, h.finalize());
-            self.write_red_line(core, bank, cs_line, &cs, env);
+            self.write_red_line(core, cs_line, &cs, env);
         }
         // Parity delta update.
         env.counters().controller_computes += 1;
         let par_line = self.layout.parity_line_of(line);
-        let mut par = self.read_red_line(core, bank, par_line, Urgency::Background, env);
+        let mut par = self.read_red_line(core, par_line, Urgency::Background, env);
         parity_delta(&mut par, old, new);
-        self.write_red_line(core, bank, par_line, &par, env);
+        self.write_red_line(core, par_line, &par, env);
     }
 
     /// Crate-internal bridge for the recovery module: a demand read through
     /// the redundancy cache hierarchy.
     pub(crate) fn read_red_line_pub(
-        &mut self,
+        &self,
         core: usize,
-        bank: usize,
         line: LineAddr,
         env: &mut HookEnv<'_>,
     ) -> [u8; CACHE_LINE] {
-        self.read_red_line(core, bank, line, Urgency::Stall, env)
+        self.read_red_line(core, line, Urgency::Stall, env)
     }
 
     /// Drop any cached copies of redundancy `line` — on-controller caches
@@ -375,8 +389,9 @@ impl TvarakController {
     /// or parity cannot shadow the rebuilt values.
     pub fn drop_cached_red(&mut self, line: LineAddr, env: &mut HookEnv<'_>) {
         for cache in self.oncache.iter_mut() {
-            let all = cache.all_ways();
-            cache.invalidate(line, all);
+            let c = cache.get_mut();
+            let all = c.all_ways();
+            c.invalidate(line, all);
         }
         env.llc_red_invalidate(line);
     }
@@ -385,7 +400,7 @@ impl TvarakController {
     /// to be written back: from the diff partition if present, else an extra
     /// NVM read of the current media content.
     fn old_data_for(
-        &mut self,
+        &self,
         core: usize,
         line: LineAddr,
         env: &mut HookEnv<'_>,
@@ -401,7 +416,7 @@ impl TvarakController {
 
 impl RedundancyHooks for TvarakController {
     fn on_nvm_fill(
-        &mut self,
+        &self,
         core: usize,
         line: LineAddr,
         data: &[u8; CACHE_LINE],
@@ -412,8 +427,7 @@ impl RedundancyHooks for TvarakController {
             return Ok(());
         }
         env.counters().reads_verified += 1;
-        let bank = env.bank_of(line);
-        let (stored, computed) = self.stored_and_computed_csum(core, bank, line, data, env);
+        let (stored, computed) = self.stored_and_computed_csum(core, line, data, env);
         if stored != computed {
             env.counters().corruptions_detected += 1;
             return Err(CorruptionDetected { line });
@@ -422,7 +436,7 @@ impl RedundancyHooks for TvarakController {
     }
 
     fn on_nvm_writeback(
-        &mut self,
+        &self,
         core: usize,
         line: LineAddr,
         new_data: &[u8; CACHE_LINE],
@@ -436,7 +450,7 @@ impl RedundancyHooks for TvarakController {
     }
 
     fn on_llc_clean_to_dirty(
-        &mut self,
+        &self,
         core: usize,
         line: LineAddr,
         old_data: &[u8; CACHE_LINE],
@@ -470,9 +484,18 @@ impl RedundancyHooks for TvarakController {
             }
         }
         for cache in &mut self.oncache {
-            let all = cache.all_ways();
-            cache.clear(all);
+            let c = cache.get_mut();
+            let all = c.all_ways();
+            c.clear(all);
         }
+    }
+
+    fn footprint_oracle(&self) -> Option<Box<dyn FootprintOracle>> {
+        Some(Box::new(TvarakFootprints {
+            cfg: self.cfg,
+            layout: self.layout,
+            mapped: self.mapped.clone(),
+        }))
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
@@ -485,13 +508,59 @@ impl RedundancyHooks for TvarakController {
         // partitions already lost). The comparator contents (`mapped`)
         // survive logically — the OS re-registers DAX ranges at mount.
         for cache in &mut self.oncache {
-            let all = cache.all_ways();
-            cache.clear(all);
+            let c = cache.get_mut();
+            let all = c.all_ways();
+            c.clear(all);
         }
     }
 
     fn name(&self) -> &'static str {
         "tvarak"
+    }
+}
+
+/// A bound-side snapshot of the controller's routing inputs, handed to the
+/// weave engine so epoch shard footprints can be computed without touching
+/// controller state. Mapping changes happen only in sequential sections
+/// (`&mut self` management API), so a snapshot taken at weave-region entry
+/// stays valid for the whole region.
+struct TvarakFootprints {
+    cfg: TvarakConfig,
+    layout: NvmLayout,
+    mapped: Vec<Range<u64>>,
+}
+
+impl FootprintOracle for TvarakFootprints {
+    fn verify_reads(&self) -> bool {
+        self.cfg.verify_reads
+    }
+
+    fn data_diffs(&self) -> bool {
+        self.cfg.data_diffs
+    }
+
+    fn red_lines(&self, line: LineAddr) -> Option<RedFootprint> {
+        if !self.layout.is_data_line(line) {
+            return None;
+        }
+        let idx = self.layout.data_index_of(line.page());
+        if !self.mapped.iter().any(|r| r.contains(&idx)) {
+            return None;
+        }
+        if !self.cfg.cl_granular_csums {
+            // Page-granular checksums stream the whole page through the
+            // hooks; the footprint is unbounded per-bank, so declare all.
+            return Some(RedFootprint {
+                cs: None,
+                parity: None,
+                page_wide: true,
+            });
+        }
+        Some(RedFootprint {
+            cs: Some(self.layout.cl_csum_loc(line).0),
+            parity: Some(self.layout.parity_line_of(line)),
+            page_wide: false,
+        })
     }
 }
 

@@ -55,8 +55,7 @@ impl TvarakController {
         for (o, slot) in reconstructed.iter_mut().enumerate() {
             let line = page.line(o);
             let par_line = layout.parity_line_of(line);
-            let bank = env.bank_of(line);
-            let mut rec = self.read_red(core, bank, par_line, env);
+            let mut rec = self.read_red(core, par_line, env);
             for sib in layout.sibling_lines_of(line) {
                 let d = env.nvm_read_red(core, sib, true);
                 xor_into(&mut rec, &d);
@@ -68,8 +67,7 @@ impl TvarakController {
             for (o, rec) in reconstructed.iter().enumerate() {
                 let line = page.line(o);
                 let (cs_line, slot) = layout.cl_csum_loc(line);
-                let bank = env.bank_of(line);
-                let cs = self.read_red(core, bank, cs_line, env);
+                let cs = self.read_red(core, cs_line, env);
                 if csum_slot(&cs, slot) != line_checksum(rec) {
                     return Err(RecoveryFailed { page });
                 }
@@ -80,8 +78,7 @@ impl TvarakController {
                 bytes[o * CACHE_LINE..(o + 1) * CACHE_LINE].copy_from_slice(rec);
             }
             let (cs_line, slot) = layout.page_csum_loc(page);
-            let bank = env.bank_of(page.line(0));
-            let cs = self.read_red(core, bank, cs_line, env);
+            let cs = self.read_red(core, cs_line, env);
             if csum_slot(&cs, slot) != page_checksum(&bytes) {
                 return Err(RecoveryFailed { page });
             }
@@ -97,13 +94,12 @@ impl TvarakController {
     /// Internal bridge so recovery can use the redundancy cache hierarchy
     /// (the method is private to the controller module).
     fn read_red(
-        &mut self,
+        &self,
         core: usize,
-        bank: usize,
         line: memsim::addr::LineAddr,
         env: &mut HookEnv<'_>,
     ) -> [u8; CACHE_LINE] {
-        self.read_red_line_pub(core, bank, line, env)
+        self.read_red_line_pub(core, line, env)
     }
 }
 
